@@ -1,0 +1,92 @@
+/// Reproduces Fig. 10: the across-run variance of the unified stratified
+/// sampling framework (Alg. 1) under the MC-SV vs the CC-SV computation
+/// scheme, as the budget gamma grows, for n in {3, 6, 10} on FEMNIST-style
+/// data with MLP and CNN models. The paper's finding (and Thm. 2): MC-SV
+/// has lower variance; both schemes' variance collapses once gamma covers
+/// nearly all coalitions.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+using namespace fedshap;
+using namespace fedshap::bench;
+
+namespace {
+
+double TotalVariance(const std::vector<std::vector<double>>& samples,
+                     int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double mean = 0.0;
+    for (const auto& v : samples) mean += v[i];
+    mean /= samples.size();
+    double var = 0.0;
+    for (const auto& v : samples) var += (v[i] - mean) * (v[i] - mean);
+    total += var / samples.size();
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  const int runs = 40;
+  std::printf("=== Fig. 10: variance of Alg. 1 with MC-SV vs CC-SV "
+              "(%d runs/point) ===\n\n",
+              runs);
+
+  for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
+    for (int n : {3, 6, 10}) {
+      ScenarioRunner runner(MakeFemnistScenario(n, kind, options));
+      // Touch the ground truth so every coalition is cached; the variance
+      // sweep then runs entirely against cached utilities.
+      runner.GroundTruth();
+
+      // Per-client stratified estimator (the m_{i,k} reading of Alg. 1):
+      // every client covers every stratum, so the run-to-run variance
+      // reflects the contribution dispersion Thm. 2 compares rather than
+      // coverage gaps. gamma reports the mean evaluations per run.
+      std::vector<int> samples = n == 3 ? std::vector<int>{1, 2, 3}
+                                        : std::vector<int>{1, 2, 4, 8};
+      ConsoleTable table({"m/stratum", "~gamma", "Var[MC-SV]",
+                          "Var[CC-SV]", "lower"});
+      for (int m : samples) {
+        std::vector<std::vector<double>> mc_samples, cc_samples;
+        size_t gamma_total = 0;
+        for (int run = 0; run < runs; ++run) {
+          PerClientStratifiedConfig config;
+          config.samples_per_stratum = m;
+          config.seed = options.seed + 997 * run + m;
+          config.scheme = SvScheme::kMarginal;
+          UtilitySession mc_session(&runner.cache());
+          Result<ValuationResult> mc =
+              PerClientStratifiedShapley(mc_session, config);
+          if (!mc.ok()) return 1;
+          mc_samples.push_back(mc->values);
+          gamma_total += mc->num_trainings;
+
+          config.scheme = SvScheme::kComplementary;
+          UtilitySession cc_session(&runner.cache());
+          Result<ValuationResult> cc =
+              PerClientStratifiedShapley(cc_session, config);
+          if (!cc.ok()) return 1;
+          cc_samples.push_back(cc->values);
+        }
+        const double mc_var = TotalVariance(mc_samples, n);
+        const double cc_var = TotalVariance(cc_samples, n);
+        table.AddRow({std::to_string(m),
+                      std::to_string(gamma_total / runs),
+                      FormatDouble(mc_var, 6), FormatDouble(cc_var, 6),
+                      mc_var <= cc_var ? "MC" : "CC"});
+      }
+      std::printf("--- %s ---\n", runner.description().c_str());
+      table.Print(std::cout);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// Reproduces Fig. 8(a)-(f): Pareto curves of the time/error trade-off for
+/// the sampling-based algorithms on FEMNIST-style data across
+/// n in {3, 6, 10} clients and {MLP, CNN} models. For each gamma on a grid,
+/// repeated runs are averaged into one (time, error) point; a point is
+/// Pareto-optimal if no other point of any algorithm beats it on both axes.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "core/valuation_metrics.h"
+#include "util/table.h"
+
+using namespace fedshap;
+using namespace fedshap::bench;
+
+namespace {
+
+struct ParetoPoint {
+  Algo algo;
+  int gamma;
+  double time;
+  double error;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  const int repeats = 8;
+  std::printf("=== Fig. 8: Pareto curves, time vs error (%d runs/point)"
+              " ===\n\n",
+              repeats);
+
+  const char* labels[] = {"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"};
+  int panel = 0;
+  for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
+    for (int n : {3, 6, 10}) {
+      ScenarioRunner runner(MakeFemnistScenario(n, kind, options));
+      const std::vector<double>& exact = runner.GroundTruth();
+
+      std::vector<ParetoPoint> points;
+      std::vector<int> gammas =
+          n == 3 ? std::vector<int>{2, 4, 6}
+                 : (n == 6 ? std::vector<int>{4, 8, 16, 32}
+                           : std::vector<int>{8, 16, 32, 64, 128});
+      for (int gamma : gammas) {
+        for (Algo algo : SamplingAlgos()) {
+          double time_sum = 0.0, err_sum = 0.0;
+          for (int rep = 0; rep < repeats; ++rep) {
+            Result<AlgoRun> run = runner.Run(
+                algo, gamma, options.seed + 37 * rep + gamma);
+            if (!run.ok()) {
+              std::fprintf(stderr, "%s failed: %s\n", AlgoName(algo),
+                           run.status().ToString().c_str());
+              return 1;
+            }
+            time_sum += run->result.charged_seconds;
+            err_sum += RelativeL2Error(exact, run->result.values);
+          }
+          points.push_back({algo, gamma, time_sum / repeats,
+                            err_sum / repeats});
+        }
+      }
+
+      // Pareto front: no other point strictly better on both axes.
+      auto dominated = [&](const ParetoPoint& p) {
+        for (const ParetoPoint& q : points) {
+          if (q.time < p.time && q.error < p.error) return true;
+        }
+        return false;
+      };
+      ConsoleTable table(
+          {"algorithm", "gamma", "time", "error(l2)", "pareto"});
+      std::sort(points.begin(), points.end(),
+                [](const ParetoPoint& a, const ParetoPoint& b) {
+                  return a.time < b.time;
+                });
+      for (const ParetoPoint& p : points) {
+        table.AddRow({AlgoName(p.algo), std::to_string(p.gamma),
+                      FormatSeconds(p.time), FormatDouble(p.error, 4),
+                      dominated(p) ? "" : "*"});
+      }
+      std::printf("--- %s %s ---\n", labels[panel++],
+                  runner.description().c_str());
+      table.Print(std::cout);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

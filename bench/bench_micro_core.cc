@@ -1,0 +1,101 @@
+/// Microbenchmarks (google-benchmark) for the hot substrate paths: coalition
+/// ops, subset enumeration, utility-cache lookups, model gradient steps and
+/// FedAvg aggregation. These are the per-evaluation costs that the charged
+/// time model sits on top of.
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "fl/server.h"
+#include "fl/utility.h"
+#include "fl/utility_cache.h"
+#include "ml/cnn.h"
+#include "ml/mlp.h"
+#include "util/combinatorics.h"
+#include "util/coalition.h"
+
+namespace fedshap {
+namespace {
+
+void BM_CoalitionCountAndHash(benchmark::State& state) {
+  Coalition c = Coalition::Full(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.Count());
+    benchmark::DoNotOptimize(c.Hash());
+  }
+}
+BENCHMARK(BM_CoalitionCountAndHash)->Arg(10)->Arg(100);
+
+void BM_SubsetEnumeration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    int count = 0;
+    ForEachSubsetOfSize(n, n / 2, [&](const Coalition& c) {
+      benchmark::DoNotOptimize(c);
+      ++count;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SubsetEnumeration)->Arg(10)->Arg(16);
+
+void BM_UtilityCacheHit(benchmark::State& state) {
+  LinearRegressionUtility::Params params;
+  params.num_clients = 10;
+  LinearRegressionUtility fn(params);
+  UtilityCache cache(&fn);
+  Coalition c = Coalition::Of({1, 3, 5});
+  benchmark::DoNotOptimize(cache.Get(c));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get(c));
+  }
+}
+BENCHMARK(BM_UtilityCacheHit);
+
+void BM_MlpGradientStep(benchmark::State& state) {
+  Rng rng(1);
+  Result<Dataset> data = GenerateBlobs(10, 64, 4.0, 64, rng);
+  Mlp model(64, 16, 10);
+  model.InitializeParameters(rng);
+  std::vector<size_t> batch;
+  for (size_t i = 0; i < 16; ++i) batch.push_back(i);
+  std::vector<float> grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.ComputeGradient(*data, batch, grad));
+  }
+}
+BENCHMARK(BM_MlpGradientStep);
+
+void BM_CnnGradientStep(benchmark::State& state) {
+  DigitsConfig config;
+  config.image_size = 8;
+  Rng rng(2);
+  Result<FederatedSource> source = GenerateDigits(config, 64, rng);
+  Cnn model(8, 4, 10);
+  model.InitializeParameters(rng);
+  std::vector<size_t> batch;
+  for (size_t i = 0; i < 16; ++i) batch.push_back(i);
+  std::vector<float> grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.ComputeGradient(source->data, batch, grad));
+  }
+}
+BENCHMARK(BM_CnnGradientStep);
+
+void BM_FedAvgAggregate(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  std::vector<std::vector<float>> params(
+      clients, std::vector<float>(1200, 0.5f));
+  std::vector<double> weights(clients, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FedAvgAggregate(params, weights));
+  }
+}
+BENCHMARK(BM_FedAvgAggregate)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace fedshap
+
+BENCHMARK_MAIN();

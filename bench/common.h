@@ -1,0 +1,146 @@
+#ifndef FEDSHAP_BENCH_COMMON_H_
+#define FEDSHAP_BENCH_COMMON_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/exact.h"
+#include "core/ipss.h"
+#include "core/stratified.h"
+#include "core/valuation_result.h"
+#include "data/partition.h"
+#include "fl/reconstruction.h"
+#include "fl/utility.h"
+#include "fl/utility_cache.h"
+
+namespace fedshap {
+namespace bench {
+
+/// Command-line options shared by every bench binary.
+///
+///   --scale=<float>   multiplies dataset sizes (and some budgets); also
+///                     readable from FEDSHAP_BENCH_SCALE. Default 1.0.
+///   --seed=<u64>      master seed. Default 2025.
+///   --quick           equivalent to --scale=0.4 (CI-sized run).
+struct BenchOptions {
+  double scale = 1.0;
+  uint64_t seed = 2025;
+
+  static BenchOptions Parse(int argc, char** argv);
+
+  /// rows scaled by `scale`, with a floor to stay meaningful.
+  size_t ScaledRows(size_t rows) const;
+};
+
+/// FL model architectures used across the paper's evaluation.
+enum class ModelKind { kMlp, kCnn, kLogReg, kXgb };
+const char* ModelKindName(ModelKind kind);
+
+/// A fully assembled valuation workload: the utility function plus the
+/// metadata the harness needs.
+struct Scenario {
+  std::unique_ptr<UtilityFunction> utility;
+  /// Non-null iff gradient-based baselines apply (FedAvg-trained models).
+  FedAvgUtility* fedavg = nullptr;
+  int n = 0;
+  std::string description;
+};
+
+/// FEMNIST-style workload: synthetic digits partitioned by writer id.
+Scenario MakeFemnistScenario(int n, ModelKind kind,
+                             const BenchOptions& options);
+
+/// Adult-style workload: synthetic census data partitioned by occupation.
+/// `kind` must be kMlp, kLogReg or kXgb.
+Scenario MakeAdultScenario(int n, ModelKind kind,
+                           const BenchOptions& options);
+
+/// The five synthetic setups of Fig. 6 on digit data.
+Scenario MakeSyntheticScenario(PartitionScheme scheme, int n, ModelKind kind,
+                               const BenchOptions& options);
+
+/// Scalability workload (Fig. 9): n clients on small digits with 5% planted
+/// free riders (empty datasets) and 5% duplicated datasets. Outputs the
+/// planted structure for the fairness proxies.
+struct ScalabilityScenario {
+  Scenario scenario;
+  std::vector<int> null_players;
+  std::vector<std::pair<int, int>> duplicate_pairs;
+};
+ScalabilityScenario MakeScalabilityScenario(int n,
+                                            const BenchOptions& options);
+
+/// The paper's Table III sampling budgets: gamma = 5 / 8 / 32 for
+/// n = 3 / 6 / 10; n log2(n) otherwise (the Fig. 9 choice).
+int PaperGamma(int n);
+
+/// All compared algorithms, in the paper's column order (Tables IV/V).
+enum class Algo {
+  kPermShapley,
+  kMcShapley,
+  kDigFl,
+  kExtTmc,
+  kExtGtb,
+  kCcShapley,
+  kGtgShapley,
+  kOr,
+  kLambdaMr,
+  kIpss,
+};
+const char* AlgoName(Algo algo);
+std::vector<Algo> AllAlgos();
+/// The sampling-based subset used by Figs. 7/8/9.
+std::vector<Algo> SamplingAlgos();
+
+/// One algorithm execution, annotated for table rendering.
+struct AlgoRun {
+  ValuationResult result;
+  /// False when the method does not apply (gradient-based x XGB).
+  bool applicable = true;
+  /// True for exact methods: the error column renders "-".
+  bool exact = false;
+  /// True when charged time is an extrapolation (Perm-Shapley at n where
+  /// enumerating n! is infeasible), mirroring the paper's 10^9-second
+  /// entries.
+  bool estimated_time = false;
+};
+
+/// Drives all algorithms against one scenario with a shared utility cache,
+/// computing the exact ground truth once.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(Scenario scenario);
+
+  int n() const { return scenario_.n; }
+  const std::string& description() const { return scenario_.description; }
+  UtilityCache& cache() { return cache_; }
+
+  /// Exact MC-SV (computed once, cached).
+  const std::vector<double>& GroundTruth();
+
+  /// Mean train+evaluate seconds per coalition observed so far (tau).
+  double MeanTrainingCost() const;
+
+  /// Runs one algorithm at budget `gamma` with the given seed.
+  Result<AlgoRun> Run(Algo algo, int gamma, uint64_t seed);
+
+ private:
+  Result<ReconstructionContext*> GetContext();
+
+  Scenario scenario_;
+  UtilityCache cache_;
+  std::unique_ptr<ReconstructionContext> context_;
+  std::optional<std::vector<double>> ground_truth_;
+  double ground_truth_seconds_ = 0.0;
+};
+
+/// "12.3ms" / "-" / "~1.2e+03s" cell renderers for the result tables.
+std::string TimeCell(const AlgoRun& run);
+std::string ErrorCell(const AlgoRun& run, const std::vector<double>& exact);
+
+}  // namespace bench
+}  // namespace fedshap
+
+#endif  // FEDSHAP_BENCH_COMMON_H_

@@ -1,0 +1,102 @@
+/// Incremental test data: the linear-additivity property in practice
+/// (Def. 2(iii) of the paper).
+///
+/// A consortium valued its providers against test shard T1. A new test
+/// shard T2 arrives. Because the Shapley value is linear in the utility
+/// function — and accuracy over T1 u T2 is the size-weighted average of
+/// the shard accuracies — the valuation under T1 u T2 is the same weighted
+/// average of the two shard valuations. Old valuations stay reusable; no
+/// retraining is needed when test data grows.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/exact.h"
+#include "core/report.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/utility.h"
+#include "fl/utility_cache.h"
+#include "ml/logistic_regression.h"
+
+using namespace fedshap;
+
+namespace {
+
+/// Exact SV of the 4 providers against the given test shard.
+Result<ValuationResult> ValueAgainst(const std::vector<Dataset>& providers,
+                                     const Model& prototype,
+                                     const FedAvgConfig& config,
+                                     Dataset test_shard) {
+  FEDSHAP_ASSIGN_OR_RETURN(
+      std::unique_ptr<FedAvgUtility> utility,
+      FedAvgUtility::Create(providers, std::move(test_shard), prototype,
+                            config));
+  UtilityCache cache(utility.get());
+  UtilitySession session(&cache);
+  return ExactShapleyMc(session);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(99);
+  DigitsConfig digits;
+  digits.image_size = 8;
+  digits.num_classes = 10;
+  Result<FederatedSource> source = GenerateDigits(digits, 2100, rng);
+  if (!source.ok()) return 1;
+
+  Dataset train = source->data.Head(1500);
+  std::vector<size_t> t1_idx, t2_idx;
+  for (size_t i = 1500; i < 1800; ++i) t1_idx.push_back(i);
+  for (size_t i = 1800; i < source->data.size(); ++i) t2_idx.push_back(i);
+  Dataset t1 = source->data.Subset(t1_idx);
+  Dataset t2 = source->data.Subset(t2_idx);
+  std::vector<size_t> both_idx = t1_idx;
+  both_idx.insert(both_idx.end(), t2_idx.begin(), t2_idx.end());
+  Dataset t_union = source->data.Subset(both_idx);
+
+  PartitionConfig part;
+  part.scheme = PartitionScheme::kSameSizeDiffDist;
+  part.num_clients = 4;
+  Result<std::vector<Dataset>> providers = PartitionDataset(train, part, rng);
+  if (!providers.ok()) return 1;
+
+  LogisticRegression prototype(64, 10);
+  Rng init(7);
+  prototype.InitializeParameters(init);
+  FedAvgConfig config;
+  config.rounds = 4;
+  config.local.learning_rate = 0.25;
+
+  Result<ValuationResult> phi_t1 =
+      ValueAgainst(*providers, prototype, config, t1);
+  Result<ValuationResult> phi_t2 =
+      ValueAgainst(*providers, prototype, config, t2);
+  Result<ValuationResult> phi_union =
+      ValueAgainst(*providers, prototype, config, t_union);
+  if (!phi_t1.ok() || !phi_t2.ok() || !phi_union.ok()) return 1;
+
+  const double w1 = static_cast<double>(t1.size()) / t_union.size();
+  const double w2 = static_cast<double>(t2.size()) / t_union.size();
+  std::printf("test shards: |T1|=%zu |T2|=%zu (weights %.3f / %.3f)\n\n",
+              t1.size(), t2.size(), w1, w2);
+  std::printf("%-9s %10s %10s %16s %12s\n", "provider", "phi(T1)",
+              "phi(T2)", "w1*phi1+w2*phi2", "phi(T1 u T2)");
+  double max_gap = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const double combined =
+        w1 * phi_t1->values[i] + w2 * phi_t2->values[i];
+    const double direct = phi_union->values[i];
+    max_gap = std::max(max_gap, std::abs(combined - direct));
+    std::printf("%-9d %10.4f %10.4f %16.4f %12.4f\n", i,
+                phi_t1->values[i], phi_t2->values[i], combined, direct);
+  }
+  std::printf("\nmax |combined - direct| = %.2e  (machine precision: "
+              "coalition models are identical across the three\n"
+              " valuations, and accuracy over T1 u T2 is exactly the "
+              "size-weighted shard average)\n",
+              max_gap);
+  return 0;
+}

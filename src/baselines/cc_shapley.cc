@@ -1,0 +1,64 @@
+#include "baselines/cc_shapley.h"
+
+#include "util/combinatorics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+Result<ValuationResult> CcShapley(UtilitySession& session,
+                                  const CcShapleyConfig& config) {
+  const int n = session.num_clients();
+  if (n < 1) return Status::InvalidArgument("need at least one client");
+  if (config.rounds < 1) {
+    return Status::InvalidArgument("rounds must be >= 1");
+  }
+  Stopwatch timer;
+  Rng rng(config.seed);
+
+  // stratum_sum[i][k-1] accumulates client i's complementary contributions
+  // whose "with-i" coalition has size k; stratum_count tracks sample sizes.
+  std::vector<std::vector<double>> stratum_sum(
+      n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<int>> stratum_count(n, std::vector<int>(n, 0));
+
+  for (int t = 0; t < config.rounds; ++t) {
+    const int k =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n))) + 1;
+    const Coalition s = RandomSubsetOfSize(n, k, rng);
+    const Coalition complement = s.ComplementIn(n);
+    FEDSHAP_ASSIGN_OR_RETURN(const double u_s, session.Evaluate(s));
+    FEDSHAP_ASSIGN_OR_RETURN(const double u_c,
+                             session.Evaluate(complement));
+    const double cc = u_s - u_c;
+    // One pair informs every client (Zhang et al.'s key efficiency trick).
+    for (int i = 0; i < n; ++i) {
+      if (s.Contains(i)) {
+        stratum_sum[i][k - 1] += cc;
+        ++stratum_count[i][k - 1];
+      } else {
+        const int comp_size = n - k;
+        if (comp_size >= 1) {
+          stratum_sum[i][comp_size - 1] += -cc;
+          ++stratum_count[i][comp_size - 1];
+        }
+      }
+    }
+  }
+
+  std::vector<double> values(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (int k = 0; k < n; ++k) {
+      if (stratum_count[i][k] > 0) {
+        total += stratum_sum[i][k] / stratum_count[i][k];
+      }
+    }
+    values[i] = total / n;
+  }
+
+  return FinishValuation(std::move(values), session,
+                         timer.ElapsedSeconds());
+}
+
+}  // namespace fedshap

@@ -1,0 +1,34 @@
+#ifndef FEDSHAP_BASELINES_CC_SHAPLEY_H_
+#define FEDSHAP_BASELINES_CC_SHAPLEY_H_
+
+#include "core/valuation_result.h"
+#include "fl/utility_cache.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Configuration of CC-Shapley.
+struct CcShapleyConfig {
+  /// Number of sampled complementary pairs. Each round evaluates the
+  /// coalition S and its complement N \ S (two trainings), which is why the
+  /// paper observes CC-Shapley to be among the slowest sampling baselines
+  /// at equal round budgets.
+  int rounds = 32;
+  uint64_t seed = 1;
+};
+
+/// CC-Shapley: Zhang et al.'s complementary-contribution sampling
+/// (SIGMOD 2023), the state-of-the-art CC-SV sampler the paper compares
+/// against.
+///
+/// Each round draws a size k uniformly and a coalition S of size k, then
+/// the single pair (U(S), U(N\S)) yields a complementary-contribution
+/// sample for *every* client: members of S at stratum k, non-members at
+/// stratum n-k with the negated difference. Stratum means are averaged
+/// into the final value.
+Result<ValuationResult> CcShapley(UtilitySession& session,
+                                  const CcShapleyConfig& config);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_BASELINES_CC_SHAPLEY_H_

@@ -1,0 +1,89 @@
+#include "baselines/dig_fl.h"
+
+#include <cmath>
+
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+namespace {
+
+double Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total += static_cast<double>(a[i]) * b[i];
+  }
+  return total;
+}
+
+double Norm(const std::vector<float>& a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace
+
+Result<ValuationResult> DigFlShapley(ReconstructionContext& context) {
+  const int n = context.num_clients();
+  if (n < 1) return Status::InvalidArgument("need at least one client");
+  Stopwatch timer;
+
+  const TrainingLog& log = context.log();
+  std::vector<double> values(n, 0.0);
+  size_t evaluations = 0;
+
+  for (int round = 0; round < context.num_rounds(); ++round) {
+    FEDSHAP_ASSIGN_OR_RETURN(const double u_before,
+                             context.EvaluateGlobalAfterRound(round));
+    FEDSHAP_ASSIGN_OR_RETURN(const double u_after,
+                             context.EvaluateGlobalAfterRound(round + 1));
+    evaluations += 2;
+    const double gain = std::max(0.0, u_after - u_before);
+    if (gain == 0.0) continue;
+
+    const RoundRecord& record = log.rounds[round];
+    if (record.client_deltas.empty()) continue;
+
+    // Aggregated (global) update of this round.
+    const size_t dim = record.client_deltas[0].size();
+    std::vector<float> global_delta(dim, 0.0f);
+    double total_weight = 0.0;
+    for (double w : record.client_weights) total_weight += w;
+    if (total_weight <= 0.0) continue;
+    for (size_t slot = 0; slot < record.client_deltas.size(); ++slot) {
+      const float w = static_cast<float>(record.client_weights[slot] /
+                                         total_weight);
+      const std::vector<float>& delta = record.client_deltas[slot];
+      for (size_t p = 0; p < dim; ++p) global_delta[p] += w * delta[p];
+    }
+    const double global_norm = Norm(global_delta);
+    if (global_norm == 0.0) continue;
+
+    // Positive-alignment weights, size-weighted, normalized to sum 1.
+    std::vector<double> alignment(record.client_deltas.size(), 0.0);
+    double alignment_total = 0.0;
+    for (size_t slot = 0; slot < record.client_deltas.size(); ++slot) {
+      const std::vector<float>& delta = record.client_deltas[slot];
+      const double norm = Norm(delta);
+      double cosine = 0.0;
+      if (norm > 0.0) {
+        cosine = Dot(delta, global_delta) / (norm * global_norm);
+      }
+      alignment[slot] = record.client_weights[slot] * std::max(0.0, cosine);
+      alignment_total += alignment[slot];
+    }
+    if (alignment_total <= 0.0) continue;
+    for (size_t slot = 0; slot < alignment.size(); ++slot) {
+      values[record.client_ids[slot]] +=
+          gain * alignment[slot] / alignment_total;
+    }
+  }
+
+  ValuationResult result;
+  result.values = std::move(values);
+  result.num_evaluations = evaluations;
+  result.num_trainings = 1;
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.charged_seconds =
+      context.grand_training_seconds() + result.wall_seconds;
+  return result;
+}
+
+}  // namespace fedshap

@@ -1,0 +1,27 @@
+#ifndef FEDSHAP_BASELINES_DIG_FL_H_
+#define FEDSHAP_BASELINES_DIG_FL_H_
+
+#include "core/valuation_result.h"
+#include "fl/reconstruction.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// DIG-FL (Wang et al., ICDE 2022): per-round gradient-alignment
+/// contribution estimation with O(n + R) utility evaluations.
+///
+/// For each round r, the global improvement U_r - U_{r-1} is split across
+/// participating clients proportionally to the (clipped-positive) cosine
+/// alignment between the client's recorded update and the aggregated global
+/// update, weighted by local dataset size:
+///
+///   phi_i = sum_r max(0, U_r - U_{r-1}) * w_{i,r},
+///   w_{i,r} ~ |D_i| * max(0, cos(delta_{i,r}, delta_global_r))
+///
+/// Fast but uncalibrated against the Shapley scale — the source of the
+/// large relative errors the paper reports for it, especially on CNNs.
+Result<ValuationResult> DigFlShapley(ReconstructionContext& context);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_BASELINES_DIG_FL_H_

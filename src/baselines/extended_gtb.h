@@ -1,0 +1,33 @@
+#ifndef FEDSHAP_BASELINES_EXTENDED_GTB_H_
+#define FEDSHAP_BASELINES_EXTENDED_GTB_H_
+
+#include "core/valuation_result.h"
+#include "fl/utility_cache.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Configuration of Extended-GTB.
+struct ExtendedGtbConfig {
+  /// Number of group-testing samples (subsets drawn).
+  int samples = 32;
+  uint64_t seed = 1;
+};
+
+/// Extended-GTB: Jia et al.'s Group-Testing-Based SV estimator extended to
+/// FL (the paper's Sec. V-A baseline).
+///
+/// Draws subsets with the group-testing size distribution q(k) ~
+/// (1/k + 1/(n-k)), estimates all pairwise value differences
+/// delta_ij ~ phi_i - phi_j from the test responses, then recovers a
+/// valuation consistent with the efficiency constraint
+/// sum phi = U(N) - U(empty) by solving the (always-feasible) least-squares
+/// relaxation of the paper's feasibility program:
+///
+///   phi_i = (U(N) - U(empty) + sum_j delta_ij) / n
+Result<ValuationResult> ExtendedGtbShapley(UtilitySession& session,
+                                           const ExtendedGtbConfig& config);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_BASELINES_EXTENDED_GTB_H_

@@ -1,0 +1,55 @@
+#include "baselines/extended_tmc.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+Result<ValuationResult> ExtendedTmcShapley(UtilitySession& session,
+                                           const ExtendedTmcConfig& config) {
+  const int n = session.num_clients();
+  if (n < 1) return Status::InvalidArgument("need at least one client");
+  if (config.permutations < 1) {
+    return Status::InvalidArgument("permutations must be >= 1");
+  }
+  Stopwatch timer;
+  Rng rng(config.seed);
+
+  FEDSHAP_ASSIGN_OR_RETURN(const double u_empty,
+                           session.Evaluate(Coalition()));
+  FEDSHAP_ASSIGN_OR_RETURN(const double u_full,
+                           session.Evaluate(Coalition::Full(n)));
+
+  std::vector<double> values(n, 0.0);
+  for (int t = 0; t < config.permutations; ++t) {
+    const std::vector<int> perm = rng.Permutation(n);
+    Coalition prefix;
+    double prev = u_empty;
+    bool truncated = false;
+    for (int pos = 0; pos < n; ++pos) {
+      const int client = perm[pos];
+      if (!truncated &&
+          std::fabs(u_full - prev) < config.truncation_tolerance) {
+        truncated = true;
+      }
+      if (truncated) {
+        // Marginal contributions past the truncation point are ~0; skip
+        // the training entirely (that is TMC's whole point).
+        continue;
+      }
+      prefix.Add(client);
+      FEDSHAP_ASSIGN_OR_RETURN(const double current,
+                               session.Evaluate(prefix));
+      values[client] += current - prev;
+      prev = current;
+    }
+  }
+  for (double& v : values) v /= config.permutations;
+
+  return FinishValuation(std::move(values), session,
+                         timer.ElapsedSeconds());
+}
+
+}  // namespace fedshap

@@ -1,0 +1,33 @@
+#ifndef FEDSHAP_BASELINES_EXTENDED_TMC_H_
+#define FEDSHAP_BASELINES_EXTENDED_TMC_H_
+
+#include "core/valuation_result.h"
+#include "fl/utility_cache.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Configuration of Extended-TMC.
+struct ExtendedTmcConfig {
+  /// Number of sampled permutations (the "sampling rounds" the paper's
+  /// Table III assigns; each permutation walks up to n prefixes, so the
+  /// evaluation count is roughly n per round, minus truncation).
+  int permutations = 32;
+  /// Truncation: once the running prefix utility is within this distance
+  /// of U(N), the remaining marginal contributions of the permutation are
+  /// treated as zero (no further trainings).
+  double truncation_tolerance = 0.01;
+  uint64_t seed = 1;
+};
+
+/// Extended-TMC: Ghorbani & Zou's Truncated Monte Carlo Shapley extended to
+/// FL coalitions (the paper's Sec. V-A baseline). Samples random client
+/// permutations and averages truncated marginal contributions:
+///
+///   phi_i = E_pi [ U(prefix(pi, i) u {i}) - U(prefix(pi, i)) ]     (Eq. 20)
+Result<ValuationResult> ExtendedTmcShapley(UtilitySession& session,
+                                           const ExtendedTmcConfig& config);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_BASELINES_EXTENDED_TMC_H_

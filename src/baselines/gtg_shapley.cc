@@ -1,0 +1,88 @@
+#include "baselines/gtg_shapley.h"
+
+#include <cmath>
+
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+Result<ValuationResult> GtgShapley(ReconstructionContext& context,
+                                   const GtgShapleyConfig& config) {
+  const int n = context.num_clients();
+  if (n < 1) return Status::InvalidArgument("need at least one client");
+  if (config.max_permutations_per_round < 1) {
+    return Status::InvalidArgument("max_permutations_per_round must be >= 1");
+  }
+  Stopwatch timer;
+  Rng rng(config.seed);
+
+  std::vector<double> values(n, 0.0);
+  size_t evaluations = 0;
+
+  for (int round = 0; round < context.num_rounds(); ++round) {
+    // Between-round truncation: compare the utility of the actual global
+    // model before and after this round.
+    FEDSHAP_ASSIGN_OR_RETURN(const double u_before,
+                             context.EvaluateGlobalAfterRound(round));
+    FEDSHAP_ASSIGN_OR_RETURN(const double u_after,
+                             context.EvaluateGlobalAfterRound(round + 1));
+    evaluations += 2;
+    if (std::fabs(u_after - u_before) < config.round_truncation) continue;
+
+    FEDSHAP_ASSIGN_OR_RETURN(
+        const double u_round_full,
+        context.EvaluateRoundSubset(round, Coalition::Full(n)));
+    ++evaluations;
+
+    std::vector<double> round_sum(n, 0.0);
+    int sampled = 0;
+    int converged_streak = 0;
+    std::vector<double> previous_avg(n, 0.0);
+    for (int t = 0; t < config.max_permutations_per_round; ++t) {
+      const std::vector<int> perm = rng.Permutation(n);
+      Coalition prefix;
+      double prev = u_before;
+      bool truncated = false;
+      for (int pos = 0; pos < n; ++pos) {
+        const int client = perm[pos];
+        if (!truncated &&
+            std::fabs(u_round_full - prev) < config.truncation_tolerance) {
+          truncated = true;
+        }
+        if (truncated) continue;
+        prefix.Add(client);
+        FEDSHAP_ASSIGN_OR_RETURN(
+            const double current,
+            context.EvaluateRoundSubset(round, prefix));
+        ++evaluations;
+        round_sum[client] += current - prev;
+        prev = current;
+      }
+      ++sampled;
+      // Convergence of the running averages (GTG's early stop).
+      double max_change = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const double avg = round_sum[i] / sampled;
+        max_change = std::max(max_change, std::fabs(avg - previous_avg[i]));
+        previous_avg[i] = avg;
+      }
+      if (sampled >= 2 && max_change < config.convergence_tolerance) {
+        if (++converged_streak >= 2) break;
+      } else {
+        converged_streak = 0;
+      }
+    }
+    for (int i = 0; i < n; ++i) values[i] += round_sum[i] / sampled;
+  }
+
+  ValuationResult result;
+  result.values = std::move(values);
+  result.num_evaluations = evaluations;
+  result.num_trainings = 1;
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.charged_seconds =
+      context.grand_training_seconds() + result.wall_seconds;
+  return result;
+}
+
+}  // namespace fedshap

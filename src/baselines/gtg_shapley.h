@@ -1,0 +1,38 @@
+#ifndef FEDSHAP_BASELINES_GTG_SHAPLEY_H_
+#define FEDSHAP_BASELINES_GTG_SHAPLEY_H_
+
+#include "core/valuation_result.h"
+#include "fl/reconstruction.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Configuration of GTG-Shapley.
+struct GtgShapleyConfig {
+  /// Maximum sampled permutations per round.
+  int max_permutations_per_round = 16;
+  /// Between-round truncation: a round whose global model improved utility
+  /// by less than this is skipped entirely (its per-round SV is ~0).
+  double round_truncation = 0.005;
+  /// Within-permutation truncation, relative to the round's full-coalition
+  /// reconstructed utility.
+  double truncation_tolerance = 0.005;
+  /// Early convergence: stop a round's sampling when the max change of the
+  /// running averages falls below this for two consecutive permutations.
+  double convergence_tolerance = 1e-4;
+  uint64_t seed = 1;
+};
+
+/// GTG-Shapley (Liu et al., 2022): Guided Truncation Gradient Shapley.
+///
+/// Per FedAvg round, runs truncated Monte-Carlo permutation sampling over
+/// models *reconstructed* from that round's recorded client deltas, with
+/// (i) between-round truncation (skip rounds whose global utility barely
+/// moved) and (ii) within-permutation truncation. The per-round Shapley
+/// estimates are summed across rounds.
+Result<ValuationResult> GtgShapley(ReconstructionContext& context,
+                                   const GtgShapleyConfig& config);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_BASELINES_GTG_SHAPLEY_H_

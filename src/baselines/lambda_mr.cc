@@ -1,0 +1,61 @@
+#include "baselines/lambda_mr.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/combinatorics.h"
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+Result<ValuationResult> LambdaMrShapley(ReconstructionContext& context,
+                                        const LambdaMrConfig& config) {
+  const int n = context.num_clients();
+  if (n < 1 || n > 20) {
+    return Status::InvalidArgument("lambda-MR requires 1 <= n <= 20");
+  }
+  if (config.lambda <= 0.0 || config.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in (0, 1]");
+  }
+  Stopwatch timer;
+
+  const uint64_t total = 1ULL << n;
+  std::vector<double> values(n, 0.0);
+  std::vector<double> u(total, 0.0);
+  size_t evaluations = 0;
+  double round_weight = 1.0;
+  for (int round = 0; round < context.num_rounds(); ++round) {
+    for (uint64_t mask = 0; mask < total; ++mask) {
+      Coalition c;
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1ULL) c.Add(i);
+      }
+      FEDSHAP_ASSIGN_OR_RETURN(u[mask],
+                               context.EvaluateRoundSubset(round, c));
+      ++evaluations;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t bit = 1ULL << i;
+      double round_value = 0.0;
+      for (uint64_t mask = 0; mask < total; ++mask) {
+        if (mask & bit) continue;
+        const int s = std::popcount(mask);
+        const double weight = 1.0 / (n * BinomialDouble(n - 1, s));
+        round_value += (u[mask | bit] - u[mask]) * weight;
+      }
+      values[i] += round_weight * round_value;
+    }
+    round_weight *= config.lambda;
+  }
+
+  ValuationResult result;
+  result.values = std::move(values);
+  result.num_evaluations = evaluations;
+  result.num_trainings = 1;
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.charged_seconds =
+      context.grand_training_seconds() + result.wall_seconds;
+  return result;
+}
+
+}  // namespace fedshap

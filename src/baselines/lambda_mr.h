@@ -1,0 +1,32 @@
+#ifndef FEDSHAP_BASELINES_LAMBDA_MR_H_
+#define FEDSHAP_BASELINES_LAMBDA_MR_H_
+
+#include "core/valuation_result.h"
+#include "fl/reconstruction.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Configuration of lambda-MR.
+struct LambdaMrConfig {
+  /// Per-round decay: round r (0-based) contributes with weight lambda^r.
+  /// 1.0 reproduces plain multi-round aggregation.
+  double lambda = 1.0;
+};
+
+/// lambda-MR (Wei et al., 2020): multi-round gradient-reconstruction SV.
+///
+/// For every round r, computes an exact MC-SV over models reconstructed
+/// from that round's recorded deltas alone (U of "global_{r-1} + aggregated
+/// deltas of S"), then aggregates the per-round values with lambda decay:
+///
+///   phi_i = sum_r lambda^r * phi_i^{(r)}
+///
+/// Evaluates O(R * 2^n) reconstructed models — the exponential growth in n
+/// the paper calls out as limiting its scalability. Requires n <= 20.
+Result<ValuationResult> LambdaMrShapley(ReconstructionContext& context,
+                                        const LambdaMrConfig& config);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_BASELINES_LAMBDA_MR_H_

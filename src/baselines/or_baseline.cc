@@ -1,0 +1,48 @@
+#include "baselines/or_baseline.h"
+
+#include <bit>
+
+#include "util/combinatorics.h"
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+Result<ValuationResult> OrShapley(ReconstructionContext& context) {
+  const int n = context.num_clients();
+  if (n < 1 || n > 20) {
+    return Status::InvalidArgument("OR requires 1 <= n <= 20");
+  }
+  Stopwatch timer;
+
+  const uint64_t total = 1ULL << n;
+  std::vector<double> u(total, 0.0);
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    Coalition c;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1ULL) c.Add(i);
+    }
+    FEDSHAP_ASSIGN_OR_RETURN(u[mask], context.EvaluateReconstructed(c));
+  }
+
+  std::vector<double> values(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const uint64_t bit = 1ULL << i;
+    for (uint64_t mask = 0; mask < total; ++mask) {
+      if (mask & bit) continue;
+      const int s = std::popcount(mask);
+      const double weight = 1.0 / (n * BinomialDouble(n - 1, s));
+      values[i] += (u[mask | bit] - u[mask]) * weight;
+    }
+  }
+
+  ValuationResult result;
+  result.values = std::move(values);
+  result.num_evaluations = total;
+  result.num_trainings = 1;  // the single grand-coalition training
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.charged_seconds =
+      context.grand_training_seconds() + result.wall_seconds;
+  return result;
+}
+
+}  // namespace fedshap

@@ -1,0 +1,22 @@
+#ifndef FEDSHAP_BASELINES_OR_BASELINE_H_
+#define FEDSHAP_BASELINES_OR_BASELINE_H_
+
+#include "core/valuation_result.h"
+#include "fl/reconstruction.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// OR (Song et al., 2019): gradient-reconstruction data valuation.
+///
+/// Trains the grand coalition once, then *reconstructs* the model of every
+/// coalition S by re-aggregating the recorded per-round client deltas and
+/// computes the exact MC-SV over the reconstructed utilities. No extra FL
+/// training, but no accuracy guarantee either — the reconstructed M_S is
+/// generally not the model S would actually have trained, which is exactly
+/// the error source the paper observes. Requires n <= 20.
+Result<ValuationResult> OrShapley(ReconstructionContext& context);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_BASELINES_OR_BASELINE_H_

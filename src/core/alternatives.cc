@@ -1,0 +1,94 @@
+#include "core/alternatives.h"
+
+#include <bit>
+
+#include "util/combinatorics.h"
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+Result<ValuationResult> ExactBanzhaf(UtilitySession& session) {
+  const int n = session.num_clients();
+  if (n < 1 || n > 25) {
+    return Status::InvalidArgument("exact Banzhaf requires 1 <= n <= 25");
+  }
+  Stopwatch timer;
+  const uint64_t total = 1ULL << n;
+  std::vector<double> u(total, 0.0);
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    Coalition c;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1ULL) c.Add(i);
+    }
+    FEDSHAP_ASSIGN_OR_RETURN(u[mask], session.Evaluate(c));
+  }
+  std::vector<double> values(n, 0.0);
+  const double weight = 1.0 / static_cast<double>(total >> 1);
+  for (int i = 0; i < n; ++i) {
+    const uint64_t bit = 1ULL << i;
+    for (uint64_t mask = 0; mask < total; ++mask) {
+      if (mask & bit) continue;
+      values[i] += (u[mask | bit] - u[mask]) * weight;
+    }
+  }
+  return FinishValuation(std::move(values), session,
+                         timer.ElapsedSeconds());
+}
+
+Result<ValuationResult> MonteCarloBanzhaf(UtilitySession& session,
+                                          const BanzhafConfig& config) {
+  const int n = session.num_clients();
+  if (n < 1) return Status::InvalidArgument("need at least one client");
+  if (config.samples < 1) {
+    return Status::InvalidArgument("samples must be >= 1");
+  }
+  Stopwatch timer;
+  Rng rng(config.seed);
+
+  std::vector<double> with_sum(n, 0.0), without_sum(n, 0.0);
+  std::vector<int> with_count(n, 0), without_count(n, 0);
+  for (int t = 0; t < config.samples; ++t) {
+    // Uniform coalition: each client joins with probability 1/2.
+    Coalition s;
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.5)) s.Add(i);
+    }
+    FEDSHAP_ASSIGN_OR_RETURN(const double u, session.Evaluate(s));
+    for (int i = 0; i < n; ++i) {
+      if (s.Contains(i)) {
+        with_sum[i] += u;
+        ++with_count[i];
+      } else {
+        without_sum[i] += u;
+        ++without_count[i];
+      }
+    }
+  }
+  std::vector<double> values(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    if (with_count[i] > 0 && without_count[i] > 0) {
+      values[i] = with_sum[i] / with_count[i] -
+                  without_sum[i] / without_count[i];
+    }
+  }
+  return FinishValuation(std::move(values), session,
+                         timer.ElapsedSeconds());
+}
+
+Result<ValuationResult> LeaveOneOut(UtilitySession& session) {
+  const int n = session.num_clients();
+  if (n < 1) return Status::InvalidArgument("need at least one client");
+  Stopwatch timer;
+  const Coalition full = Coalition::Full(n);
+  FEDSHAP_ASSIGN_OR_RETURN(const double u_full, session.Evaluate(full));
+  std::vector<double> values(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    FEDSHAP_ASSIGN_OR_RETURN(const double u_without,
+                             session.Evaluate(full.Without(i)));
+    values[i] = u_full - u_without;
+  }
+  return FinishValuation(std::move(values), session,
+                         timer.ElapsedSeconds());
+}
+
+}  // namespace fedshap

@@ -1,0 +1,43 @@
+#ifndef FEDSHAP_CORE_ALTERNATIVES_H_
+#define FEDSHAP_CORE_ALTERNATIVES_H_
+
+#include "core/valuation_result.h"
+#include "fl/utility_cache.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Alternative data-valuation indices that the SV literature (and this
+/// paper's related work: Data Banzhaf, leave-one-out ablations) compares
+/// against. They trade the Shapley axioms for cheaper computation or
+/// noise robustness, and serve as extension baselines in our benches.
+
+/// Exact Banzhaf value: phi_i = 2^-(n-1) * sum_{S not ni i}
+/// [U(S u i) - U(S)]. Unlike the SV it weights all coalition sizes
+/// equally, so it does NOT satisfy efficiency. O(2^n); requires n <= 25.
+Result<ValuationResult> ExactBanzhaf(UtilitySession& session);
+
+/// Configuration of the Monte-Carlo Banzhaf estimator.
+struct BanzhafConfig {
+  /// Number of uniformly sampled coalitions.
+  int samples = 64;
+  uint64_t seed = 1;
+};
+
+/// Maximum-Sample-Reuse Banzhaf (Wang & Jia, "Data Banzhaf", AISTATS'23):
+/// draws coalitions uniformly from 2^N and estimates
+///   phi_i = avg{U(S) : i in S} - avg{U(S) : i not in S},
+/// reusing every sample for every client. Clients whose membership class
+/// received no samples get 0.
+Result<ValuationResult> MonteCarloBanzhaf(UtilitySession& session,
+                                          const BanzhafConfig& config);
+
+/// Leave-one-out valuation: phi_i = U(N) - U(N \ {i}). The classic n+1
+/// evaluation baseline; fails symmetric fairness for redundant clients
+/// (two duplicates both get ~0), which makes it a useful foil for the
+/// paper's fairness-proxy experiments.
+Result<ValuationResult> LeaveOneOut(UtilitySession& session);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_CORE_ALTERNATIVES_H_

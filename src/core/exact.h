@@ -1,0 +1,37 @@
+#ifndef FEDSHAP_CORE_EXACT_H_
+#define FEDSHAP_CORE_EXACT_H_
+
+#include "core/valuation_result.h"
+#include "fl/utility_cache.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Exact Shapley value via the marginal-contribution scheme (Def. 3,
+/// Eq. 4): evaluates U on all 2^n coalitions. This is the paper's
+/// "MC-Shapley" baseline and the ground truth of every experiment.
+/// Requires n <= 25.
+Result<ValuationResult> ExactShapleyMc(UtilitySession& session);
+
+/// Exact Shapley value via the complementary-contribution scheme (Def. 4,
+/// Eq. 5). Identical values to ExactShapleyMc (the schemes are equivalent
+/// expressions); exercised by tests and the scheme-comparison benches.
+/// Requires n <= 25.
+Result<ValuationResult> ExactShapleyCc(UtilitySession& session);
+
+/// Exact Shapley value via the permutation definition ("Perm-Shapley"):
+/// averages marginal contributions over all n! client orderings. Requires
+/// n <= 8; for larger n use EstimatePermShapleySeconds to extrapolate its
+/// cost like the paper's Tables IV/V do.
+Result<ValuationResult> ExactShapleyPermutation(UtilitySession& session);
+
+/// Projected cost of Perm-Shapley: n! * n model evaluations at `tau`
+/// seconds each (tau = mean train+evaluate cost of one FL model).
+double EstimatePermShapleySeconds(int n, double tau);
+
+/// Projected cost of exact MC-Shapley: 2^n evaluations at `tau` seconds.
+double EstimateMcShapleySeconds(int n, double tau);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_CORE_EXACT_H_

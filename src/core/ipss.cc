@@ -1,0 +1,185 @@
+#include "core/ipss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/combinatorics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+int IpssKStar(int n, int total_rounds) {
+  if (total_rounds < 1) return -1;
+  int k_star = -1;
+  uint64_t used = 0;
+  for (int k = 0; k <= n; ++k) {
+    const uint64_t stratum = BinomialU64(n, k);
+    if (used + stratum > static_cast<uint64_t>(total_rounds)) break;
+    used += stratum;
+    k_star = k;
+  }
+  return k_star;
+}
+
+std::vector<Coalition> BalancedCoalitionSample(int n, int size, int count,
+                                               Rng& rng) {
+  FEDSHAP_CHECK(size >= 1 && size <= n);
+  FEDSHAP_CHECK(count >= 0);
+  std::vector<Coalition> sample;
+  std::unordered_set<Coalition, CoalitionHash> used;
+  std::vector<int> coverage(n, 0);
+
+  constexpr int kMaxTries = 64;
+  for (int s = 0; s < count; ++s) {
+    Coalition chosen;
+    bool accepted = false;
+    for (int attempt = 0; attempt < kMaxTries && !accepted; ++attempt) {
+      // Constraint (3): equal per-client frequency. Greedily prefer the
+      // clients with the lowest coverage so far; random jitter breaks ties
+      // and, on retries, increasingly randomizes to escape duplicates.
+      std::vector<std::pair<double, int>> keyed(n);
+      const double jitter = 0.25 + attempt;  // grows with each retry
+      for (int i = 0; i < n; ++i) {
+        keyed[i] = {coverage[i] + jitter * rng.Uniform(), i};
+      }
+      std::sort(keyed.begin(), keyed.end());
+      Coalition candidate;
+      for (int j = 0; j < size; ++j) candidate.Add(keyed[j].second);
+      if (used.count(candidate) == 0) {
+        chosen = candidate;
+        accepted = true;
+      }
+    }
+    if (!accepted) break;  // stratum effectively exhausted
+    used.insert(chosen);
+    chosen.ForEach([&](int member) { ++coverage[member]; });
+    sample.push_back(chosen);
+  }
+  return sample;
+}
+
+Result<ValuationResult> AdaptiveIpssShapley(
+    UtilitySession& session, const AdaptiveIpssConfig& config) {
+  if (config.initial_rounds < 1) {
+    return Status::InvalidArgument("initial_rounds must be >= 1");
+  }
+  if (config.max_rounds < config.initial_rounds) {
+    return Status::InvalidArgument("max_rounds must be >= initial_rounds");
+  }
+  if (config.tolerance < 0.0) {
+    return Status::InvalidArgument("tolerance must be >= 0");
+  }
+  Stopwatch timer;
+
+  std::vector<double> previous;
+  ValuationResult current;
+  int gamma = config.initial_rounds;
+  while (true) {
+    IpssConfig step;
+    step.total_rounds = gamma;
+    step.seed = config.seed;
+    FEDSHAP_ASSIGN_OR_RETURN(current, IpssShapley(session, step));
+    if (!previous.empty()) {
+      // Relative l2 change between consecutive estimates.
+      double diff_sq = 0.0, norm_sq = 0.0;
+      for (size_t i = 0; i < current.values.size(); ++i) {
+        const double d = current.values[i] - previous[i];
+        diff_sq += d * d;
+        norm_sq += current.values[i] * current.values[i];
+      }
+      const bool converged =
+          norm_sq == 0.0 ? diff_sq == 0.0
+                         : std::sqrt(diff_sq / norm_sq) < config.tolerance;
+      if (converged) break;
+    }
+    if (gamma >= config.max_rounds) break;
+    previous = current.values;
+    gamma = std::min(config.max_rounds, gamma * 2);
+  }
+  // The session accumulated every evaluation across doublings; override
+  // the last step's partial accounting with the session totals.
+  current.num_evaluations = session.num_evaluations();
+  current.num_trainings = session.num_distinct();
+  current.charged_seconds = session.charged_seconds();
+  current.wall_seconds = timer.ElapsedSeconds();
+  return current;
+}
+
+Result<ValuationResult> IpssShapley(UtilitySession& session,
+                                    const IpssConfig& config) {
+  const int n = session.num_clients();
+  if (n < 1) return Status::InvalidArgument("need at least one client");
+  if (config.total_rounds < 1) {
+    return Status::InvalidArgument("total_rounds must be >= 1");
+  }
+  Stopwatch timer;
+  Rng rng(config.seed);
+
+  // ---- Line 1: the largest fully-evaluated stratum. ----
+  const int k_star = IpssKStar(n, config.total_rounds);
+  FEDSHAP_CHECK(k_star >= 0);  // total_rounds >= 1 admits the empty set
+
+  // ---- Lines 2-7: evaluate every coalition with <= k_star clients. ----
+  std::unordered_map<Coalition, double, CoalitionHash> utilities;
+  uint64_t evaluated = 0;
+  Status failure = Status::OK();
+  for (int k = 0; k <= k_star; ++k) {
+    ForEachSubsetOfSize(n, k, [&](const Coalition& c) {
+      if (!failure.ok()) return;
+      Result<double> u = session.Evaluate(c);
+      if (!u.ok()) {
+        failure = u.status();
+        return;
+      }
+      utilities.emplace(c, u.value());
+      ++evaluated;
+    });
+    if (!failure.ok()) return failure;
+  }
+
+  // ---- Lines 8-14: balanced sampling of the (k*+1)-stratum. ----
+  std::vector<Coalition> pruned_sample;
+  if (k_star + 1 <= n) {
+    const int remaining =
+        config.total_rounds - static_cast<int>(evaluated);
+    pruned_sample = BalancedCoalitionSample(n, k_star + 1, remaining, rng);
+    for (const Coalition& c : pruned_sample) {
+      FEDSHAP_ASSIGN_OR_RETURN(double u, session.Evaluate(c));
+      utilities.emplace(c, u);
+    }
+  }
+
+  // ---- Lines 15-17: MC-SV estimate over the evaluated coalitions. ----
+  std::vector<double> values(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double total = 0.0;
+    // Exhaustive strata: S excludes i, |S| < k*; S u {i} has size <= k*,
+    // so both utilities are known.
+    for (int k = 0; k < k_star; ++k) {
+      const double weight = 1.0 / BinomialDouble(n - 1, k);
+      ForEachSubsetOfSize(n, k, [&](const Coalition& s) {
+        if (s.Contains(i)) return;
+        total += weight *
+                 (utilities.at(s.With(i)) - utilities.at(s));
+      });
+    }
+    // Pruned stratum: S u {i} sampled in P, |S| = k*.
+    if (k_star < n) {
+      const double weight = 1.0 / BinomialDouble(n - 1, k_star);
+      for (const Coalition& p : pruned_sample) {
+        if (!p.Contains(i)) continue;
+        const Coalition s = p.Without(i);
+        total += weight * (utilities.at(p) - utilities.at(s));
+      }
+    }
+    values[i] = total / n;
+  }
+
+  return FinishValuation(std::move(values), session,
+                         timer.ElapsedSeconds());
+}
+
+}  // namespace fedshap

@@ -1,0 +1,25 @@
+#ifndef FEDSHAP_CORE_KGREEDY_H_
+#define FEDSHAP_CORE_KGREEDY_H_
+
+#include "core/valuation_result.h"
+#include "fl/utility_cache.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Alg. 2 (K-Greedy): the probe the paper uses to expose the *key
+/// combinations* phenomenon (Sec. IV-A, Fig. 4).
+///
+/// Evaluates U on every coalition of size <= K and estimates
+///
+///   phi_hat_i = (1/n) * sum_{k < K} avg_{|S| = k, S !ni i}
+///               [ U(S u {i}) - U(S) ]
+///
+/// i.e. the exact per-stratum averages of the first K strata and nothing
+/// beyond. K = n reproduces the exact MC-SV. Cost: sum_{j<=K} C(n, j)
+/// utility evaluations.
+Result<ValuationResult> KGreedyShapley(UtilitySession& session, int k_max);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_CORE_KGREEDY_H_

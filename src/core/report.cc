@@ -1,0 +1,81 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "core/valuation_metrics.h"
+#include "util/table.h"
+
+namespace fedshap {
+
+std::string ValuationReport::Render() const {
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  const bool have_exact = !exact_.empty();
+
+  std::vector<std::string> header = {"algorithm", "trainings", "time"};
+  if (have_exact) {
+    header.push_back("error(l2)");
+    header.push_back("rank corr");
+  }
+  ConsoleTable summary(header);
+  for (const ReportEntry& entry : entries_) {
+    std::vector<std::string> row = {
+        entry.name, std::to_string(entry.result.num_trainings),
+        FormatSeconds(entry.result.charged_seconds)};
+    if (have_exact) {
+      if (entry.exact) {
+        row.push_back("-");
+        row.push_back("-");
+      } else {
+        row.push_back(FormatDouble(
+            RelativeL2Error(exact_, entry.result.values), 4));
+        row.push_back(FormatDouble(
+            SpearmanCorrelation(exact_, entry.result.values), 4));
+      }
+    }
+    summary.AddRow(std::move(row));
+  }
+  summary.Print(os);
+
+  // Per-client values, algorithms as columns.
+  if (!entries_.empty()) {
+    std::vector<std::string> value_header = {"client"};
+    for (const ReportEntry& entry : entries_) {
+      value_header.push_back(entry.name);
+    }
+    ConsoleTable values(value_header);
+    const size_t n = entries_.front().result.values.size();
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<std::string> row = {std::to_string(i)};
+      for (const ReportEntry& entry : entries_) {
+        row.push_back(i < entry.result.values.size()
+                          ? FormatDouble(entry.result.values[i], 4)
+                          : "-");
+      }
+      values.AddRow(std::move(row));
+    }
+    values.Print(os);
+  }
+  return os.str();
+}
+
+Status ValuationReport::WriteCsv(const std::string& path) const {
+  FEDSHAP_ASSIGN_OR_RETURN(
+      CsvWriter writer,
+      CsvWriter::Create(path, {"algorithm", "kind", "client", "value",
+                               "trainings", "charged_seconds"}));
+  for (const ReportEntry& entry : entries_) {
+    for (size_t i = 0; i < entry.result.values.size(); ++i) {
+      FEDSHAP_RETURN_NOT_OK(writer.WriteRow(
+          {entry.name, "value", std::to_string(i),
+           FormatDouble(entry.result.values[i], 8), "", ""}));
+    }
+    FEDSHAP_RETURN_NOT_OK(writer.WriteRow(
+        {entry.name, "summary", "",
+         "", std::to_string(entry.result.num_trainings),
+         FormatDouble(entry.result.charged_seconds, 6)}));
+  }
+  return Status::OK();
+}
+
+}  // namespace fedshap

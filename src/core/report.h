@@ -1,0 +1,51 @@
+#ifndef FEDSHAP_CORE_REPORT_H_
+#define FEDSHAP_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/valuation_result.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// One algorithm's contribution to a valuation report.
+struct ReportEntry {
+  std::string name;
+  ValuationResult result;
+  /// Exact entries anchor the error column ("-" instead of a number).
+  bool exact = false;
+};
+
+/// Assembled comparison of several valuation runs against a ground truth.
+/// This is the artifact a data consortium would archive per valuation
+/// round: who computed what, at which cost, with what fidelity.
+class ValuationReport {
+ public:
+  /// `exact_values` may be empty when no ground truth exists (error columns
+  /// are then omitted).
+  ValuationReport(std::string title, std::vector<double> exact_values)
+      : title_(std::move(title)), exact_(std::move(exact_values)) {}
+
+  void Add(ReportEntry entry) { entries_.push_back(std::move(entry)); }
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<ReportEntry>& entries() const { return entries_; }
+
+  /// Human-readable rendering with aligned columns: per-client values,
+  /// relative l2 error, rank correlation, trainings and charged time.
+  std::string Render() const;
+
+  /// Machine-readable CSV: one row per (algorithm, client) value plus one
+  /// summary row per algorithm.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<double> exact_;
+  std::vector<ReportEntry> entries_;
+};
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_CORE_REPORT_H_

@@ -1,0 +1,277 @@
+#include "core/stratified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/combinatorics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+const char* SvSchemeName(SvScheme scheme) {
+  switch (scheme) {
+    case SvScheme::kMarginal:
+      return "MC-SV";
+    case SvScheme::kComplementary:
+      return "CC-SV";
+  }
+  return "unknown";
+}
+
+std::vector<int> DefaultStratumAllocation(int n, int total_rounds) {
+  FEDSHAP_CHECK(n >= 1);
+  FEDSHAP_CHECK(total_rounds >= 0);
+  std::vector<int> allocation(n, 0);
+  std::vector<uint64_t> capacity(n);
+  for (int k = 1; k <= n; ++k) capacity[k - 1] = BinomialU64(n, k);
+  int remaining = total_rounds;
+  // Round-robin one sample at a time so small budgets still touch every
+  // stratum (matching the framework's "each stratum gets m_k" spirit).
+  bool progressed = true;
+  while (remaining > 0 && progressed) {
+    progressed = false;
+    for (int k = 0; k < n && remaining > 0; ++k) {
+      if (static_cast<uint64_t>(allocation[k]) < capacity[k]) {
+        ++allocation[k];
+        --remaining;
+        progressed = true;
+      }
+    }
+  }
+  return allocation;
+}
+
+Result<ValuationResult> PerClientStratifiedShapley(
+    UtilitySession& session, const PerClientStratifiedConfig& config) {
+  const int n = session.num_clients();
+  if (n < 1) return Status::InvalidArgument("need at least one client");
+  if (config.samples_per_stratum < 1) {
+    return Status::InvalidArgument("samples_per_stratum must be >= 1");
+  }
+  Stopwatch timer;
+  Rng rng(config.seed);
+
+  std::vector<double> values(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double stratum_total = 0.0;
+    // Stratum k holds the coalitions S with |S| = k that exclude i.
+    for (int k = 0; k <= n - 1; ++k) {
+      const uint64_t population = BinomialU64(n - 1, k);
+      const int m = static_cast<int>(std::min<uint64_t>(
+          population, static_cast<uint64_t>(config.samples_per_stratum)));
+      double stratum_sum = 0.0;
+      for (int draw = 0; draw < m; ++draw) {
+        const Coalition s = RandomSubsetOfSizeExcluding(n, k, i, rng);
+        FEDSHAP_ASSIGN_OR_RETURN(const double u_with,
+                                 session.Evaluate(s.With(i)));
+        double u_pair = 0.0;
+        switch (config.scheme) {
+          case SvScheme::kMarginal: {
+            FEDSHAP_ASSIGN_OR_RETURN(u_pair, session.Evaluate(s));
+            break;
+          }
+          case SvScheme::kComplementary: {
+            FEDSHAP_ASSIGN_OR_RETURN(
+                u_pair, session.Evaluate(s.With(i).ComplementIn(n)));
+            break;
+          }
+        }
+        stratum_sum += u_with - u_pair;
+      }
+      stratum_total += stratum_sum / m;
+    }
+    values[i] = stratum_total / n;
+  }
+  return FinishValuation(std::move(values), session,
+                         timer.ElapsedSeconds());
+}
+
+std::vector<int> SmallestFirstAllocation(int n, int total_rounds) {
+  FEDSHAP_CHECK(n >= 1);
+  FEDSHAP_CHECK(total_rounds >= 0);
+  std::vector<uint64_t> capacity(n);
+  for (int k = 1; k <= n; ++k) capacity[k - 1] = BinomialU64(n, k);
+  // Stratum indices ordered by population, ties broken toward smaller k
+  // (singletons before the grand coalition's size-(n-1) mirror).
+  std::vector<int> order(n);
+  for (int k = 0; k < n; ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (capacity[a] != capacity[b]) return capacity[a] < capacity[b];
+    return a < b;
+  });
+  std::vector<int> allocation(n, 0);
+  int remaining = total_rounds;
+  // Pass 1: fully cover strata in ascending-population order. Sampling is
+  // with replacement, so budget each stratum by the coupon-collector bound
+  // N * (ln N + 5): a specific set is then missed with probability ~e^-5/N.
+  for (int k : order) {
+    if (remaining <= 0) break;
+    const double population = static_cast<double>(capacity[k]);
+    const double want_d = population * (std::log(population) + 5.0);
+    const int want = static_cast<int>(std::min(want_d, 1e6));
+    const int take = std::min(remaining, want);
+    allocation[k] = take;
+    remaining -= take;
+  }
+  // Pass 2: round-robin any leftover across all strata.
+  bool progressed = true;
+  while (remaining > 0 && progressed) {
+    progressed = false;
+    for (int k = 0; k < n && remaining > 0; ++k) {
+      ++allocation[k];
+      --remaining;
+      progressed = true;
+    }
+  }
+  return allocation;
+}
+
+Result<std::vector<int>> NeymanAllocation(UtilitySession& session,
+                                          int total_rounds,
+                                          int pilot_per_stratum,
+                                          uint64_t seed) {
+  const int n = session.num_clients();
+  if (n < 1) return Status::InvalidArgument("need at least one client");
+  if (pilot_per_stratum < 2) {
+    return Status::InvalidArgument("pilot needs >= 2 samples per stratum");
+  }
+  if (total_rounds < 2 * n * pilot_per_stratum) {
+    return Status::InvalidArgument(
+        "total_rounds too small for the requested pilot");
+  }
+  Rng rng(seed);
+
+  // Pilot: estimate the stddev of marginal contributions per stratum from
+  // a few sampled (S, S \ {i}) pairs.
+  std::vector<double> sigma(n, 0.0);
+  int pilot_evaluations = 0;
+  for (int k = 1; k <= n; ++k) {
+    std::vector<double> marginals;
+    for (int p = 0; p < pilot_per_stratum; ++p) {
+      Coalition s = RandomSubsetOfSize(n, k, rng);
+      const std::vector<int> members = s.Members();
+      const int i = members[rng.UniformInt(members.size())];
+      FEDSHAP_ASSIGN_OR_RETURN(const double u_s, session.Evaluate(s));
+      FEDSHAP_ASSIGN_OR_RETURN(const double u_without,
+                               session.Evaluate(s.Without(i)));
+      marginals.push_back(u_s - u_without);
+      pilot_evaluations += 2;
+    }
+    double mean = 0.0;
+    for (double m : marginals) mean += m;
+    mean /= marginals.size();
+    double var = 0.0;
+    for (double m : marginals) var += (m - mean) * (m - mean);
+    sigma[k - 1] = std::sqrt(var / (marginals.size() - 1));
+  }
+
+  // Neyman split of the remaining budget: m_k ~ sigma_k (equal stratum
+  // weights in the SV average). Degenerate pilots fall back to uniform.
+  const int remaining = total_rounds - pilot_evaluations;
+  double sigma_total = 0.0;
+  for (double s : sigma) sigma_total += s;
+  std::vector<int> allocation(n, 0);
+  if (sigma_total <= 0.0) {
+    return DefaultStratumAllocation(n, remaining);
+  }
+  int assigned = 0;
+  for (int k = 0; k < n; ++k) {
+    allocation[k] = static_cast<int>(remaining * sigma[k] / sigma_total);
+    assigned += allocation[k];
+  }
+  // Distribute rounding leftovers to the highest-sigma strata.
+  while (assigned < remaining) {
+    int best = 0;
+    for (int k = 1; k < n; ++k) {
+      if (sigma[k] > sigma[best]) best = k;
+    }
+    ++allocation[best];
+    ++assigned;
+  }
+  return allocation;
+}
+
+Result<ValuationResult> StratifiedSamplingShapley(
+    UtilitySession& session, const StratifiedConfig& config) {
+  const int n = session.num_clients();
+  if (n < 1) return Status::InvalidArgument("need at least one client");
+
+  std::vector<int> rounds = config.rounds_per_stratum;
+  if (rounds.empty()) {
+    rounds = DefaultStratumAllocation(n, config.total_rounds);
+  }
+  if (static_cast<int>(rounds.size()) != n) {
+    return Status::InvalidArgument(
+        "rounds_per_stratum must have n entries (m_1..m_n)");
+  }
+
+  Stopwatch timer;
+  Rng rng(config.seed);
+
+  // ---- Lines 1-8: sample and evaluate each stratum. ----
+  // sampled[k] holds the distinct coalitions drawn for stratum k (k=1..n):
+  // the paper's S_k is a set, so repeated i.i.d. draws collapse. Stratum 0
+  // is the empty coalition, treated as always available.
+  std::vector<std::unordered_set<Coalition, CoalitionHash>> sampled(n + 1);
+  std::vector<std::vector<Coalition>> draws(n + 1);  // distinct, in order
+  sampled[0].insert(Coalition());
+  FEDSHAP_ASSIGN_OR_RETURN(double u_empty, session.Evaluate(Coalition()));
+  (void)u_empty;
+  for (int k = 1; k <= n; ++k) {
+    const int m_k = rounds[k - 1];
+    for (int s = 0; s < m_k; ++s) {
+      Coalition c = RandomSubsetOfSize(n, k, rng);
+      if (!sampled[k].insert(c).second) continue;  // duplicate draw
+      draws[k].push_back(c);
+      FEDSHAP_ASSIGN_OR_RETURN(double u, session.Evaluate(c));
+      (void)u;
+    }
+  }
+
+  // ---- Lines 9-17: average paired differences within each stratum. ----
+  std::vector<double> values(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double stratum_sum_total = 0.0;
+    for (int k = 1; k <= n; ++k) {
+      double stratum_sum = 0.0;
+      int stratum_count = 0;
+      for (const Coalition& s : draws[k]) {
+        if (!s.Contains(i)) continue;
+        Coalition paired;
+        bool pair_available = false;
+        switch (config.scheme) {
+          case SvScheme::kMarginal: {
+            paired = s.Without(i);
+            pair_available = sampled[k - 1].count(paired) > 0;
+            break;
+          }
+          case SvScheme::kComplementary: {
+            paired = s.ComplementIn(n);
+            const int pk = paired.Count();
+            pair_available = pk <= n && sampled[pk].count(paired) > 0;
+            break;
+          }
+        }
+        if (!pair_available &&
+            config.pair_policy == PairPolicy::kRequireSampled) {
+          continue;
+        }
+        FEDSHAP_ASSIGN_OR_RETURN(double u_s, session.Evaluate(s));
+        FEDSHAP_ASSIGN_OR_RETURN(double u_pair, session.Evaluate(paired));
+        stratum_sum += u_s - u_pair;
+        ++stratum_count;
+      }
+      if (stratum_count > 0) {
+        stratum_sum_total += stratum_sum / stratum_count;
+      }
+    }
+    values[i] = stratum_sum_total / n;
+  }
+
+  return FinishValuation(std::move(values), session,
+                         timer.ElapsedSeconds());
+}
+
+}  // namespace fedshap

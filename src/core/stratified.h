@@ -1,0 +1,112 @@
+#ifndef FEDSHAP_CORE_STRATIFIED_H_
+#define FEDSHAP_CORE_STRATIFIED_H_
+
+#include <vector>
+
+#include "core/valuation_result.h"
+#include "fl/utility_cache.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Which equivalent Shapley expression the framework plugs in (Sec. II-B).
+enum class SvScheme {
+  kMarginal,        // MC-SV (Def. 3): pair S with S \ {i}
+  kComplementary,   // CC-SV (Def. 5): pair S with N \ S
+};
+
+const char* SvSchemeName(SvScheme scheme);
+
+/// How Alg. 1 handles a sampled coalition whose paired combination (S\{i}
+/// for MC, N\S for CC) was not itself drawn.
+enum class PairPolicy {
+  /// Strictly Alg. 1 line 11: the pair must have been sampled, otherwise
+  /// the contribution is skipped (and a stratum with no pairs contributes
+  /// zero). Total evaluations stay within gamma.
+  kRequireSampled,
+  /// Evaluate missing pairs on demand (extra evaluations are charged).
+  /// This is the idealized estimator of the paper's Theorem 1/2 analysis,
+  /// which writes the paired difference unconditionally — unbiased, at the
+  /// cost of up to |S| extra evaluations per sampled coalition.
+  kEvaluateOnDemand,
+};
+
+/// Configuration of Alg. 1 (unified stratified sampling framework).
+struct StratifiedConfig {
+  SvScheme scheme = SvScheme::kMarginal;
+  PairPolicy pair_policy = PairPolicy::kRequireSampled;
+  /// Total sampling rounds gamma. Split across strata k = 1..n as evenly as
+  /// possible (clipped to each stratum's population C(n, k)) unless
+  /// `rounds_per_stratum` overrides the allocation.
+  int total_rounds = 32;
+  /// Optional explicit m_k for k = 1..n (size n). Overrides total_rounds.
+  std::vector<int> rounds_per_stratum;
+  /// Seed of the sampling randomness.
+  uint64_t seed = 1;
+};
+
+/// Alg. 1: unified stratified-sampling approximation of the Shapley value,
+/// hosting both the MC-SV and CC-SV computation schemes.
+///
+/// For each stratum k it draws m_k coalitions of size k i.i.d. uniformly,
+/// keeps the distinct ones (the paper's S_k is a set), evaluates them, then
+/// averages paired differences within each stratum: a sampled S
+/// contributes U(S) - U(S\{i}) for each member i (MC) or U(S) - U(N\S)
+/// (CC), subject to `pair_policy`. The empty coalition counts as always
+/// sampled (its "model" is the initial one), mirroring the paper's worked
+/// Example 2. Strata where a client collected no pairs contribute zero, as
+/// in Alg. 1 line 17.
+Result<ValuationResult> StratifiedSamplingShapley(
+    UtilitySession& session, const StratifiedConfig& config);
+
+/// The default allocation of `total_rounds` over strata 1..n used when
+/// `rounds_per_stratum` is empty: round-robin, clipped at C(n, k).
+/// Exposed for tests and for configuring paired MC/CC comparisons.
+std::vector<int> DefaultStratumAllocation(int n, int total_rounds);
+
+/// Configuration of the per-client stratified estimator.
+struct PerClientStratifiedConfig {
+  SvScheme scheme = SvScheme::kMarginal;
+  /// Samples drawn per (client, stratum) pair: the m_{i,k} of Alg. 1 with
+  /// equal allocation. Every client gets every stratum — no coverage gaps.
+  int samples_per_stratum = 2;
+  uint64_t seed = 1;
+};
+
+/// Per-client stratified sampling: the reading of Alg. 1 in which each
+/// client i draws m_{i,k} coalitions S (S !ni i, |S| = k) per stratum and
+/// averages the paired differences — U(S u i) - U(S) for MC-SV,
+/// U(S u i) - U(N \ (S u i)) for CC-SV. Unlike the shared-pool variant
+/// above, every client's estimate covers every stratum by construction,
+/// which is the regime of the Thm. 1 unbiasedness and Thm. 2 variance
+/// analysis (and of the Fig. 10 experiment). Shared coalitions across
+/// clients deduplicate through the utility cache.
+Result<ValuationResult> PerClientStratifiedShapley(
+    UtilitySession& session, const PerClientStratifiedConfig& config);
+
+/// Allocation that exhausts the smallest strata first (stratum populations
+/// C(n, k) sorted ascending), then round-robins the remaining budget over
+/// the rest. With any non-trivial budget this covers the n singletons and
+/// the grand coalition, anchoring every client's estimate with its largest
+/// marginal term — the practical regime in which Thm. 2's MC-vs-CC
+/// variance comparison applies (and the strategy used by the Fig. 10
+/// bench). The framework leaves the strategy free; this is one sensible
+/// instance.
+std::vector<int> SmallestFirstAllocation(int n, int total_rounds);
+
+/// Pilot-based Neyman allocation (an extension hook — Alg. 1 deliberately
+/// imposes no constraint on the m_k): spends `pilot_per_stratum` sampled
+/// marginal contributions per stratum to estimate each stratum's standard
+/// deviation, then splits the remaining budget proportionally to the
+/// estimated sigmas (classic Neyman allocation with equal stratum
+/// weights). The pilot evaluations go through `session` and are charged
+/// like any others. Returns m_1..m_n summing to at most `total_rounds`
+/// (the pilot included).
+Result<std::vector<int>> NeymanAllocation(UtilitySession& session,
+                                          int total_rounds,
+                                          int pilot_per_stratum,
+                                          uint64_t seed);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_CORE_STRATIFIED_H_

@@ -1,0 +1,127 @@
+#include "core/valuation_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace fedshap {
+
+double RelativeL2Error(const std::vector<double>& exact,
+                       const std::vector<double>& approx) {
+  FEDSHAP_CHECK(exact.size() == approx.size());
+  double diff_sq = 0.0;
+  double exact_sq = 0.0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    const double d = approx[i] - exact[i];
+    diff_sq += d * d;
+    exact_sq += exact[i] * exact[i];
+  }
+  if (exact_sq == 0.0) {
+    return diff_sq == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::sqrt(diff_sq) / std::sqrt(exact_sq);
+}
+
+namespace {
+
+/// Average ranks with ties sharing the mean of their rank range.
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double mean_rank = 0.5 * (i + j) + 1.0;  // 1-based
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = mean_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  FEDSHAP_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+  const std::vector<double> ra = AverageRanks(a);
+  const std::vector<double> rb = AverageRanks(b);
+  const double mean = (n + 1) / 2.0;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = ra[i] - mean;
+    const double db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double KendallTau(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  FEDSHAP_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+  long concordant = 0, discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double product = da * db;
+      if (product > 0) {
+        ++concordant;
+      } else if (product < 0) {
+        ++discordant;
+      }
+      // Ties in either vector count as neither (tau-a convention).
+    }
+  }
+  const double pairs = 0.5 * n * (n - 1);
+  return (concordant - discordant) / pairs;
+}
+
+Result<FairnessProxyError> ComputeFairnessProxies(
+    const std::vector<double>& values, const std::vector<int>& null_players,
+    const std::vector<std::pair<int, int>>& duplicate_pairs) {
+  const int n = static_cast<int>(values.size());
+  double total_mass = 0.0;
+  for (double v : values) total_mass += std::fabs(v);
+  if (total_mass == 0.0) total_mass = 1.0;  // all-zero valuation: errors 0
+
+  FairnessProxyError error;
+  for (int j : null_players) {
+    if (j < 0 || j >= n) {
+      return Status::InvalidArgument("null player index out of range");
+    }
+    error.free_rider += std::fabs(values[j]);
+  }
+  for (const auto& [a, b] : duplicate_pairs) {
+    if (a < 0 || a >= n || b < 0 || b >= n) {
+      return Status::InvalidArgument("duplicate pair index out of range");
+    }
+    error.symmetry += std::fabs(values[a] - values[b]);
+  }
+  error.free_rider /= total_mass;
+  error.symmetry /= total_mass;
+  error.combined = error.free_rider + error.symmetry;
+  return error;
+}
+
+double EfficiencyResidual(const std::vector<double>& values, double u_full,
+                          double u_empty) {
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  return std::fabs(total - (u_full - u_empty));
+}
+
+}  // namespace fedshap

@@ -1,0 +1,54 @@
+#ifndef FEDSHAP_CORE_VALUATION_METRICS_H_
+#define FEDSHAP_CORE_VALUATION_METRICS_H_
+
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedshap {
+
+/// The paper's approximation-error metric (Eq. 21): relative error in
+/// l2 norm, ||approx - exact||_2 / ||exact||_2. Returns +inf when the exact
+/// vector has zero norm but the approximation does not, 0 when both do.
+double RelativeL2Error(const std::vector<double>& exact,
+                       const std::vector<double>& approx);
+
+/// Spearman rank correlation between two valuations (ties get averaged
+/// ranks). 1.0 = identical ranking. Useful beyond the paper: payment
+/// schemes mostly need the *ranking* of providers.
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Kendall tau-a rank correlation: (concordant - discordant) pairs over
+/// all pairs. More robust than Spearman to a single displaced client;
+/// O(n^2), fine for cross-silo n.
+double KendallTau(const std::vector<double>& a,
+                  const std::vector<double>& b);
+
+/// Fairness-property proxies used when the ground truth is intractable
+/// (Fig. 9, 20..100 clients).
+struct FairnessProxyError {
+  /// Mass wrongly assigned to known null players (free riders):
+  /// sum_{j in nulls} |phi_j| / sum_i |phi_i|.
+  double free_rider = 0.0;
+  /// Violation of symmetric fairness over known duplicate pairs:
+  /// sum_{(a,b)} |phi_a - phi_b| / sum_i |phi_i|.
+  double symmetry = 0.0;
+  /// free_rider + symmetry (the scalar reported by the scalability bench).
+  double combined = 0.0;
+};
+
+/// Computes the proxies given the planted structure: `null_players` are
+/// clients whose dataset is empty; `duplicate_pairs` hold the same data.
+Result<FairnessProxyError> ComputeFairnessProxies(
+    const std::vector<double>& values, const std::vector<int>& null_players,
+    const std::vector<std::pair<int, int>>& duplicate_pairs);
+
+/// Efficiency-axiom residual: |sum_i phi_i - (u_full - u_empty)|.
+double EfficiencyResidual(const std::vector<double>& values, double u_full,
+                          double u_empty);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_CORE_VALUATION_METRICS_H_

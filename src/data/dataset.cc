@@ -1,0 +1,129 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace fedshap {
+
+Result<Dataset> Dataset::Create(int num_features, int num_classes) {
+  if (num_features <= 0) {
+    return Status::InvalidArgument("num_features must be positive");
+  }
+  if (num_classes < 0) {
+    return Status::InvalidArgument("num_classes must be >= 0");
+  }
+  return Dataset(num_features, num_classes);
+}
+
+void Dataset::Reserve(size_t rows) {
+  features_.reserve(features_.size() +
+                    rows * static_cast<size_t>(num_features_));
+  labels_.reserve(labels_.size() + rows);
+}
+
+void Dataset::Append(const float* features, float target) {
+  FEDSHAP_CHECK(num_features_ > 0);
+  features_.insert(features_.end(), features, features + num_features_);
+  labels_.push_back(target);
+}
+
+void Dataset::Append(const std::vector<float>& features, float target) {
+  FEDSHAP_CHECK(static_cast<int>(features.size()) == num_features_);
+  Append(features.data(), target);
+}
+
+int Dataset::ClassLabel(size_t i) const {
+  FEDSHAP_CHECK(num_classes_ > 0);
+  int label = static_cast<int>(std::lround(labels_[i]));
+  FEDSHAP_DCHECK(label >= 0 && label < num_classes_);
+  return label;
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out(num_features_, num_classes_);
+  out.Reserve(indices.size());
+  for (size_t idx : indices) {
+    FEDSHAP_CHECK(idx < size());
+    out.Append(Row(idx), labels_[idx]);
+  }
+  return out;
+}
+
+Dataset Dataset::Head(size_t count) const {
+  count = std::min(count, size());
+  Dataset out(num_features_, num_classes_);
+  out.Reserve(count);
+  for (size_t i = 0; i < count; ++i) out.Append(Row(i), labels_[i]);
+  return out;
+}
+
+Result<Dataset> Dataset::Merge(const std::vector<const Dataset*>& parts) {
+  int num_features = 0;
+  int num_classes = 0;
+  size_t total = 0;
+  for (const Dataset* part : parts) {
+    if (part == nullptr || part->empty()) continue;
+    if (num_features == 0) {
+      num_features = part->num_features();
+      num_classes = part->num_classes();
+    } else if (part->num_features() != num_features ||
+               part->num_classes() != num_classes) {
+      return Status::InvalidArgument(
+          "cannot merge datasets with different schemas");
+    }
+    total += part->size();
+  }
+  if (num_features == 0) {
+    // All parts empty: produce an empty 1-feature dataset so callers can
+    // still ask for size()==0. Schema is irrelevant for an empty set.
+    return Dataset(1, 0);
+  }
+  Dataset out(num_features, num_classes);
+  out.Reserve(total);
+  for (const Dataset* part : parts) {
+    if (part == nullptr || part->empty()) continue;
+    for (size_t i = 0; i < part->size(); ++i) {
+      out.Append(part->Row(i), part->Target(i));
+    }
+  }
+  return out;
+}
+
+void Dataset::Shuffle(Rng& rng) {
+  std::vector<size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  *this = Subset(order);
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction,
+                                           Rng& rng) const {
+  FEDSHAP_CHECK(train_fraction >= 0.0 && train_fraction <= 1.0);
+  std::vector<size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  size_t train_rows = static_cast<size_t>(train_fraction * size());
+  std::vector<size_t> train_idx(order.begin(), order.begin() + train_rows);
+  std::vector<size_t> test_idx(order.begin() + train_rows, order.end());
+  return {Subset(train_idx), Subset(test_idx)};
+}
+
+std::vector<size_t> Dataset::ClassHistogram() const {
+  FEDSHAP_CHECK(num_classes_ > 0);
+  std::vector<size_t> histogram(num_classes_, 0);
+  for (size_t i = 0; i < size(); ++i) ++histogram[ClassLabel(i)];
+  return histogram;
+}
+
+std::string Dataset::DebugString() const {
+  std::ostringstream os;
+  os << "Dataset(rows=" << size() << ", features=" << num_features_
+     << ", classes=" << num_classes_ << ")";
+  return os.str();
+}
+
+}  // namespace fedshap

@@ -1,0 +1,91 @@
+#ifndef FEDSHAP_DATA_DATASET_H_
+#define FEDSHAP_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// In-memory dense dataset: row-major float features plus one target per row.
+///
+/// Serves both classification (targets are class ids stored as float;
+/// `num_classes() > 0`) and regression (`num_classes() == 0`). This is the
+/// unit a FL client owns (the D_i of the paper) and what FedAvg trains on.
+class Dataset {
+ public:
+  /// Creates an empty dataset with the given schema. `num_classes == 0`
+  /// denotes a regression target.
+  static Result<Dataset> Create(int num_features, int num_classes);
+
+  Dataset() = default;
+
+  int num_features() const { return num_features_; }
+  int num_classes() const { return num_classes_; }
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  /// Pre-allocates storage for `rows` additional rows.
+  void Reserve(size_t rows);
+
+  /// Appends one example. `features` must contain num_features() values.
+  void Append(const float* features, float target);
+  void Append(const std::vector<float>& features, float target);
+
+  /// Pointer to row i's feature vector (num_features() floats).
+  const float* Row(size_t i) const {
+    return features_.data() + i * static_cast<size_t>(num_features_);
+  }
+  float* MutableRow(size_t i) {
+    return features_.data() + i * static_cast<size_t>(num_features_);
+  }
+
+  float Target(size_t i) const { return labels_[i]; }
+  void SetTarget(size_t i, float target) { labels_[i] = target; }
+
+  /// Class id of row i; only valid for classification datasets.
+  int ClassLabel(size_t i) const;
+
+  /// Contiguous feature storage (size() * num_features() floats).
+  const std::vector<float>& features() const { return features_; }
+  const std::vector<float>& targets() const { return labels_; }
+
+  /// New dataset holding the selected rows (copies data).
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Returns the first `count` rows as a new dataset.
+  Dataset Head(size_t count) const;
+
+  /// Concatenates datasets with identical schemas. Null entries and empty
+  /// datasets are allowed (they contribute nothing); this is how the FL
+  /// server materializes the coalition dataset D_S = union of D_i.
+  static Result<Dataset> Merge(const std::vector<const Dataset*>& parts);
+
+  /// Randomly permutes the rows in place.
+  void Shuffle(Rng& rng);
+
+  /// Splits into (train, test) with `train_fraction` of rows (rounded down)
+  /// in the first part, after an in-place shuffle of the copy.
+  std::pair<Dataset, Dataset> Split(double train_fraction, Rng& rng) const;
+
+  /// Per-class row counts (classification only).
+  std::vector<size_t> ClassHistogram() const;
+
+  std::string DebugString() const;
+
+ private:
+  Dataset(int num_features, int num_classes)
+      : num_features_(num_features), num_classes_(num_classes) {}
+
+  int num_features_ = 0;
+  int num_classes_ = 0;
+  std::vector<float> features_;
+  std::vector<float> labels_;
+};
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_DATA_DATASET_H_

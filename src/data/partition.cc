@@ -1,0 +1,275 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace fedshap {
+
+namespace {
+
+/// Splits shuffled indices into contiguous chunks with the given sizes.
+std::vector<std::vector<size_t>> Chunk(const std::vector<size_t>& order,
+                                       const std::vector<size_t>& sizes) {
+  std::vector<std::vector<size_t>> chunks;
+  size_t cursor = 0;
+  for (size_t sz : sizes) {
+    std::vector<size_t> chunk(order.begin() + cursor,
+                              order.begin() + cursor + sz);
+    cursor += sz;
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+/// Equal sizes summing to at most `total` (remainder rows are dropped so all
+/// clients match exactly, as in the paper's same-size setups).
+std::vector<size_t> EqualSizes(size_t total, int parts) {
+  std::vector<size_t> sizes(parts, total / parts);
+  return sizes;
+}
+
+}  // namespace
+
+const char* PartitionSchemeName(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kSameSizeSameDist:
+      return "same-size-same-distr";
+    case PartitionScheme::kSameSizeDiffDist:
+      return "same-size-diff-distr";
+    case PartitionScheme::kDiffSizeSameDist:
+      return "diff-size-same-distr";
+    case PartitionScheme::kSameSizeNoisyLabel:
+      return "same-size-noisy-label";
+    case PartitionScheme::kSameSizeNoisyFeature:
+      return "same-size-noisy-feature";
+  }
+  return "unknown";
+}
+
+Result<std::vector<Dataset>> PartitionDataset(const Dataset& data,
+                                              const PartitionConfig& config,
+                                              Rng& rng) {
+  const int n = config.num_clients;
+  if (n < 1) return Status::InvalidArgument("num_clients must be >= 1");
+  if (data.size() < static_cast<size_t>(n)) {
+    return Status::InvalidArgument("fewer rows than clients");
+  }
+
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  std::vector<Dataset> clients;
+
+  switch (config.scheme) {
+    case PartitionScheme::kSameSizeSameDist:
+    case PartitionScheme::kSameSizeNoisyLabel:
+    case PartitionScheme::kSameSizeNoisyFeature: {
+      auto chunks = Chunk(order, EqualSizes(data.size(), n));
+      for (auto& chunk : chunks) clients.push_back(data.Subset(chunk));
+      break;
+    }
+    case PartitionScheme::kDiffSizeSameDist: {
+      // Sizes proportional to 1 : 2 : ... : n.
+      size_t denom = static_cast<size_t>(n) * (n + 1) / 2;
+      std::vector<size_t> sizes(n);
+      for (int i = 0; i < n; ++i) {
+        sizes[i] = data.size() * static_cast<size_t>(i + 1) / denom;
+        if (sizes[i] == 0) sizes[i] = 1;
+      }
+      // Clamp so the total never exceeds available rows.
+      size_t total = std::accumulate(sizes.begin(), sizes.end(), size_t{0});
+      while (total > data.size()) {
+        for (int i = n - 1; i >= 0 && total > data.size(); --i) {
+          if (sizes[i] > 1) {
+            --sizes[i];
+            --total;
+          }
+        }
+      }
+      auto chunks = Chunk(order, sizes);
+      for (auto& chunk : chunks) clients.push_back(data.Subset(chunk));
+      break;
+    }
+    case PartitionScheme::kSameSizeDiffDist: {
+      if (data.num_classes() < 2) {
+        return Status::InvalidArgument(
+            "label-skew partition needs a classification dataset");
+      }
+      // Bucket rows by class, then fill each client with `label_skew`
+      // dominant-class rows and uniform remainder.
+      std::vector<std::vector<size_t>> by_class(data.num_classes());
+      for (size_t idx : order) by_class[data.ClassLabel(idx)].push_back(idx);
+      std::vector<size_t> next_in_class(data.num_classes(), 0);
+      size_t per_client = data.size() / n;
+
+      // Round-robin cursor over classes for the uniform remainder.
+      int uniform_cursor = 0;
+      auto take_from_class = [&](int cls) -> int {
+        // Returns a row of class `cls`, or -1 when exhausted.
+        if (next_in_class[cls] < by_class[cls].size()) {
+          return static_cast<int>(by_class[cls][next_in_class[cls]++]);
+        }
+        return -1;
+      };
+      auto take_any = [&]() -> int {
+        for (int tries = 0; tries < data.num_classes(); ++tries) {
+          int cls = uniform_cursor;
+          uniform_cursor = (uniform_cursor + 1) % data.num_classes();
+          int row = take_from_class(cls);
+          if (row >= 0) return row;
+        }
+        return -1;
+      };
+
+      for (int i = 0; i < n; ++i) {
+        int dominant = i % data.num_classes();
+        std::vector<size_t> rows;
+        rows.reserve(per_client);
+        size_t dominant_quota =
+            static_cast<size_t>(config.label_skew * per_client);
+        for (size_t r = 0; r < per_client; ++r) {
+          int row = (r < dominant_quota) ? take_from_class(dominant) : -1;
+          if (row < 0) row = take_any();
+          if (row < 0) break;  // Source exhausted.
+          rows.push_back(static_cast<size_t>(row));
+        }
+        clients.push_back(data.Subset(rows));
+      }
+      break;
+    }
+  }
+
+  // Per-client quality degradation for the noisy setups: client i gets noise
+  // level i/(n-1) * max (client 0 is clean, client n-1 the noisiest).
+  if (config.scheme == PartitionScheme::kSameSizeNoisyLabel) {
+    for (int i = 0; i < n; ++i) {
+      double level =
+          (n == 1) ? 0.0 : config.max_label_noise * i / (n - 1.0);
+      FEDSHAP_RETURN_NOT_OK(FlipLabels(clients[i], level, rng));
+    }
+  } else if (config.scheme == PartitionScheme::kSameSizeNoisyFeature) {
+    for (int i = 0; i < n; ++i) {
+      double level =
+          (n == 1) ? 0.0 : config.max_feature_noise * i / (n - 1.0);
+      FEDSHAP_RETURN_NOT_OK(AddFeatureNoise(clients[i], level, rng));
+    }
+  }
+
+  return clients;
+}
+
+Result<std::vector<Dataset>> PartitionByGroup(const FederatedSource& source,
+                                              int num_clients, Rng& rng) {
+  if (num_clients < 1) {
+    return Status::InvalidArgument("num_clients must be >= 1");
+  }
+  if (source.num_groups < num_clients) {
+    return Status::InvalidArgument(
+        "need at least as many groups as clients");
+  }
+  // Randomly assign whole groups to clients, round-robin over a shuffled
+  // group order so client sizes stay balanced in expectation.
+  std::vector<int> group_order(source.num_groups);
+  std::iota(group_order.begin(), group_order.end(), 0);
+  rng.Shuffle(group_order);
+  std::vector<int> group_to_client(source.num_groups);
+  for (int g = 0; g < source.num_groups; ++g) {
+    group_to_client[group_order[g]] = g % num_clients;
+  }
+
+  std::vector<std::vector<size_t>> rows_per_client(num_clients);
+  for (size_t i = 0; i < source.data.size(); ++i) {
+    int group = source.group_ids[i];
+    FEDSHAP_CHECK(group >= 0 && group < source.num_groups);
+    rows_per_client[group_to_client[group]].push_back(i);
+  }
+  std::vector<Dataset> clients;
+  clients.reserve(num_clients);
+  for (int i = 0; i < num_clients; ++i) {
+    clients.push_back(source.data.Subset(rows_per_client[i]));
+  }
+  return clients;
+}
+
+Result<std::vector<Dataset>> PartitionDirichlet(const Dataset& data,
+                                                int num_clients,
+                                                double alpha, Rng& rng) {
+  if (num_clients < 1) {
+    return Status::InvalidArgument("num_clients must be >= 1");
+  }
+  if (alpha <= 0.0) return Status::InvalidArgument("alpha must be > 0");
+  if (data.num_classes() < 2) {
+    return Status::InvalidArgument(
+        "Dirichlet partition needs a classification dataset");
+  }
+  // Bucket shuffled rows by class.
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  std::vector<std::vector<size_t>> by_class(data.num_classes());
+  for (size_t idx : order) by_class[data.ClassLabel(idx)].push_back(idx);
+
+  std::vector<std::vector<size_t>> rows_per_client(num_clients);
+  for (int cls = 0; cls < data.num_classes(); ++cls) {
+    const std::vector<size_t>& rows = by_class[cls];
+    if (rows.empty()) continue;
+    const std::vector<double> shares = rng.Dirichlet(alpha, num_clients);
+    // Cumulative-share boundaries chop this class's rows into slices.
+    size_t cursor = 0;
+    double cumulative = 0.0;
+    for (int client = 0; client < num_clients; ++client) {
+      cumulative += shares[client];
+      const size_t boundary =
+          (client == num_clients - 1)
+              ? rows.size()
+              : static_cast<size_t>(cumulative * rows.size());
+      for (; cursor < boundary && cursor < rows.size(); ++cursor) {
+        rows_per_client[client].push_back(rows[cursor]);
+      }
+    }
+  }
+  std::vector<Dataset> clients;
+  clients.reserve(num_clients);
+  for (int client = 0; client < num_clients; ++client) {
+    clients.push_back(data.Subset(rows_per_client[client]));
+  }
+  return clients;
+}
+
+Status FlipLabels(Dataset& data, double fraction, Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0, 1]");
+  }
+  if (data.num_classes() < 2) {
+    return Status::InvalidArgument("label flipping needs >= 2 classes");
+  }
+  size_t flips = static_cast<size_t>(fraction * data.size());
+  std::vector<int> rows = rng.SampleWithoutReplacement(
+      static_cast<int>(data.size()), static_cast<int>(flips));
+  for (int row : rows) {
+    int old_label = data.ClassLabel(row);
+    // Uniform over the other labels.
+    int offset = static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(data.num_classes() - 1)));
+    int new_label = (old_label + 1 + offset) % data.num_classes();
+    data.SetTarget(row, static_cast<float>(new_label));
+  }
+  return Status::OK();
+}
+
+Status AddFeatureNoise(Dataset& data, double scale, Rng& rng) {
+  if (scale < 0.0) return Status::InvalidArgument("scale must be >= 0");
+  if (scale == 0.0) return Status::OK();
+  for (size_t i = 0; i < data.size(); ++i) {
+    float* row = data.MutableRow(i);
+    for (int d = 0; d < data.num_features(); ++d) {
+      row[d] += static_cast<float>(scale * rng.Gaussian());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fedshap

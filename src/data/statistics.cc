@@ -1,0 +1,90 @@
+#include "data/statistics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace fedshap {
+
+DatasetSummary Summarize(const Dataset& data) {
+  DatasetSummary summary;
+  summary.rows = data.size();
+  summary.num_features = data.num_features();
+  summary.num_classes = data.num_classes();
+  if (data.empty()) return summary;
+
+  const int d = data.num_features();
+  summary.feature_mean.assign(d, 0.0);
+  summary.feature_stddev.assign(d, 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const float* row = data.Row(i);
+    for (int f = 0; f < d; ++f) summary.feature_mean[f] += row[f];
+  }
+  for (int f = 0; f < d; ++f) {
+    summary.feature_mean[f] /= static_cast<double>(data.size());
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    const float* row = data.Row(i);
+    for (int f = 0; f < d; ++f) {
+      const double diff = row[f] - summary.feature_mean[f];
+      summary.feature_stddev[f] += diff * diff;
+    }
+  }
+  for (int f = 0; f < d; ++f) {
+    summary.feature_stddev[f] =
+        std::sqrt(summary.feature_stddev[f] / data.size());
+  }
+
+  if (data.num_classes() > 0) {
+    summary.class_counts = data.ClassHistogram();
+    for (size_t count : summary.class_counts) {
+      if (count == 0) continue;
+      const double p = static_cast<double>(count) / data.size();
+      summary.label_entropy_bits -= p * std::log2(p);
+    }
+  }
+  return summary;
+}
+
+double ClientDrift(const std::vector<Dataset>& clients) {
+  // Global mean over all rows.
+  std::vector<double> global;
+  size_t total_rows = 0;
+  int non_empty = 0;
+  for (const Dataset& client : clients) {
+    if (client.empty()) continue;
+    ++non_empty;
+    if (global.empty()) global.assign(client.num_features(), 0.0);
+    for (size_t i = 0; i < client.size(); ++i) {
+      const float* row = client.Row(i);
+      for (size_t f = 0; f < global.size(); ++f) global[f] += row[f];
+    }
+    total_rows += client.size();
+  }
+  if (non_empty < 2 || total_rows == 0) return 0.0;
+  for (double& g : global) g /= static_cast<double>(total_rows);
+
+  double drift = 0.0;
+  for (const Dataset& client : clients) {
+    if (client.empty()) continue;
+    DatasetSummary summary = Summarize(client);
+    double distance_sq = 0.0;
+    for (size_t f = 0; f < global.size(); ++f) {
+      const double diff = summary.feature_mean[f] - global[f];
+      distance_sq += diff * diff;
+    }
+    drift += std::sqrt(distance_sq);
+  }
+  return drift / non_empty;
+}
+
+std::string SummaryToString(const DatasetSummary& summary) {
+  std::ostringstream os;
+  os << "rows=" << summary.rows << " features=" << summary.num_features;
+  if (summary.num_classes > 0) {
+    os << " classes=" << summary.num_classes << " entropy="
+       << std::round(summary.label_entropy_bits * 100.0) / 100.0 << "b";
+  }
+  return os.str();
+}
+
+}  // namespace fedshap

@@ -1,0 +1,44 @@
+#ifndef FEDSHAP_DATA_STATISTICS_H_
+#define FEDSHAP_DATA_STATISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Descriptive statistics of one dataset / client shard. Used by the
+/// examples to explain *why* a client's data value is high or low, and by
+/// federation-level heterogeneity diagnostics.
+struct DatasetSummary {
+  size_t rows = 0;
+  int num_features = 0;
+  int num_classes = 0;  // 0 for regression
+  /// Per-feature mean and standard deviation.
+  std::vector<double> feature_mean;
+  std::vector<double> feature_stddev;
+  /// Classification only: per-class counts and the Shannon entropy of the
+  /// label distribution in bits (log2). Uniform labels over C classes give
+  /// log2(C); a single-class shard gives 0.
+  std::vector<size_t> class_counts;
+  double label_entropy_bits = 0.0;
+};
+
+/// Computes summary statistics. Works for empty datasets (all-zero
+/// summary).
+DatasetSummary Summarize(const Dataset& data);
+
+/// Federation-level heterogeneity: the average L2 distance between each
+/// client's per-feature mean vector and the global mean ("client drift").
+/// Clients with no rows are skipped. Returns 0 for fewer than two
+/// non-empty clients.
+double ClientDrift(const std::vector<Dataset>& clients);
+
+/// One-line rendering, e.g. "rows=120 classes=10 entropy=3.31b".
+std::string SummaryToString(const DatasetSummary& summary);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_DATA_STATISTICS_H_

@@ -1,0 +1,85 @@
+#ifndef FEDSHAP_DATA_SYNTHETIC_H_
+#define FEDSHAP_DATA_SYNTHETIC_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// A generated dataset plus per-row group ids used by "natural" federated
+/// partitions (FEMNIST partitions by writer, Adult by occupation).
+struct FederatedSource {
+  Dataset data;
+  /// group_ids[i] in [0, num_groups) identifies which writer / occupation
+  /// produced row i.
+  std::vector<int> group_ids;
+  int num_groups = 0;
+};
+
+/// Configuration for the synthetic handwritten-digit generator.
+///
+/// Stands in for MNIST / FEMNIST (no bundled datasets in this offline
+/// build): each class has a smooth random prototype image; each *writer*
+/// perturbs the prototypes with a personal style offset, which is what makes
+/// writer-based partitions non-IID exactly like FEMNIST's user split.
+struct DigitsConfig {
+  /// Images are image_size x image_size single-channel, flattened row-major.
+  int image_size = 8;
+  int num_classes = 10;
+  /// Per-pixel Gaussian observation noise.
+  double pixel_noise = 0.25;
+  /// Number of distinct writers (>= 1). With 1 writer the data is IID.
+  int num_writers = 1;
+  /// Strength of the per-writer style perturbation.
+  double writer_shift = 0.35;
+  /// Seed controlling the class prototypes (fixed across clients so the
+  /// learning problem is shared; per-sample noise comes from the Rng).
+  uint64_t prototype_seed = 1234;
+};
+
+/// Generates `num_samples` digit images. Rows carry writer ids in
+/// `group_ids` so the FEMNIST-style partition can split by writer.
+Result<FederatedSource> GenerateDigits(const DigitsConfig& config,
+                                       size_t num_samples, Rng& rng);
+
+/// Configuration for the synthetic census-income generator ("Adult"-like).
+///
+/// 14 mixed-type features mirroring the Adult schema (age, education,
+/// hours-per-week, capital gain/loss, encoded categoricals, ...); the binary
+/// target is a noisy nonlinear function of a latent income propensity. Rows
+/// carry an occupation id used for the natural partition.
+struct TabularConfig {
+  int num_occupations = 12;
+  /// Label noise: probability of flipping the income label.
+  double label_noise = 0.02;
+  uint64_t schema_seed = 97;
+};
+
+/// Number of features produced by GenerateTabular (fixed schema).
+constexpr int kTabularFeatures = 14;
+
+Result<FederatedSource> GenerateTabular(const TabularConfig& config,
+                                        size_t num_samples, Rng& rng);
+
+/// Configuration for the linear-regression generator used by the theory
+/// benches (Donahue & Kleinberg model: x ~ N(0, I), y = w.x + eps).
+struct RegressionConfig {
+  int dim = 10;
+  double noise_stddev = 1.0;
+  uint64_t weight_seed = 7;
+};
+
+Result<Dataset> GenerateRegression(const RegressionConfig& config,
+                                   size_t num_samples, Rng& rng);
+
+/// Generates a simple two-class Gaussian-blob problem; handy for fast unit
+/// tests of models and FL training.
+Result<Dataset> GenerateBlobs(int num_classes, int dim, double separation,
+                              size_t num_samples, Rng& rng);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_DATA_SYNTHETIC_H_

@@ -1,0 +1,16 @@
+#include "fl/client.h"
+
+namespace fedshap {
+
+Result<std::vector<float>> FlClient::LocalUpdate(
+    const std::vector<float>& global_params, Model& model,
+    const SgdConfig& config, Rng& rng) const {
+  FEDSHAP_RETURN_NOT_OK(model.SetParameters(global_params));
+  if (data_.empty()) return global_params;
+  FEDSHAP_ASSIGN_OR_RETURN(double last_loss,
+                           TrainSgd(model, data_, config, rng));
+  (void)last_loss;
+  return model.GetParameters();
+}
+
+}  // namespace fedshap

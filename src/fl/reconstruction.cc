@@ -1,0 +1,70 @@
+#include "fl/reconstruction.h"
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+Result<std::unique_ptr<ReconstructionContext>> ReconstructionContext::Create(
+    const FedAvgUtility& utility) {
+  std::vector<const FlClient*> members;
+  for (int i = 0; i < utility.num_clients(); ++i) {
+    members.push_back(&utility.client(i));
+  }
+  TrainingLog log;
+  Stopwatch timer;
+  FEDSHAP_ASSIGN_OR_RETURN(
+      std::unique_ptr<Model> trained,
+      TrainFedAvg(utility.prototype(), members, utility.config(), &log));
+  (void)trained;  // The log captures everything the baselines need.
+  const double seconds = timer.ElapsedSeconds();
+  return std::unique_ptr<ReconstructionContext>(
+      new ReconstructionContext(&utility, std::move(log), seconds));
+}
+
+Result<double> ReconstructionContext::Memoized(
+    const Key& key, const std::function<Result<double>()>& compute) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  FEDSHAP_ASSIGN_OR_RETURN(double value, compute());
+  cache_.emplace(key, value);
+  return value;
+}
+
+Result<double> ReconstructionContext::EvaluateReconstructed(
+    const Coalition& coalition) {
+  return Memoized(Key{0, -1, coalition}, [&]() -> Result<double> {
+    FEDSHAP_ASSIGN_OR_RETURN(
+        std::vector<float> params,
+        ReconstructParameters(log_, coalition.Members()));
+    return utility_->EvaluateParameters(params);
+  });
+}
+
+Result<double> ReconstructionContext::EvaluateGlobalAfterRound(int round) {
+  if (round < 0 || round > num_rounds()) {
+    return Status::OutOfRange("round out of range");
+  }
+  return Memoized(Key{1, round, Coalition()}, [&]() -> Result<double> {
+    if (round == 0) return utility_->EvaluateParameters(log_.initial_params);
+    if (round == num_rounds()) {
+      return utility_->EvaluateParameters(log_.final_params);
+    }
+    return utility_->EvaluateParameters(log_.rounds[round].global_before);
+  });
+}
+
+Result<double> ReconstructionContext::EvaluateRoundSubset(
+    int round, const Coalition& coalition) {
+  if (round < 0 || round >= num_rounds()) {
+    return Status::OutOfRange("round out of range");
+  }
+  return Memoized(Key{2, round, coalition}, [&]() -> Result<double> {
+    FEDSHAP_ASSIGN_OR_RETURN(
+        std::vector<float> params,
+        ReconstructRoundParameters(log_, round, coalition.Members()));
+    return utility_->EvaluateParameters(params);
+  });
+}
+
+}  // namespace fedshap

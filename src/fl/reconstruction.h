@@ -1,0 +1,89 @@
+#ifndef FEDSHAP_FL_RECONSTRUCTION_H_
+#define FEDSHAP_FL_RECONSTRUCTION_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "fl/training_log.h"
+#include "fl/utility.h"
+#include "util/coalition.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Shared substrate of the gradient-based valuation baselines (OR, lambda-MR,
+/// GTG-Shapley, DIG-FL): trains the grand coalition *once* while recording
+/// per-round client deltas, then answers "what would coalition S's model
+/// look like" by re-aggregating recorded deltas — no further FL training.
+///
+/// Reconstructed-model utilities are memoized; reconstruction+evaluation is
+/// cheap relative to training but O(2^n) calls add up for the exact-SV-style
+/// baselines.
+class ReconstructionContext {
+ public:
+  /// Trains the grand coalition of `utility` with logging. The utility
+  /// object must outlive the context.
+  static Result<std::unique_ptr<ReconstructionContext>> Create(
+      const FedAvgUtility& utility);
+
+  int num_clients() const { return utility_->num_clients(); }
+  int num_rounds() const { return log_.num_rounds(); }
+  const TrainingLog& log() const { return log_; }
+
+  /// Wall-clock cost of the single grand-coalition training.
+  double grand_training_seconds() const { return grand_training_seconds_; }
+
+  /// Number of reconstructed models evaluated so far (memoized calls count
+  /// once).
+  size_t num_reconstructions() const { return cache_.size(); }
+
+  /// U of the model reconstructed for S by replaying S's deltas across all
+  /// rounds (OR-style full-trajectory reconstruction).
+  Result<double> EvaluateReconstructed(const Coalition& coalition);
+
+  /// U of the *actual* global model after `round` rounds (round == 0 gives
+  /// the initial model). Used for between-round truncation / DIG-FL.
+  Result<double> EvaluateGlobalAfterRound(int round);
+
+  /// U of the model obtained by applying only round `round`'s recorded
+  /// deltas of S on top of that round's starting parameters (per-round
+  /// schemes: lambda-MR, GTG-Shapley).
+  Result<double> EvaluateRoundSubset(int round, const Coalition& coalition);
+
+ private:
+  ReconstructionContext(const FedAvgUtility* utility, TrainingLog log,
+                        double grand_training_seconds)
+      : utility_(utility),
+        log_(std::move(log)),
+        grand_training_seconds_(grand_training_seconds) {}
+
+  struct Key {
+    int mode;  // 0 = full trajectory, 1 = global prefix, 2 = single round
+    int round;
+    Coalition coalition;
+    bool operator==(const Key& other) const {
+      return mode == other.mode && round == other.round &&
+             coalition == other.coalition;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return key.coalition.Hash() * 1000003u +
+             static_cast<size_t>(key.mode) * 31u +
+             static_cast<size_t>(key.round);
+    }
+  };
+
+  Result<double> Memoized(const Key& key,
+                          const std::function<Result<double>()>& compute);
+
+  const FedAvgUtility* utility_;
+  TrainingLog log_;
+  double grand_training_seconds_;
+  std::unordered_map<Key, double, KeyHash> cache_;
+};
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_FL_RECONSTRUCTION_H_

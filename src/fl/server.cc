@@ -1,0 +1,38 @@
+#include "fl/server.h"
+
+namespace fedshap {
+
+Result<std::vector<float>> FedAvgAggregate(
+    const std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights) {
+  if (client_params.empty()) {
+    return Status::InvalidArgument("no client parameters to aggregate");
+  }
+  if (client_params.size() != weights.size()) {
+    return Status::InvalidArgument("weights/params count mismatch");
+  }
+  const size_t dim = client_params[0].size();
+  double total_weight = 0.0;
+  for (size_t i = 0; i < client_params.size(); ++i) {
+    if (client_params[i].size() != dim) {
+      return Status::InvalidArgument("client parameter size mismatch");
+    }
+    if (weights[i] < 0.0) {
+      return Status::InvalidArgument("negative aggregation weight");
+    }
+    total_weight += weights[i];
+  }
+  if (total_weight <= 0.0) {
+    return Status::InvalidArgument("aggregation weights sum to zero");
+  }
+  std::vector<float> aggregated(dim, 0.0f);
+  for (size_t i = 0; i < client_params.size(); ++i) {
+    const float w = static_cast<float>(weights[i] / total_weight);
+    if (w == 0.0f) continue;
+    const std::vector<float>& params = client_params[i];
+    for (size_t p = 0; p < dim; ++p) aggregated[p] += w * params[p];
+  }
+  return aggregated;
+}
+
+}  // namespace fedshap

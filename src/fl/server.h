@@ -1,0 +1,22 @@
+#ifndef FEDSHAP_FL_SERVER_H_
+#define FEDSHAP_FL_SERVER_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedshap {
+
+/// FedAvg aggregation: the weighted average of client parameter vectors,
+/// with weights proportional to local dataset sizes (McMahan et al., 2017).
+///
+/// `client_params` must be non-empty vectors of equal length; `weights`
+/// must be non-negative with a positive sum. Clients with weight zero are
+/// ignored.
+Result<std::vector<float>> FedAvgAggregate(
+    const std::vector<std::vector<float>>& client_params,
+    const std::vector<double>& weights);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_FL_SERVER_H_

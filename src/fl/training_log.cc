@@ -1,0 +1,69 @@
+#include "fl/training_log.h"
+
+#include <algorithm>
+
+namespace fedshap {
+
+namespace {
+
+/// Adds the weighted average of the subset's deltas for one round onto
+/// `params`. Returns false if no subset member participated in the round.
+Result<bool> ApplyRoundDeltas(const RoundRecord& round,
+                              const std::vector<int>& subset,
+                              std::vector<float>& params) {
+  double total_weight = 0.0;
+  std::vector<std::pair<size_t, double>> member_slots;
+  for (size_t slot = 0; slot < round.client_ids.size(); ++slot) {
+    const int id = round.client_ids[slot];
+    if (std::find(subset.begin(), subset.end(), id) == subset.end()) {
+      continue;
+    }
+    const double w = round.client_weights[slot];
+    if (w <= 0.0) continue;
+    member_slots.emplace_back(slot, w);
+    total_weight += w;
+  }
+  if (member_slots.empty() || total_weight <= 0.0) return false;
+  for (const auto& [slot, weight] : member_slots) {
+    const std::vector<float>& delta = round.client_deltas[slot];
+    if (delta.size() != params.size()) {
+      return Status::InvalidArgument("delta size mismatch in training log");
+    }
+    const float w = static_cast<float>(weight / total_weight);
+    for (size_t p = 0; p < params.size(); ++p) params[p] += w * delta[p];
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<float>> ReconstructParameters(
+    const TrainingLog& log, const std::vector<int>& client_ids_subset) {
+  std::vector<float> params = log.initial_params;
+  if (params.empty()) {
+    return Status::InvalidArgument("training log has no initial parameters");
+  }
+  for (const RoundRecord& round : log.rounds) {
+    FEDSHAP_ASSIGN_OR_RETURN(bool applied,
+                             ApplyRoundDeltas(round, client_ids_subset,
+                                              params));
+    (void)applied;  // Rounds where no member participated leave params as-is.
+  }
+  return params;
+}
+
+Result<std::vector<float>> ReconstructRoundParameters(
+    const TrainingLog& log, int round,
+    const std::vector<int>& client_ids_subset) {
+  if (round < 0 || round >= log.num_rounds()) {
+    return Status::OutOfRange("round index out of range");
+  }
+  std::vector<float> params = log.rounds[round].global_before;
+  FEDSHAP_ASSIGN_OR_RETURN(bool applied,
+                           ApplyRoundDeltas(log.rounds[round],
+                                            client_ids_subset, params));
+  (void)applied;
+  return params;
+}
+
+}  // namespace fedshap

@@ -1,0 +1,55 @@
+#ifndef FEDSHAP_FL_TRAINING_LOG_H_
+#define FEDSHAP_FL_TRAINING_LOG_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedshap {
+
+/// What the FL server observed in one FedAvg round: the global parameters
+/// the round started from, and each participating client's parameter delta
+/// (local parameters minus the starting global parameters).
+///
+/// Gradient-based valuation baselines (OR, lambda-MR, GTG-Shapley, DIG-FL)
+/// re-aggregate these recorded deltas to *reconstruct* the model a coalition
+/// S would have produced, avoiding extra FL trainings.
+struct RoundRecord {
+  std::vector<float> global_before;
+  /// One delta per participating client, aligned with `client_ids`.
+  std::vector<std::vector<float>> client_deltas;
+  std::vector<int> client_ids;
+  /// Aggregation weights (local dataset sizes).
+  std::vector<double> client_weights;
+};
+
+/// Complete record of one FedAvg training run.
+struct TrainingLog {
+  std::vector<float> initial_params;
+  std::vector<float> final_params;
+  std::vector<RoundRecord> rounds;
+
+  int num_rounds() const { return static_cast<int>(rounds.size()); }
+};
+
+/// Reconstructs the parameters coalition `client_ids_subset` would have
+/// reached by replaying only its members' recorded deltas across all rounds:
+///
+///   params_0 = initial;  params_r = params_{r-1} + sum_{i in S} w_i *
+///              delta_{i,r} / sum_{i in S} w_i
+///
+/// This is the standard gradient-reconstruction used by OR/GTG-style
+/// methods. An empty subset reproduces the initial parameters.
+Result<std::vector<float>> ReconstructParameters(
+    const TrainingLog& log, const std::vector<int>& client_ids_subset);
+
+/// Single-round reconstruction used by per-round schemes (lambda-MR, GTG):
+/// applies only round `round`'s deltas of the subset on top of that round's
+/// recorded starting parameters.
+Result<std::vector<float>> ReconstructRoundParameters(
+    const TrainingLog& log, int round,
+    const std::vector<int>& client_ids_subset);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_FL_TRAINING_LOG_H_

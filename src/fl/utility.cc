@@ -1,0 +1,173 @@
+#include "fl/utility.h"
+
+#include <cmath>
+
+#include "ml/metrics.h"
+#include "util/logging.h"
+
+namespace fedshap {
+
+// ---------------------------------------------------------------------------
+// FedAvgUtility
+
+Result<std::unique_ptr<FedAvgUtility>> FedAvgUtility::Create(
+    std::vector<Dataset> client_data, Dataset test_data,
+    const Model& prototype, const FedAvgConfig& config,
+    UtilityMetric metric) {
+  if (client_data.empty()) {
+    return Status::InvalidArgument("need at least one client");
+  }
+  if (client_data.size() > static_cast<size_t>(Coalition::kMaxClients)) {
+    return Status::InvalidArgument("too many clients");
+  }
+  if (test_data.empty()) {
+    return Status::InvalidArgument("test dataset must not be empty");
+  }
+  std::vector<FlClient> clients;
+  clients.reserve(client_data.size());
+  for (size_t i = 0; i < client_data.size(); ++i) {
+    clients.emplace_back(static_cast<int>(i), std::move(client_data[i]));
+  }
+  return std::unique_ptr<FedAvgUtility>(
+      new FedAvgUtility(std::move(clients), std::move(test_data),
+                        prototype.Clone(), config, metric));
+}
+
+Result<double> FedAvgUtility::Evaluate(const Coalition& coalition) const {
+  std::vector<const FlClient*> members;
+  for (const FlClient& client : clients_) {
+    if (coalition.Contains(client.id())) members.push_back(&client);
+  }
+  if (members.size() != static_cast<size_t>(coalition.Count())) {
+    return Status::InvalidArgument("coalition references unknown clients");
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(std::unique_ptr<Model> model,
+                           TrainFedAvg(*prototype_, members, config_));
+  switch (metric_) {
+    case UtilityMetric::kAccuracy:
+      return EvaluateAccuracy(*model, test_data_);
+    case UtilityMetric::kNegativeLoss:
+      return -model->Loss(test_data_);
+  }
+  return Status::Internal("unknown utility metric");
+}
+
+Result<double> FedAvgUtility::EvaluateParameters(
+    const std::vector<float>& params) const {
+  std::unique_ptr<Model> model = prototype_->Clone();
+  FEDSHAP_RETURN_NOT_OK(model->SetParameters(params));
+  switch (metric_) {
+    case UtilityMetric::kAccuracy:
+      return EvaluateAccuracy(*model, test_data_);
+    case UtilityMetric::kNegativeLoss:
+      return -model->Loss(test_data_);
+  }
+  return Status::Internal("unknown utility metric");
+}
+
+// ---------------------------------------------------------------------------
+// GbdtUtility
+
+Result<std::unique_ptr<GbdtUtility>> GbdtUtility::Create(
+    std::vector<Dataset> client_data, Dataset test_data,
+    const GbdtConfig& config) {
+  if (client_data.empty()) {
+    return Status::InvalidArgument("need at least one client");
+  }
+  if (test_data.empty()) {
+    return Status::InvalidArgument("test dataset must not be empty");
+  }
+  return std::unique_ptr<GbdtUtility>(new GbdtUtility(
+      std::move(client_data), std::move(test_data), config));
+}
+
+Result<double> GbdtUtility::Evaluate(const Coalition& coalition) const {
+  std::vector<const Dataset*> parts;
+  for (int i = 0; i < num_clients(); ++i) {
+    if (coalition.Contains(i)) parts.push_back(&client_data_[i]);
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(Dataset merged, Dataset::Merge(parts));
+  Gbdt booster(config_);
+  if (!merged.empty()) {
+    FEDSHAP_RETURN_NOT_OK(booster.Fit(merged));
+  }
+  return booster.EvaluateAccuracy(test_data_);
+}
+
+// ---------------------------------------------------------------------------
+// TableUtility
+
+uint64_t TableUtility::MaskOf(const Coalition& coalition) {
+  uint64_t mask = 0;
+  for (int member : coalition.Members()) {
+    FEDSHAP_CHECK(member < 63);
+    mask |= 1ULL << member;
+  }
+  return mask;
+}
+
+Result<TableUtility> TableUtility::FromValues(int n,
+                                              std::vector<double> values) {
+  if (n < 1 || n > 20) return Status::InvalidArgument("n must be in [1,20]");
+  if (values.size() != (size_t{1} << n)) {
+    return Status::InvalidArgument("values must have 2^n entries");
+  }
+  return TableUtility(n, std::move(values));
+}
+
+Result<TableUtility> TableUtility::FromFunction(
+    int n, const std::function<double(const Coalition&)>& fn) {
+  if (n < 1 || n > 20) return Status::InvalidArgument("n must be in [1,20]");
+  std::vector<double> values(size_t{1} << n, 0.0);
+  for (uint64_t mask = 0; mask < values.size(); ++mask) {
+    Coalition c;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1ULL) c.Add(i);
+    }
+    values[mask] = fn(c);
+  }
+  return TableUtility(n, std::move(values));
+}
+
+Result<double> TableUtility::Evaluate(const Coalition& coalition) const {
+  const uint64_t mask = MaskOf(coalition);
+  if (mask >= values_.size()) {
+    return Status::InvalidArgument("coalition outside the table");
+  }
+  return values_[mask];
+}
+
+// ---------------------------------------------------------------------------
+// LinearRegressionUtility
+
+double LinearRegressionUtility::MeanUtility(int k) const {
+  const double d = static_cast<double>(params_.feature_dim);
+  const double denom =
+      static_cast<double>(params_.samples_per_client) * k - d - 1.0;
+  if (denom <= 0.0) return -params_.initial_mse;
+  const double mse = params_.noise_mean * d / denom;
+  return -std::min(mse, params_.initial_mse);
+}
+
+Result<double> LinearRegressionUtility::Evaluate(
+    const Coalition& coalition) const {
+  const int k = coalition.Count();
+  double utility = MeanUtility(k);
+  if (params_.noise_scale > 0.0 && k > 0) {
+    // Per-client noise shared across coalitions (see header): eta_i is a
+    // pure function of (seed, i), so U(S u {i}) and U(S) carry identical
+    // noise except for client i's own term.
+    const double sigma = params_.noise_scale *
+                         static_cast<double>(params_.samples_per_client);
+    double noise = 0.0;
+    coalition.ForEach([&](int i) {
+      Rng client_rng(noise_seed_ * 0x9E3779B97F4A7C15ULL +
+                     static_cast<uint64_t>(i) + 1);
+      noise += client_rng.Gaussian(0.0, sigma);
+    });
+    utility += noise;
+  }
+  return utility;
+}
+
+}  // namespace fedshap

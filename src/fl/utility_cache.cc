@@ -1,0 +1,97 @@
+#include "fl/utility_cache.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+UtilityCache::UtilityCache(const UtilityFunction* fn) : fn_(fn) {
+  FEDSHAP_CHECK(fn != nullptr);
+}
+
+Result<UtilityRecord> UtilityCache::Get(const Coalition& coalition) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(coalition);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Compute outside the lock; underlying functions are thread-safe and
+  // deterministic, so a racing duplicate computation is wasteful but
+  // harmless (both produce the same record).
+  Stopwatch timer;
+  FEDSHAP_ASSIGN_OR_RETURN(double utility, fn_->Evaluate(coalition));
+  UtilityRecord record{utility, timer.ElapsedSeconds()};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.emplace(coalition, record);
+  if (inserted) {
+    ++misses_;
+    total_compute_seconds_ += record.cost_seconds;
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+Status UtilityCache::Prefetch(const std::vector<Coalition>& coalitions,
+                              ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (const Coalition& c : coalitions) {
+      FEDSHAP_ASSIGN_OR_RETURN(UtilityRecord unused, Get(c));
+      (void)unused;
+    }
+    return Status::OK();
+  }
+  std::atomic<bool> failed{false};
+  pool->ParallelFor(static_cast<int>(coalitions.size()), [&](int i) {
+    Result<UtilityRecord> r = Get(coalitions[i]);
+    if (!r.ok()) failed.store(true, std::memory_order_relaxed);
+  });
+  if (failed.load()) {
+    return Status::Internal("a prefetched utility evaluation failed");
+  }
+  return Status::OK();
+}
+
+void UtilityCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  total_compute_seconds_ = 0.0;
+}
+
+size_t UtilityCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+size_t UtilityCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+size_t UtilityCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+double UtilityCache::total_compute_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_compute_seconds_;
+}
+
+Result<double> UtilitySession::Evaluate(const Coalition& coalition) {
+  FEDSHAP_ASSIGN_OR_RETURN(UtilityRecord record, cache_->Get(coalition));
+  ++num_evaluations_;
+  if (seen_.insert(coalition).second) {
+    charged_seconds_ += record.cost_seconds;
+  }
+  return record.utility;
+}
+
+}  // namespace fedshap

@@ -1,0 +1,98 @@
+#ifndef FEDSHAP_FL_UTILITY_CACHE_H_
+#define FEDSHAP_FL_UTILITY_CACHE_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fl/utility.h"
+#include "util/coalition.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace fedshap {
+
+/// One memoized utility evaluation: the value and what it cost to compute.
+struct UtilityRecord {
+  double utility = 0.0;
+  /// Wall-clock seconds of the underlying train+evaluate (0 on rerun: the
+  /// stored cost is from the first, real computation).
+  double cost_seconds = 0.0;
+};
+
+/// Thread-safe memoization layer over a UtilityFunction.
+///
+/// Every distinct coalition is trained at most once, and the measured
+/// train+evaluate cost is stored alongside the value. This enables the
+/// benches' *charged time* accounting: an algorithm run "pays" the recorded
+/// training cost of every coalition it asks for, whether or not the value
+/// was already cached from an earlier run — i.e. reported time stays
+/// faithful to "train and evaluate an FL model per evaluated combination"
+/// while ground-truth sweeps stay tractable (see EXPERIMENTS.md).
+class UtilityCache {
+ public:
+  /// `fn` must outlive the cache.
+  explicit UtilityCache(const UtilityFunction* fn);
+
+  int num_clients() const { return fn_->num_clients(); }
+
+  /// Returns the record for `coalition`, computing and memoizing on miss.
+  Result<UtilityRecord> Get(const Coalition& coalition);
+
+  /// Evaluates all `coalitions` (cache misses in parallel on `pool` when
+  /// provided). Useful for the exhaustive phases of IPSS / exact SV.
+  Status Prefetch(const std::vector<Coalition>& coalitions,
+                  ThreadPool* pool = nullptr);
+
+  /// Drops all memoized entries (e.g. when the underlying utility was
+  /// reseeded and old values are stale).
+  void Clear();
+
+  size_t size() const;
+  size_t hits() const;
+  size_t misses() const;
+  /// Total seconds actually spent computing utilities (misses only).
+  double total_compute_seconds() const;
+
+ private:
+  const UtilityFunction* fn_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Coalition, UtilityRecord, CoalitionHash> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  double total_compute_seconds_ = 0.0;
+};
+
+/// Per-algorithm-run view of a UtilityCache.
+///
+/// Valuation algorithms consume this class. It tracks, for one run: how
+/// many Evaluate calls were made, how many *distinct* coalitions were
+/// needed (= FL trainings a standalone run would have performed; each
+/// distinct coalition is charged its recorded training cost exactly once,
+/// matching an implementation that memoizes within the run).
+class UtilitySession {
+ public:
+  /// `cache` must outlive the session.
+  explicit UtilitySession(UtilityCache* cache) : cache_(cache) {}
+
+  int num_clients() const { return cache_->num_clients(); }
+
+  /// U(S), with cost accounting.
+  Result<double> Evaluate(const Coalition& coalition);
+
+  /// Statistics for ValuationResult.
+  size_t num_evaluations() const { return num_evaluations_; }
+  size_t num_distinct() const { return seen_.size(); }
+  double charged_seconds() const { return charged_seconds_; }
+
+ private:
+  UtilityCache* cache_;
+  std::unordered_set<Coalition, CoalitionHash> seen_;
+  size_t num_evaluations_ = 0;
+  double charged_seconds_ = 0.0;
+};
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_FL_UTILITY_CACHE_H_

@@ -1,0 +1,189 @@
+#include "ml/cnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/logistic_regression.h"  // SoftmaxInPlace
+#include "util/logging.h"
+
+namespace fedshap {
+
+Cnn::Cnn(int side, int filters, int num_classes)
+    : side_(side), filters_(filters), num_classes_(num_classes) {
+  FEDSHAP_CHECK(side >= 6);  // need a >=2x2 pooled map after conv+pool
+  FEDSHAP_CHECK(filters >= 1);
+  FEDSHAP_CHECK(num_classes >= 2);
+  params_.assign(DenseB() + num_classes_, 0.0f);
+}
+
+std::unique_ptr<Model> Cnn::Clone() const {
+  return std::make_unique<Cnn>(*this);
+}
+
+std::string Cnn::Name() const {
+  return "cnn(" + std::to_string(side_) + "x" + std::to_string(side_) +
+         ",f" + std::to_string(filters_) + "-" +
+         std::to_string(num_classes_) + ")";
+}
+
+size_t Cnn::NumParameters() const { return params_.size(); }
+
+std::vector<float> Cnn::GetParameters() const { return params_; }
+
+Status Cnn::SetParameters(const std::vector<float>& params) {
+  if (params.size() != params_.size()) {
+    return Status::InvalidArgument("parameter size mismatch");
+  }
+  params_ = params;
+  return Status::OK();
+}
+
+void Cnn::InitializeParameters(Rng& rng) {
+  const double conv_scale = std::sqrt(2.0 / 9.0);
+  const double dense_scale = std::sqrt(1.0 / static_cast<double>(flat_size()));
+  for (size_t i = ConvW(); i < ConvB(); ++i) {
+    params_[i] = static_cast<float>(rng.Gaussian(0.0, conv_scale));
+  }
+  std::fill(params_.begin() + ConvB(), params_.begin() + DenseW(), 0.0f);
+  for (size_t i = DenseW(); i < DenseB(); ++i) {
+    params_[i] = static_cast<float>(rng.Gaussian(0.0, dense_scale));
+  }
+  std::fill(params_.begin() + DenseB(), params_.end(), 0.0f);
+}
+
+void Cnn::Forward(const float* x, std::vector<float>& conv_act,
+                  std::vector<float>& pooled, std::vector<int>& pool_argmax,
+                  std::vector<float>& probs) const {
+  const int cs = conv_side();
+  const int ps = pool_side();
+  conv_act.assign(static_cast<size_t>(filters_) * conv_area(), 0.0f);
+  pooled.assign(flat_size(), 0.0f);
+  pool_argmax.assign(flat_size(), 0);
+
+  const float* conv_w = params_.data() + ConvW();
+  const float* conv_b = params_.data() + ConvB();
+  for (int f = 0; f < filters_; ++f) {
+    const float* w = conv_w + static_cast<size_t>(f) * 9;
+    float* map = conv_act.data() + static_cast<size_t>(f) * conv_area();
+    for (int r = 0; r < cs; ++r) {
+      for (int c = 0; c < cs; ++c) {
+        float acc = conv_b[f];
+        for (int dr = 0; dr < 3; ++dr) {
+          const float* src = x + (r + dr) * side_ + c;
+          acc += w[dr * 3 + 0] * src[0] + w[dr * 3 + 1] * src[1] +
+                 w[dr * 3 + 2] * src[2];
+        }
+        map[r * cs + c] = acc > 0.0f ? acc : 0.0f;  // ReLU
+      }
+    }
+    // 2x2 max pooling (stride 2); remembers the winning offset for backprop.
+    float* pooled_map = pooled.data() + static_cast<size_t>(f) * pool_area();
+    int* argmax_map =
+        pool_argmax.data() + static_cast<size_t>(f) * pool_area();
+    for (int pr = 0; pr < ps; ++pr) {
+      for (int pc = 0; pc < ps; ++pc) {
+        float best = -1.0f;
+        int best_idx = (2 * pr) * cs + 2 * pc;
+        for (int dr = 0; dr < 2; ++dr) {
+          for (int dc = 0; dc < 2; ++dc) {
+            const int idx = (2 * pr + dr) * cs + (2 * pc + dc);
+            if (map[idx] > best) {
+              best = map[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        pooled_map[pr * ps + pc] = best;
+        argmax_map[pr * ps + pc] = best_idx;
+      }
+    }
+  }
+
+  // Dense head over the flattened pooled maps.
+  probs.assign(num_classes_, 0.0f);
+  const float* dense_w = params_.data() + DenseW();
+  const float* dense_b = params_.data() + DenseB();
+  for (int c = 0; c < num_classes_; ++c) {
+    const float* row = dense_w + static_cast<size_t>(c) * flat_size();
+    float acc = dense_b[c];
+    for (size_t i = 0; i < flat_size(); ++i) acc += row[i] * pooled[i];
+    probs[c] = acc;
+  }
+  SoftmaxInPlace(probs);
+}
+
+double Cnn::ComputeGradient(const Dataset& data,
+                            const std::vector<size_t>& batch,
+                            std::vector<float>& grad) const {
+  grad.assign(params_.size(), 0.0f);
+  if (batch.empty()) return 0.0;
+  FEDSHAP_CHECK(data.num_features() == side_ * side_);
+
+  const int cs = conv_side();
+  std::vector<float> conv_act, pooled, probs;
+  std::vector<int> pool_argmax;
+  std::vector<float> dpooled(flat_size());
+  double total_loss = 0.0;
+
+  const float* dense_w = params_.data() + DenseW();
+  for (size_t idx : batch) {
+    const float* x = data.Row(idx);
+    const int label = data.ClassLabel(idx);
+    Forward(x, conv_act, pooled, pool_argmax, probs);
+    total_loss += -std::log(std::max(probs[label], 1e-12f));
+
+    // Dense layer backward.
+    std::fill(dpooled.begin(), dpooled.end(), 0.0f);
+    float* gdense_w = grad.data() + DenseW();
+    float* gdense_b = grad.data() + DenseB();
+    for (int c = 0; c < num_classes_; ++c) {
+      const float delta = probs[c] - (c == label ? 1.0f : 0.0f);
+      const float* w_row = dense_w + static_cast<size_t>(c) * flat_size();
+      float* gw_row = gdense_w + static_cast<size_t>(c) * flat_size();
+      for (size_t i = 0; i < flat_size(); ++i) {
+        gw_row[i] += delta * pooled[i];
+        dpooled[i] += delta * w_row[i];
+      }
+      gdense_b[c] += delta;
+    }
+
+    // Pool -> ReLU -> conv backward. Gradients flow only through each pool
+    // window's argmax and only where the ReLU was active.
+    float* gconv_w = grad.data() + ConvW();
+    float* gconv_b = grad.data() + ConvB();
+    for (int f = 0; f < filters_; ++f) {
+      const float* map = conv_act.data() + static_cast<size_t>(f) * conv_area();
+      const float* dpool_map =
+          dpooled.data() + static_cast<size_t>(f) * pool_area();
+      const int* argmax_map =
+          pool_argmax.data() + static_cast<size_t>(f) * pool_area();
+      float* gw = gconv_w + static_cast<size_t>(f) * 9;
+      for (size_t p = 0; p < pool_area(); ++p) {
+        const float dact = dpool_map[p];
+        if (dact == 0.0f) continue;
+        const int conv_idx = argmax_map[p];
+        if (map[conv_idx] <= 0.0f) continue;  // ReLU gate
+        const int r = conv_idx / cs;
+        const int c = conv_idx % cs;
+        for (int dr = 0; dr < 3; ++dr) {
+          const float* src = x + (r + dr) * side_ + c;
+          gw[dr * 3 + 0] += dact * src[0];
+          gw[dr * 3 + 1] += dact * src[1];
+          gw[dr * 3 + 2] += dact * src[2];
+        }
+        gconv_b[f] += dact;
+      }
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(batch.size());
+  for (float& g : grad) g *= inv;
+  return total_loss / static_cast<double>(batch.size());
+}
+
+void Cnn::Predict(const float* features, std::vector<float>& output) const {
+  std::vector<float> conv_act, pooled;
+  std::vector<int> pool_argmax;
+  Forward(features, conv_act, pooled, pool_argmax, output);
+}
+
+}  // namespace fedshap

@@ -1,0 +1,179 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace fedshap {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+/// Structure gain of a split under XGBoost's second-order objective.
+double SplitGain(double gl, double hl, double gr, double hr, double lambda) {
+  auto score = [lambda](double g, double h) {
+    return g * g / (h + lambda);
+  };
+  return 0.5 * (score(gl, hl) + score(gr, hr) - score(gl + gr, hl + hr));
+}
+
+}  // namespace
+
+double Gbdt::Tree::Predict(const float* features) const {
+  if (nodes.empty()) return 0.0;
+  int idx = 0;
+  while (!nodes[idx].IsLeaf()) {
+    const Node& node = nodes[idx];
+    idx = features[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes[idx].value;
+}
+
+int Gbdt::BuildNode(const Dataset& data, const std::vector<double>& grad,
+                    const std::vector<double>& hess, std::vector<int>& rows,
+                    int depth, Tree& tree) {
+  double g_total = 0.0, h_total = 0.0;
+  for (int row : rows) {
+    g_total += grad[row];
+    h_total += hess[row];
+  }
+
+  const double leaf_value =
+      -g_total / (h_total + config_.reg_lambda) * config_.learning_rate;
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.value = static_cast<float>(leaf_value);
+    tree.nodes.push_back(leaf);
+    return static_cast<int>(tree.nodes.size()) - 1;
+  };
+
+  if (depth >= config_.max_depth ||
+      static_cast<int>(rows.size()) < 2 * config_.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  // Exact greedy split search over all features.
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  double best_gain = 1e-9;  // require strictly positive gain
+  std::vector<std::pair<float, int>> sorted;
+  sorted.reserve(rows.size());
+  for (int feature = 0; feature < data.num_features(); ++feature) {
+    sorted.clear();
+    for (int row : rows) sorted.emplace_back(data.Row(row)[feature], row);
+    std::sort(sorted.begin(), sorted.end());
+    double gl = 0.0, hl = 0.0;
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      gl += grad[sorted[i].second];
+      hl += hess[sorted[i].second];
+      // Can only split between distinct feature values.
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const int left_count = static_cast<int>(i) + 1;
+      const int right_count = static_cast<int>(sorted.size()) - left_count;
+      if (left_count < config_.min_samples_leaf ||
+          right_count < config_.min_samples_leaf) {
+        continue;
+      }
+      const double gr = g_total - gl;
+      const double hr = h_total - hl;
+      if (hl < config_.min_child_weight || hr < config_.min_child_weight) {
+        continue;
+      }
+      const double gain = SplitGain(gl, hl, gr, hr, config_.reg_lambda);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = feature;
+        // Midpoint threshold is robust to unseen values near the boundary.
+        best_threshold =
+            0.5f * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  std::vector<int> left_rows, right_rows;
+  for (int row : rows) {
+    if (data.Row(row)[best_feature] <= best_threshold) {
+      left_rows.push_back(row);
+    } else {
+      right_rows.push_back(row);
+    }
+  }
+  // Free the parent's row list before recursing.
+  rows.clear();
+  rows.shrink_to_fit();
+
+  Node internal;
+  internal.feature = best_feature;
+  internal.threshold = best_threshold;
+  tree.nodes.push_back(internal);
+  const int node_idx = static_cast<int>(tree.nodes.size()) - 1;
+  const int left_idx =
+      BuildNode(data, grad, hess, left_rows, depth + 1, tree);
+  const int right_idx =
+      BuildNode(data, grad, hess, right_rows, depth + 1, tree);
+  tree.nodes[node_idx].left = left_idx;
+  tree.nodes[node_idx].right = right_idx;
+  return node_idx;
+}
+
+Status Gbdt::Fit(const Dataset& data) {
+  if (data.num_classes() != 2) {
+    return Status::InvalidArgument(
+        "Gbdt supports binary classification (num_classes == 2)");
+  }
+  if (data.empty()) {
+    trees_.clear();
+    return Status::OK();
+  }
+  trees_.clear();
+  trees_.reserve(config_.num_trees);
+
+  std::vector<double> logits(data.size(), 0.0);
+  std::vector<double> grad(data.size()), hess(data.size());
+  for (int t = 0; t < config_.num_trees; ++t) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      const double p = Sigmoid(logits[i]);
+      const double y = static_cast<double>(data.ClassLabel(i));
+      grad[i] = p - y;
+      hess[i] = std::max(p * (1.0 - p), 1e-12);
+    }
+    Tree tree;
+    std::vector<int> rows(data.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    BuildNode(data, grad, hess, rows, /*depth=*/0, tree);
+    for (size_t i = 0; i < data.size(); ++i) {
+      logits[i] += tree.Predict(data.Row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double Gbdt::PredictLogit(const float* features) const {
+  double total = 0.0;
+  for (const Tree& tree : trees_) total += tree.Predict(features);
+  return total;
+}
+
+double Gbdt::PredictProbability(const float* features) const {
+  return Sigmoid(PredictLogit(features));
+}
+
+double Gbdt::EvaluateAccuracy(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int prediction = PredictProbability(data.Row(i)) >= 0.5 ? 1 : 0;
+    if (prediction == data.ClassLabel(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace fedshap

@@ -1,0 +1,105 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include "ml/matrix.h"
+#include "util/logging.h"
+
+namespace fedshap {
+
+LinearRegression::LinearRegression(int dim)
+    : dim_(dim), weights_(dim + 1, 0.0f) {
+  FEDSHAP_CHECK(dim >= 1);
+}
+
+std::unique_ptr<Model> LinearRegression::Clone() const {
+  return std::make_unique<LinearRegression>(*this);
+}
+
+std::string LinearRegression::Name() const {
+  return "linreg(" + std::to_string(dim_) + ")";
+}
+
+size_t LinearRegression::NumParameters() const { return weights_.size(); }
+
+std::vector<float> LinearRegression::GetParameters() const {
+  return weights_;
+}
+
+Status LinearRegression::SetParameters(const std::vector<float>& params) {
+  if (params.size() != weights_.size()) {
+    return Status::InvalidArgument("parameter size mismatch");
+  }
+  weights_ = params;
+  return Status::OK();
+}
+
+void LinearRegression::InitializeParameters(Rng& rng) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+  for (int d = 0; d < dim_; ++d) {
+    weights_[d] = static_cast<float>(rng.Gaussian(0.0, scale));
+  }
+  weights_[dim_] = 0.0f;
+}
+
+double LinearRegression::ComputeGradient(const Dataset& data,
+                                         const std::vector<size_t>& batch,
+                                         std::vector<float>& grad) const {
+  grad.assign(weights_.size(), 0.0f);
+  if (batch.empty()) return 0.0;
+  double total_loss = 0.0;
+  for (size_t idx : batch) {
+    const float* x = data.Row(idx);
+    double pred = weights_[dim_];
+    for (int d = 0; d < dim_; ++d) pred += weights_[d] * x[d];
+    const double err = pred - data.Target(idx);
+    total_loss += 0.5 * err * err;
+    for (int d = 0; d < dim_; ++d) {
+      grad[d] += static_cast<float>(err * x[d]);
+    }
+    grad[dim_] += static_cast<float>(err);
+  }
+  const float inv = 1.0f / static_cast<float>(batch.size());
+  for (float& g : grad) g *= inv;
+  return total_loss / static_cast<double>(batch.size());
+}
+
+void LinearRegression::Predict(const float* features,
+                               std::vector<float>& output) const {
+  double pred = weights_[dim_];
+  for (int d = 0; d < dim_; ++d) pred += weights_[d] * features[d];
+  output.assign(1, static_cast<float>(pred));
+}
+
+Status LinearRegression::FitClosedForm(const Dataset& data, double l2) {
+  if (data.num_features() != dim_) {
+    return Status::InvalidArgument("dataset dimension mismatch");
+  }
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  // Augmented design: [x, 1]. Normal equations (X^T X + l2 I) w = X^T y.
+  const int n = dim_ + 1;
+  std::vector<double> xtx(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> xty(n, 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const float* row = data.Row(i);
+    for (int a = 0; a < n; ++a) {
+      const double xa = (a < dim_) ? row[a] : 1.0;
+      xty[a] += xa * data.Target(i);
+      for (int b = a; b < n; ++b) {
+        const double xb = (b < dim_) ? row[b] : 1.0;
+        xtx[a * n + b] += xa * xb;
+      }
+    }
+  }
+  for (int a = 0; a < n; ++a) {
+    xtx[a * n + a] += l2;
+    for (int b = 0; b < a; ++b) xtx[a * n + b] = xtx[b * n + a];
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> solution,
+                           SolveLinearSystem(std::move(xtx), std::move(xty),
+                                             n));
+  for (int a = 0; a < n; ++a) weights_[a] = static_cast<float>(solution[a]);
+  return Status::OK();
+}
+
+}  // namespace fedshap

@@ -1,0 +1,83 @@
+#include "ml/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fedshap {
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void MatVec(const Matrix& m, const float* x, std::vector<float>& out) {
+  out.assign(m.rows(), 0.0f);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.RowPtr(r);
+    float acc = 0.0f;
+    for (size_t c = 0; c < m.cols(); ++c) acc += row[c] * x[c];
+    out[r] = acc;
+  }
+}
+
+void MatTVec(const Matrix& m, const float* x, std::vector<float>& out) {
+  out.assign(m.cols(), 0.0f);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.RowPtr(r);
+    const float xr = x[r];
+    for (size_t c = 0; c < m.cols(); ++c) out[c] += row[c] * xr;
+  }
+}
+
+void Rank1Update(Matrix& m, float alpha, const float* a, const float* b) {
+  for (size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.RowPtr(r);
+    const float ar = alpha * a[r];
+    for (size_t c = 0; c < m.cols(); ++c) row[c] += ar * b[c];
+  }
+}
+
+Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,
+                                              std::vector<double> b, int n) {
+  if (n <= 0) return Status::InvalidArgument("system dimension must be > 0");
+  if (a.size() != static_cast<size_t>(n) * n ||
+      b.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument("system size mismatch");
+  }
+  for (int col = 0; col < n; ++col) {
+    // Partial pivoting.
+    int pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      double candidate = std::fabs(a[r * n + col]);
+      if (candidate > best) {
+        best = candidate;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition("singular linear system");
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a[col * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      double factor = a[r * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (int c = col; c < n; ++c) a[r * n + c] -= factor * a[col * n + c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double acc = b[r];
+    for (int c = r + 1; c < n; ++c) acc -= a[r * n + c] * x[c];
+    x[r] = acc / a[r * n + r];
+  }
+  return x;
+}
+
+}  // namespace fedshap

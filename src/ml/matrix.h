@@ -1,0 +1,57 @@
+#ifndef FEDSHAP_ML_MATRIX_H_
+#define FEDSHAP_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Minimal dense row-major float matrix used by the hand-rolled models.
+/// Not a general linear-algebra library: only the kernels the ML substrate
+/// needs (mat-vec, rank-1 update, small dense solve).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const float* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void Fill(float value);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = M * x. `x` must have M.cols() entries; `out` is resized to M.rows().
+void MatVec(const Matrix& m, const float* x, std::vector<float>& out);
+
+/// out = M^T * x. `x` must have M.rows() entries; `out` resized to M.cols().
+void MatTVec(const Matrix& m, const float* x, std::vector<float>& out);
+
+/// M += alpha * a * b^T (rank-1 update; a has M.rows(), b has M.cols()).
+void Rank1Update(Matrix& m, float alpha, const float* a, const float* b);
+
+/// Solves the square system A * x = b in double precision by Gaussian
+/// elimination with partial pivoting. A is given row-major with dimension
+/// n x n. Fails when A is (numerically) singular.
+Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,
+                                              std::vector<double> b, int n);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_ML_MATRIX_H_

@@ -1,0 +1,59 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fedshap {
+
+double EvaluateAccuracy(const Model& model, const Dataset& data) {
+  if (data.empty()) return 0.0;
+  FEDSHAP_CHECK(data.num_classes() > 0);
+  std::vector<float> scores;
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    model.Predict(data.Row(i), scores);
+    int prediction = static_cast<int>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+    if (prediction == data.ClassLabel(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double EvaluateMse(const Model& model, const Dataset& data) {
+  if (data.empty()) return 0.0;
+  std::vector<float> out;
+  double total = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    model.Predict(data.Row(i), out);
+    double diff = static_cast<double>(out[0]) - data.Target(i);
+    total += diff * diff;
+  }
+  return total / static_cast<double>(data.size());
+}
+
+double EvaluateMae(const Model& model, const Dataset& data) {
+  if (data.empty()) return 0.0;
+  std::vector<float> out;
+  double total = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    model.Predict(data.Row(i), out);
+    total += std::fabs(static_cast<double>(out[0]) - data.Target(i));
+  }
+  return total / static_cast<double>(data.size());
+}
+
+double MseBetween(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  FEDSHAP_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    total += diff * diff;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+}  // namespace fedshap

@@ -1,0 +1,24 @@
+#ifndef FEDSHAP_ML_METRICS_H_
+#define FEDSHAP_ML_METRICS_H_
+
+#include "data/dataset.h"
+#include "ml/model.h"
+
+namespace fedshap {
+
+/// Fraction of rows whose argmax score equals the class label. Returns 0 for
+/// an empty dataset. Classification models only.
+double EvaluateAccuracy(const Model& model, const Dataset& data);
+
+/// Mean squared error of the model's scalar output against the targets.
+double EvaluateMse(const Model& model, const Dataset& data);
+
+/// Mean absolute error of the model's scalar output against the targets.
+double EvaluateMae(const Model& model, const Dataset& data);
+
+/// MSE between two raw vectors (used for theory checks).
+double MseBetween(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_ML_METRICS_H_

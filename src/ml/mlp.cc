@@ -1,0 +1,127 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/logistic_regression.h"  // SoftmaxInPlace
+#include "util/logging.h"
+
+namespace fedshap {
+
+Mlp::Mlp(int dim, int hidden, int num_classes)
+    : dim_(dim), hidden_(hidden), num_classes_(num_classes) {
+  FEDSHAP_CHECK(dim >= 1);
+  FEDSHAP_CHECK(hidden >= 1);
+  FEDSHAP_CHECK(num_classes >= 2);
+  params_.assign(B2() + num_classes_, 0.0f);
+}
+
+std::unique_ptr<Model> Mlp::Clone() const {
+  return std::make_unique<Mlp>(*this);
+}
+
+std::string Mlp::Name() const {
+  return "mlp(" + std::to_string(dim_) + "-" + std::to_string(hidden_) +
+         "-" + std::to_string(num_classes_) + ")";
+}
+
+size_t Mlp::NumParameters() const { return params_.size(); }
+
+std::vector<float> Mlp::GetParameters() const { return params_; }
+
+Status Mlp::SetParameters(const std::vector<float>& params) {
+  if (params.size() != params_.size()) {
+    return Status::InvalidArgument("parameter size mismatch");
+  }
+  params_ = params;
+  return Status::OK();
+}
+
+void Mlp::InitializeParameters(Rng& rng) {
+  // He initialization for the ReLU layer, Xavier-ish for the head.
+  const double scale1 = std::sqrt(2.0 / dim_);
+  const double scale2 = std::sqrt(1.0 / hidden_);
+  const size_t w1_count = B1();
+  for (size_t i = 0; i < w1_count; ++i) {
+    params_[i] = static_cast<float>(rng.Gaussian(0.0, scale1));
+  }
+  std::fill(params_.begin() + B1(), params_.begin() + W2(), 0.0f);
+  for (size_t i = W2(); i < B2(); ++i) {
+    params_[i] = static_cast<float>(rng.Gaussian(0.0, scale2));
+  }
+  std::fill(params_.begin() + B2(), params_.end(), 0.0f);
+}
+
+void Mlp::Forward(const float* x, std::vector<float>& hidden_act,
+                  std::vector<float>& probs) const {
+  hidden_act.assign(hidden_, 0.0f);
+  const float* w1 = params_.data() + W1();
+  const float* b1 = params_.data() + B1();
+  for (int h = 0; h < hidden_; ++h) {
+    const float* row = w1 + static_cast<size_t>(h) * dim_;
+    float acc = b1[h];
+    for (int d = 0; d < dim_; ++d) acc += row[d] * x[d];
+    hidden_act[h] = acc > 0.0f ? acc : 0.0f;  // ReLU
+  }
+  probs.assign(num_classes_, 0.0f);
+  const float* w2 = params_.data() + W2();
+  const float* b2 = params_.data() + B2();
+  for (int c = 0; c < num_classes_; ++c) {
+    const float* row = w2 + static_cast<size_t>(c) * hidden_;
+    float acc = b2[c];
+    for (int h = 0; h < hidden_; ++h) acc += row[h] * hidden_act[h];
+    probs[c] = acc;
+  }
+  SoftmaxInPlace(probs);
+}
+
+double Mlp::ComputeGradient(const Dataset& data,
+                            const std::vector<size_t>& batch,
+                            std::vector<float>& grad) const {
+  grad.assign(params_.size(), 0.0f);
+  if (batch.empty()) return 0.0;
+  std::vector<float> hidden_act, probs, dhidden(hidden_);
+  double total_loss = 0.0;
+  const float* w2 = params_.data() + W2();
+  for (size_t idx : batch) {
+    const float* x = data.Row(idx);
+    const int label = data.ClassLabel(idx);
+    Forward(x, hidden_act, probs);
+    total_loss += -std::log(std::max(probs[label], 1e-12f));
+
+    // Output layer: dlogit_c = p_c - 1[c==label].
+    std::fill(dhidden.begin(), dhidden.end(), 0.0f);
+    float* gw2 = grad.data() + W2();
+    float* gb2 = grad.data() + B2();
+    for (int c = 0; c < num_classes_; ++c) {
+      const float delta = probs[c] - (c == label ? 1.0f : 0.0f);
+      const float* w2_row = w2 + static_cast<size_t>(c) * hidden_;
+      float* gw2_row = gw2 + static_cast<size_t>(c) * hidden_;
+      for (int h = 0; h < hidden_; ++h) {
+        gw2_row[h] += delta * hidden_act[h];
+        dhidden[h] += delta * w2_row[h];
+      }
+      gb2[c] += delta;
+    }
+    // Hidden layer through ReLU.
+    float* gw1 = grad.data() + W1();
+    float* gb1 = grad.data() + B1();
+    for (int h = 0; h < hidden_; ++h) {
+      if (hidden_act[h] <= 0.0f) continue;  // ReLU gate
+      const float dh = dhidden[h];
+      float* gw1_row = gw1 + static_cast<size_t>(h) * dim_;
+      for (int d = 0; d < dim_; ++d) gw1_row[d] += dh * x[d];
+      gb1[h] += dh;
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(batch.size());
+  for (float& g : grad) g *= inv;
+  return total_loss / static_cast<double>(batch.size());
+}
+
+void Mlp::Predict(const float* features, std::vector<float>& output) const {
+  std::vector<float> hidden_act;
+  Forward(features, hidden_act, output);
+}
+
+}  // namespace fedshap

@@ -1,0 +1,37 @@
+#include "ml/model.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace fedshap {
+
+double Model::Loss(const Dataset& data) const {
+  std::vector<size_t> all(data.size());
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<float> unused_grad;
+  return ComputeGradient(data, all, unused_grad);
+}
+
+std::vector<float> NumericalGradient(Model& model, const Dataset& data,
+                                     const std::vector<size_t>& batch,
+                                     float epsilon) {
+  std::vector<float> params = model.GetParameters();
+  std::vector<float> grad(params.size(), 0.0f);
+  std::vector<float> scratch;
+  for (size_t p = 0; p < params.size(); ++p) {
+    const float saved = params[p];
+    params[p] = saved + epsilon;
+    FEDSHAP_CHECK_OK(model.SetParameters(params));
+    double plus = model.ComputeGradient(data, batch, scratch);
+    params[p] = saved - epsilon;
+    FEDSHAP_CHECK_OK(model.SetParameters(params));
+    double minus = model.ComputeGradient(data, batch, scratch);
+    params[p] = saved;
+    grad[p] = static_cast<float>((plus - minus) / (2.0 * epsilon));
+  }
+  FEDSHAP_CHECK_OK(model.SetParameters(params));
+  return grad;
+}
+
+}  // namespace fedshap

@@ -1,0 +1,74 @@
+#ifndef FEDSHAP_ML_MODEL_H_
+#define FEDSHAP_ML_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Interface every gradient-trainable FL model implements (linear/logistic
+/// regression, MLP, CNN).
+///
+/// The FedAvg substrate only needs four capabilities: flat parameter access
+/// (to ship models between server and clients), minibatch gradients (for
+/// local SGD), prediction (for utility evaluation) and cloning (to train an
+/// independent model per coalition from the same initialization).
+///
+/// Parameters are exposed as one flat float vector; the layout is
+/// model-internal but stable for a given architecture, which is what FedAvg
+/// aggregation requires.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Deep copy, preserving current parameters.
+  virtual std::unique_ptr<Model> Clone() const = 0;
+
+  /// Architecture name for logs, e.g. "mlp(64-32-10)".
+  virtual std::string Name() const = 0;
+
+  virtual size_t NumParameters() const = 0;
+
+  /// Copy of the flat parameter vector.
+  virtual std::vector<float> GetParameters() const = 0;
+
+  /// Replaces all parameters; `params` must have NumParameters() entries.
+  virtual Status SetParameters(const std::vector<float>& params) = 0;
+
+  /// Draws fresh initial parameters (e.g. scaled Gaussians).
+  virtual void InitializeParameters(Rng& rng) = 0;
+
+  /// Computes the average loss over the given rows of `data` and
+  /// accumulates d(avg loss)/d(params) into `grad` (which the callee
+  /// resizes/zeroes). Returns the average loss.
+  virtual double ComputeGradient(const Dataset& data,
+                                 const std::vector<size_t>& batch,
+                                 std::vector<float>& grad) const = 0;
+
+  /// Model output for a single example: per-class scores for classifiers
+  /// (argmax = prediction), a single value for regressors.
+  virtual void Predict(const float* features,
+                       std::vector<float>& output) const = 0;
+
+  /// Average loss over an entire dataset (no gradient).
+  virtual double Loss(const Dataset& data) const;
+
+  /// Number of model outputs (classes, or 1 for regression).
+  virtual int NumOutputs() const = 0;
+};
+
+/// Numerically estimates d(loss)/d(params) by central differences; used by
+/// the gradient-check tests. O(NumParameters) loss evaluations — test-sized
+/// models only.
+std::vector<float> NumericalGradient(Model& model, const Dataset& data,
+                                     const std::vector<size_t>& batch,
+                                     float epsilon = 1e-3f);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_ML_MODEL_H_

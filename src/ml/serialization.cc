@@ -1,0 +1,66 @@
+#include "ml/serialization.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace fedshap {
+
+namespace {
+constexpr char kMagic[] = "fedshap-model v1";
+}  // namespace
+
+Status SaveModelParameters(const std::string& path, const Model& model) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  const std::vector<float> params = model.GetParameters();
+  out << kMagic << "\n" << model.Name() << "\n" << params.size() << "\n";
+  char buffer[64];
+  for (float p : params) {
+    // Hex float representation round-trips bit-exactly.
+    std::snprintf(buffer, sizeof(buffer), "%a", static_cast<double>(p));
+    out << buffer << "\n";
+  }
+  if (!out) return Status::Internal("failed writing model file: " + path);
+  return Status::OK();
+}
+
+Status LoadModelParameters(const std::string& path, Model& model) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open model file: " + path);
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a fedshap model file: " + path);
+  }
+  std::string name;
+  std::getline(in, name);
+  if (name != model.Name()) {
+    return Status::InvalidArgument(
+        "architecture mismatch: file holds '" + name + "', model is '" +
+        model.Name() + "'");
+  }
+  size_t count = 0;
+  in >> count;
+  if (!in || count != model.NumParameters()) {
+    return Status::InvalidArgument("parameter count mismatch in " + path);
+  }
+  std::vector<float> params(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string token;
+    in >> token;
+    if (!in) return Status::InvalidArgument("truncated model file: " + path);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || errno != 0) {
+      return Status::InvalidArgument("bad parameter value in " + path);
+    }
+    params[i] = static_cast<float>(value);
+  }
+  return model.SetParameters(params);
+}
+
+}  // namespace fedshap

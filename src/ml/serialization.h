@@ -1,0 +1,30 @@
+#ifndef FEDSHAP_ML_SERIALIZATION_H_
+#define FEDSHAP_ML_SERIALIZATION_H_
+
+#include <string>
+
+#include "ml/model.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Persists a model's parameters to a small self-describing text file:
+///
+///   fedshap-model v1
+///   <architecture name>
+///   <parameter count>
+///   <one parameter per line, hex float for exact round-trips>
+///
+/// Valuations are functions of trained models; persisting the shared
+/// initialization (or a final federated model) makes valuation runs
+/// auditable and resumable across processes.
+Status SaveModelParameters(const std::string& path, const Model& model);
+
+/// Restores parameters saved by SaveModelParameters into `model`.
+/// Fails if the file is malformed, the architecture name differs, or the
+/// parameter count does not match the model.
+Status LoadModelParameters(const std::string& path, Model& model);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_ML_SERIALIZATION_H_

@@ -1,0 +1,141 @@
+#include "util/coalition.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace fedshap {
+
+Coalition Coalition::Of(std::initializer_list<int> clients) {
+  Coalition c;
+  for (int client : clients) {
+    FEDSHAP_CHECK(client >= 0 && client < kMaxClients);
+    c.Add(client);
+  }
+  return c;
+}
+
+Coalition Coalition::FromIndices(const std::vector<int>& clients) {
+  Coalition c;
+  for (int client : clients) {
+    FEDSHAP_CHECK(client >= 0 && client < kMaxClients);
+    c.Add(client);
+  }
+  return c;
+}
+
+Coalition Coalition::Full(int n) {
+  FEDSHAP_CHECK(n >= 0 && n <= kMaxClients);
+  Coalition c;
+  for (int w = 0; w < kWords; ++w) {
+    int lo = w * 64;
+    if (n <= lo) break;
+    int bits = std::min(64, n - lo);
+    c.words_[w] = (bits == 64) ? ~0ULL : ((1ULL << bits) - 1);
+  }
+  return c;
+}
+
+Coalition Coalition::With(int client) const {
+  Coalition c = *this;
+  c.Add(client);
+  return c;
+}
+
+Coalition Coalition::Without(int client) const {
+  Coalition c = *this;
+  c.Remove(client);
+  return c;
+}
+
+int Coalition::Count() const {
+  int total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool Coalition::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+Coalition Coalition::Union(const Coalition& other) const {
+  Coalition c;
+  for (int w = 0; w < kWords; ++w) c.words_[w] = words_[w] | other.words_[w];
+  return c;
+}
+
+Coalition Coalition::Intersect(const Coalition& other) const {
+  Coalition c;
+  for (int w = 0; w < kWords; ++w) c.words_[w] = words_[w] & other.words_[w];
+  return c;
+}
+
+Coalition Coalition::Minus(const Coalition& other) const {
+  Coalition c;
+  for (int w = 0; w < kWords; ++w) c.words_[w] = words_[w] & ~other.words_[w];
+  return c;
+}
+
+Coalition Coalition::ComplementIn(int n) const {
+  return Full(n).Minus(*this);
+}
+
+bool Coalition::IsSubsetOf(const Coalition& other) const {
+  for (int w = 0; w < kWords; ++w) {
+    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<int> Coalition::Members() const {
+  std::vector<int> members;
+  members.reserve(Count());
+  for (int w = 0; w < kWords; ++w) {
+    uint64_t bits = words_[w];
+    while (bits != 0) {
+      int bit = std::countr_zero(bits);
+      members.push_back(w * 64 + bit);
+      bits &= bits - 1;
+    }
+  }
+  return members;
+}
+
+void Coalition::ForEach(const std::function<void(int)>& fn) const {
+  for (int w = 0; w < kWords; ++w) {
+    uint64_t bits = words_[w];
+    while (bits != 0) {
+      int bit = std::countr_zero(bits);
+      fn(w * 64 + bit);
+      bits &= bits - 1;
+    }
+  }
+}
+
+std::string Coalition::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int member : Members()) {
+    if (!first) out += ",";
+    out += std::to_string(member);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+size_t Coalition::Hash() const {
+  // FNV-1a style fold over the words; adequate for cache keying.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace fedshap

@@ -1,0 +1,98 @@
+#ifndef FEDSHAP_UTIL_COALITION_H_
+#define FEDSHAP_UTIL_COALITION_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fedshap {
+
+/// A set of FL clients (a "dataset combination" S in the paper), stored as a
+/// fixed-width bitset.
+///
+/// Supports up to `kMaxClients` clients, which covers the paper's largest
+/// scalability experiment (100 clients, Fig. 9). Value semantics; cheap to
+/// copy and hash, suitable as a key in the utility cache.
+class Coalition {
+ public:
+  static constexpr int kMaxClients = 256;
+  static constexpr int kWords = kMaxClients / 64;
+
+  /// Constructs the empty coalition.
+  Coalition() : words_{} {}
+
+  /// Builds a coalition from explicit client indices.
+  static Coalition Of(std::initializer_list<int> clients);
+  static Coalition FromIndices(const std::vector<int>& clients);
+
+  /// The grand coalition {0, 1, ..., n-1}.
+  static Coalition Full(int n);
+
+  /// Membership tests and mutation. Indices must lie in [0, kMaxClients).
+  bool Contains(int client) const {
+    return (words_[Word(client)] >> Bit(client)) & 1ULL;
+  }
+  void Add(int client) { words_[Word(client)] |= Mask(client); }
+  void Remove(int client) { words_[Word(client)] &= ~Mask(client); }
+
+  /// Copy of this coalition with `client` inserted / erased.
+  Coalition With(int client) const;
+  Coalition Without(int client) const;
+
+  /// Number of members |S|.
+  int Count() const;
+
+  bool Empty() const;
+
+  /// Set algebra.
+  Coalition Union(const Coalition& other) const;
+  Coalition Intersect(const Coalition& other) const;
+  Coalition Minus(const Coalition& other) const;
+
+  /// Complement with respect to the grand coalition of `n` clients: N \ S.
+  Coalition ComplementIn(int n) const;
+
+  /// True when every member of this coalition also belongs to `other`.
+  bool IsSubsetOf(const Coalition& other) const;
+
+  /// Member indices in increasing order.
+  std::vector<int> Members() const;
+
+  /// Invokes `fn(client)` for each member in increasing order.
+  void ForEach(const std::function<void(int)>& fn) const;
+
+  /// Compact display form, e.g. "{0,2,5}".
+  std::string ToString() const;
+
+  bool operator==(const Coalition& other) const {
+    return words_ == other.words_;
+  }
+  bool operator!=(const Coalition& other) const { return !(*this == other); }
+
+  /// Lexicographic order on the underlying words; provides a total order for
+  /// deterministic iteration of std::map-style containers.
+  bool operator<(const Coalition& other) const {
+    return words_ < other.words_;
+  }
+
+  /// 64-bit hash of the membership bits.
+  size_t Hash() const;
+
+ private:
+  static int Word(int client) { return client >> 6; }
+  static int Bit(int client) { return client & 63; }
+  static uint64_t Mask(int client) { return 1ULL << Bit(client); }
+
+  std::array<uint64_t, kWords> words_;
+};
+
+/// Hash functor for unordered containers keyed by Coalition.
+struct CoalitionHash {
+  size_t operator()(const Coalition& c) const { return c.Hash(); }
+};
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_COALITION_H_

@@ -1,0 +1,106 @@
+#include "util/combinatorics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace fedshap {
+
+double BinomialDouble(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  // Multiplicative formula keeps intermediate values near the result's
+  // magnitude, unlike factorial ratios.
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i);
+    result /= static_cast<double>(i);
+  }
+  return result;
+}
+
+uint64_t BinomialU64(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  k = std::min(k, n - k);
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    uint64_t numerator = static_cast<uint64_t>(n - k + i);
+    // result * numerator may overflow; divide by gcd-free i afterwards, so
+    // detect overflow against the pre-division product.
+    if (result > kMax / numerator) return kMax;
+    result = result * numerator / static_cast<uint64_t>(i);
+  }
+  return result;
+}
+
+double LogFactorial(int n) {
+  FEDSHAP_CHECK(n >= 0);
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+uint64_t SubsetsUpToSize(int n, int k) {
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  uint64_t total = 0;
+  for (int j = 0; j <= std::min(k, n); ++j) {
+    uint64_t term = BinomialU64(n, j);
+    if (term == kMax || total > kMax - term) return kMax;
+    total += term;
+  }
+  return total;
+}
+
+void ForEachSubsetOfSize(int n, int k,
+                         const std::function<void(const Coalition&)>& fn) {
+  FEDSHAP_CHECK(n >= 0 && n <= Coalition::kMaxClients);
+  if (k < 0 || k > n) return;
+  if (k == 0) {
+    fn(Coalition());
+    return;
+  }
+  // Standard combination enumeration: indices[0] < ... < indices[k-1].
+  std::vector<int> indices(k);
+  for (int i = 0; i < k; ++i) indices[i] = i;
+  while (true) {
+    fn(Coalition::FromIndices(indices));
+    // Advance to the next combination.
+    int i = k - 1;
+    while (i >= 0 && indices[i] == n - k + i) --i;
+    if (i < 0) break;
+    ++indices[i];
+    for (int j = i + 1; j < k; ++j) indices[j] = indices[j - 1] + 1;
+  }
+}
+
+void ForEachSubsetOf(const Coalition& universe,
+                     const std::function<void(const Coalition&)>& fn) {
+  std::vector<int> members = universe.Members();
+  FEDSHAP_CHECK(members.size() <= 30);
+  const uint64_t limit = 1ULL << members.size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    Coalition subset;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if ((mask >> i) & 1ULL) subset.Add(members[i]);
+    }
+    fn(subset);
+  }
+}
+
+Coalition RandomSubsetOfSize(int n, int k, Rng& rng) {
+  FEDSHAP_CHECK(k >= 0 && k <= n);
+  return Coalition::FromIndices(rng.SampleWithoutReplacement(n, k));
+}
+
+Coalition RandomSubsetOfSizeExcluding(int n, int k, int excluded, Rng& rng) {
+  FEDSHAP_CHECK(excluded >= 0 && excluded < n);
+  FEDSHAP_CHECK(k >= 0 && k <= n - 1);
+  // Sample from a universe of n-1 logical slots, then remap indices >=
+  // `excluded` up by one.
+  std::vector<int> picked = rng.SampleWithoutReplacement(n - 1, k);
+  Coalition c;
+  for (int idx : picked) c.Add(idx >= excluded ? idx + 1 : idx);
+  return c;
+}
+
+}  // namespace fedshap

@@ -1,0 +1,48 @@
+#ifndef FEDSHAP_UTIL_COMBINATORICS_H_
+#define FEDSHAP_UTIL_COMBINATORICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/coalition.h"
+#include "util/random.h"
+
+namespace fedshap {
+
+/// Binomial coefficient C(n, k) as a double. Exact for all values that fit a
+/// double's 53-bit mantissa; beyond that it degrades gracefully instead of
+/// overflowing, which is what the Shapley weights 1/(n*C(n-1,|S|)) need.
+/// Returns 0 for k < 0 or k > n.
+double BinomialDouble(int n, int k);
+
+/// Binomial coefficient as u64; saturates at UINT64_MAX on overflow.
+uint64_t BinomialU64(int n, int k);
+
+/// Natural log of n! via lgamma; exact enough for sampling weights.
+double LogFactorial(int n);
+
+/// Number of subsets of an n-element set with size <= k: sum_{j<=k} C(n, j),
+/// saturating at UINT64_MAX.
+uint64_t SubsetsUpToSize(int n, int k);
+
+/// Invokes `fn` once for every size-k subset of {0,...,n-1}, in
+/// lexicographic order of member indices. `fn` receives the subset as a
+/// Coalition. Intended for the exhaustive strata in K-Greedy / IPSS.
+void ForEachSubsetOfSize(int n, int k,
+                         const std::function<void(const Coalition&)>& fn);
+
+/// Invokes `fn` once for every subset of `universe` (all 2^|universe|,
+/// including the empty set). |universe| must be <= 30.
+void ForEachSubsetOf(const Coalition& universe,
+                     const std::function<void(const Coalition&)>& fn);
+
+/// Uniformly samples one size-k subset of {0,...,n-1}.
+Coalition RandomSubsetOfSize(int n, int k, Rng& rng);
+
+/// Uniformly samples one size-k subset of {0,...,n-1} \ {excluded}.
+Coalition RandomSubsetOfSizeExcluding(int n, int k, int excluded, Rng& rng);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_COMBINATORICS_H_

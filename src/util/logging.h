@@ -1,0 +1,87 @@
+#ifndef FEDSHAP_UTIL_LOGGING_H_
+#define FEDSHAP_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fedshap {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum severity that is emitted; messages below it are dropped.
+/// Defaults to kInfo. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log message that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Log message that aborts the process on destruction; used by checks.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define FEDSHAP_LOG(level)                                              \
+  ::fedshap::internal::LogMessage(::fedshap::LogLevel::k##level,        \
+                                  __FILE__, __LINE__)                   \
+      .stream()
+
+/// Aborts with a diagnostic when `condition` is false. Active in all build
+/// types: valuation invariants guard statistical correctness, not just
+/// memory safety, so they are never compiled out.
+#define FEDSHAP_CHECK(condition)                                          \
+  (condition)                                                             \
+      ? static_cast<void>(0)                                              \
+      : static_cast<void>(::fedshap::internal::FatalLogMessage(           \
+                              __FILE__, __LINE__, #condition)             \
+                              .stream())
+
+#define FEDSHAP_CHECK_OK(expr)                                      \
+  do {                                                              \
+    ::fedshap::Status _st = (expr);                                 \
+    if (!_st.ok()) {                                                \
+      ::fedshap::internal::FatalLogMessage(__FILE__, __LINE__,      \
+                                           #expr)                   \
+              .stream()                                             \
+          << " -> " << _st.ToString();                              \
+    }                                                               \
+  } while (0)
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define FEDSHAP_DCHECK(condition) static_cast<void>(0)
+#else
+#define FEDSHAP_DCHECK(condition) FEDSHAP_CHECK(condition)
+#endif
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_LOGGING_H_

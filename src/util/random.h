@@ -1,0 +1,86 @@
+#ifndef FEDSHAP_UTIL_RANDOM_H_
+#define FEDSHAP_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace fedshap {
+
+/// Deterministic random number generator used throughout the library.
+///
+/// Every stochastic component (data generation, partitioning, sampling
+/// algorithms, SGD shuffling) takes an explicit `Rng` so experiments are
+/// reproducible from a single seed. `Fork()` derives independent streams so
+/// that adding randomness in one component does not perturb another.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal sample.
+  double Gaussian() { return normal_(engine_); }
+
+  /// Normal sample with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Gamma(shape, 1) sample (Marsaglia-Tsang). Requires shape > 0.
+  double Gamma(double shape);
+
+  /// Dirichlet(alpha, ..., alpha) sample of the given dimension: a point
+  /// on the probability simplex. Small alpha concentrates mass on few
+  /// coordinates (strong non-IID skew), large alpha approaches uniform.
+  std::vector<double> Dirichlet(double alpha, int dimension);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// Weights must be non-negative with a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Returns a random permutation of {0, 1, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+  /// Samples `k` distinct indices from [0, n) uniformly (order unspecified).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Derives an independent child generator. The child stream is a pure
+  /// function of this generator's current state, so forking is itself
+  /// deterministic.
+  Rng Fork();
+
+  /// Underlying engine, for interoperating with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_RANDOM_H_

@@ -1,0 +1,28 @@
+#ifndef FEDSHAP_UTIL_STOPWATCH_H_
+#define FEDSHAP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fedshap {
+
+/// Monotonic wall-clock stopwatch for measuring training and valuation cost.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the reference point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_STOPWATCH_H_

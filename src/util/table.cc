@@ -1,0 +1,131 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace fedshap {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FEDSHAP_CHECK(!header_.empty());
+}
+
+void ConsoleTable::AddRow(std::vector<std::string> row) {
+  FEDSHAP_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void ConsoleTable::AddSeparator() { rows_.emplace_back(); }
+
+void ConsoleTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_rule = [&] {
+    os << "+";
+    for (size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << " " << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_cells(row);
+    }
+  }
+  print_rule();
+}
+
+std::string FormatDouble(double value, int digits) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  std::string out(buffer);
+  if (out.find('.') != std::string::npos) {
+    while (!out.empty() && out.back() == '0') out.pop_back();
+    if (!out.empty() && out.back() == '.') out.pop_back();
+  }
+  if (out == "-0") out = "0";
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds < 0) return "-";
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fms", seconds * 1e3);
+  } else if (seconds < 1e4) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1es", seconds);
+  }
+  return std::string(buffer);
+}
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+Result<CsvWriter> CsvWriter::Create(const std::string& path,
+                                    const std::vector<std::string>& header) {
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV header must not be empty");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open CSV file for writing: " + path);
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out << ",";
+    out << CsvEscape(header[i]);
+  }
+  out << "\n";
+  if (!out) return Status::Internal("failed writing CSV header: " + path);
+  return CsvWriter(path, header.size());
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& row) {
+  if (row.size() != columns_) {
+    return Status::InvalidArgument("CSV row width mismatch");
+  }
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return Status::Internal("cannot append to CSV file: " + path_);
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out << ",";
+    out << CsvEscape(row[i]);
+  }
+  out << "\n";
+  if (!out) return Status::Internal("failed writing CSV row: " + path_);
+  return Status::OK();
+}
+
+}  // namespace fedshap

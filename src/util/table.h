@@ -1,0 +1,67 @@
+#ifndef FEDSHAP_UTIL_TABLE_H_
+#define FEDSHAP_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Console table with aligned columns; used by the bench harnesses to print
+/// paper-style result tables.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  /// Renders with ASCII separators.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Formats a double with `digits` significant decimals, trimming noise
+/// ("1.2300" -> "1.23", "-0" -> "0").
+std::string FormatDouble(double value, int digits = 4);
+
+/// Formats seconds adaptively ("532us", "12.3ms", "4.56s", "1.2e+03s").
+std::string FormatSeconds(double seconds);
+
+/// Minimal CSV writer for machine-readable bench output.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Fails with IOError-style status when the file cannot be created.
+  static Result<CsvWriter> Create(const std::string& path,
+                                  const std::vector<std::string>& header);
+
+  /// Appends one row; must match the header width.
+  Status WriteRow(const std::vector<std::string>& row);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  CsvWriter(std::string path, size_t columns)
+      : path_(std::move(path)), columns_(columns) {}
+
+  std::string path_;
+  size_t columns_;
+};
+
+/// Escapes a CSV field (quotes fields containing separators).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_TABLE_H_

@@ -1,0 +1,58 @@
+#ifndef FEDSHAP_UTIL_THREAD_POOL_H_
+#define FEDSHAP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedshap {
+
+/// Fixed-size worker pool used to evaluate independent FL coalitions in
+/// parallel (the paper simulates providers with multiprocessing; we use
+/// in-process threads).
+///
+/// Tasks are `void()` closures; exceptions must not escape them (the library
+/// is exception-free). `WaitIdle()` blocks until every submitted task has
+/// finished, which gives benches a simple fork/join structure.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, count), distributing across the pool, and
+  /// returns when all iterations finished. Safe to call repeatedly.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+  /// Number of hardware threads, at least 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_THREAD_POOL_H_

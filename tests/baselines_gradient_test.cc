@@ -1,0 +1,235 @@
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "baselines/dig_fl.h"
+#include "util/logging.h"
+#include "baselines/gtg_shapley.h"
+#include "baselines/lambda_mr.h"
+#include "baselines/or_baseline.h"
+#include "core/exact.h"
+#include "core/valuation_metrics.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "ml/logistic_regression.h"
+
+namespace fedshap {
+namespace {
+
+/// Small FL setup shared by the gradient-baseline tests: 4 clients on
+/// separable blobs, logistic regression, 4 rounds.
+class GradientBaselines : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(101);
+    Result<Dataset> pool = GenerateBlobs(2, 4, 5.0, 1200, rng);
+    ASSERT_TRUE(pool.ok());
+    auto [train, test] = pool->Split(0.75, rng);
+    PartitionConfig part;
+    part.scheme = PartitionScheme::kSameSizeNoisyLabel;
+    part.num_clients = 4;
+    part.max_label_noise = 0.35;  // quality gradient across clients
+    Result<std::vector<Dataset>> clients =
+        PartitionDataset(train, part, rng);
+    ASSERT_TRUE(clients.ok());
+    LogisticRegression prototype(4, 2);
+    Rng init(5);
+    prototype.InitializeParameters(init);
+    FedAvgConfig config;
+    config.rounds = 4;
+    config.local.epochs = 1;
+    config.local.learning_rate = 0.3;
+    Result<std::unique_ptr<FedAvgUtility>> utility = FedAvgUtility::Create(
+        std::move(clients).value(), std::move(test), prototype, config);
+    ASSERT_TRUE(utility.ok());
+    utility_ = std::move(utility).value();
+    Result<std::unique_ptr<ReconstructionContext>> context =
+        ReconstructionContext::Create(*utility_);
+    ASSERT_TRUE(context.ok());
+    context_ = std::move(context).value();
+  }
+
+  std::vector<double> ExactValues() {
+    UtilityCache cache(utility_.get());
+    UtilitySession session(&cache);
+    Result<ValuationResult> exact = ExactShapleyMc(session);
+    FEDSHAP_CHECK(exact.ok());
+    return exact->values;
+  }
+
+  std::unique_ptr<FedAvgUtility> utility_;
+  std::unique_ptr<ReconstructionContext> context_;
+};
+
+TEST_F(GradientBaselines, ReconstructionContextBasics) {
+  EXPECT_EQ(context_->num_clients(), 4);
+  EXPECT_EQ(context_->num_rounds(), 4);
+  EXPECT_GT(context_->grand_training_seconds(), 0.0);
+}
+
+TEST_F(GradientBaselines, FullCoalitionReconstructionMatchesRealTraining) {
+  // Reconstructed grand coalition == actually trained grand coalition,
+  // so their utilities agree.
+  Result<double> reconstructed =
+      context_->EvaluateReconstructed(Coalition::Full(4));
+  Result<double> trained = utility_->Evaluate(Coalition::Full(4));
+  ASSERT_TRUE(reconstructed.ok());
+  ASSERT_TRUE(trained.ok());
+  EXPECT_NEAR(*reconstructed, *trained, 1e-9);
+}
+
+TEST_F(GradientBaselines, EmptyCoalitionReconstructionIsInitialModel) {
+  Result<double> reconstructed =
+      context_->EvaluateReconstructed(Coalition());
+  Result<double> initial = utility_->Evaluate(Coalition());
+  ASSERT_TRUE(reconstructed.ok());
+  ASSERT_TRUE(initial.ok());
+  EXPECT_NEAR(*reconstructed, *initial, 1e-12);
+}
+
+TEST_F(GradientBaselines, GlobalAfterRoundBoundsChecked) {
+  EXPECT_TRUE(context_->EvaluateGlobalAfterRound(0).ok());
+  EXPECT_TRUE(context_->EvaluateGlobalAfterRound(4).ok());
+  EXPECT_FALSE(context_->EvaluateGlobalAfterRound(5).ok());
+  EXPECT_FALSE(context_->EvaluateGlobalAfterRound(-1).ok());
+  EXPECT_FALSE(context_->EvaluateRoundSubset(4, Coalition()).ok());
+}
+
+TEST_F(GradientBaselines, TrainingImprovesAcrossRounds) {
+  Result<double> first = context_->EvaluateGlobalAfterRound(0);
+  Result<double> last = context_->EvaluateGlobalAfterRound(4);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(last.ok());
+  EXPECT_GT(*last, *first);
+}
+
+TEST_F(GradientBaselines, OrProducesReasonableRanking) {
+  Result<ValuationResult> or_result = OrShapley(*context_);
+  ASSERT_TRUE(or_result.ok());
+  EXPECT_EQ(or_result->values.size(), 4u);
+  EXPECT_EQ(or_result->num_trainings, 1u);
+  EXPECT_EQ(or_result->num_evaluations, 16u);  // 2^4 reconstructions
+  // Values must be finite and not all identical.
+  double min_v = 1e18, max_v = -1e18;
+  for (double v : or_result->values) {
+    ASSERT_TRUE(std::isfinite(v));
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_GT(max_v - min_v, 1e-6);
+}
+
+TEST_F(GradientBaselines, OrEfficiencyOverReconstructedGame) {
+  // OR computes an exact SV over the reconstructed utility table, so it
+  // inherits efficiency with respect to *reconstructed* U(N) and U(empty).
+  Result<ValuationResult> or_result = OrShapley(*context_);
+  ASSERT_TRUE(or_result.ok());
+  Result<double> u_full = context_->EvaluateReconstructed(Coalition::Full(4));
+  Result<double> u_empty = context_->EvaluateReconstructed(Coalition());
+  ASSERT_TRUE(u_full.ok());
+  ASSERT_TRUE(u_empty.ok());
+  EXPECT_NEAR(EfficiencyResidual(or_result->values, *u_full, *u_empty), 0.0,
+              1e-9);
+}
+
+TEST_F(GradientBaselines, LambdaMrRunsAndDecayWorks) {
+  LambdaMrConfig plain;
+  plain.lambda = 1.0;
+  Result<ValuationResult> mr = LambdaMrShapley(*context_, plain);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_EQ(mr->num_evaluations, 4u * 16u);  // rounds * 2^n
+
+  LambdaMrConfig decayed;
+  decayed.lambda = 0.5;
+  Result<ValuationResult> mr_decay = LambdaMrShapley(*context_, decayed);
+  ASSERT_TRUE(mr_decay.ok());
+  // Decay shrinks the aggregate magnitude (later rounds downweighted).
+  double plain_mass = 0.0, decayed_mass = 0.0;
+  for (double v : mr->values) plain_mass += std::fabs(v);
+  for (double v : mr_decay->values) decayed_mass += std::fabs(v);
+  EXPECT_LT(decayed_mass, plain_mass + 1e-12);
+}
+
+TEST_F(GradientBaselines, LambdaMrValidation) {
+  LambdaMrConfig bad;
+  bad.lambda = 0.0;
+  EXPECT_FALSE(LambdaMrShapley(*context_, bad).ok());
+  bad.lambda = 1.5;
+  EXPECT_FALSE(LambdaMrShapley(*context_, bad).ok());
+}
+
+TEST_F(GradientBaselines, GtgRunsWithinEvaluationBudget) {
+  GtgShapleyConfig config;
+  config.max_permutations_per_round = 8;
+  Result<ValuationResult> gtg = GtgShapley(*context_, config);
+  ASSERT_TRUE(gtg.ok());
+  EXPECT_EQ(gtg->values.size(), 4u);
+  // Upper bound: rounds * (3 + perms * n).
+  EXPECT_LE(gtg->num_evaluations,
+            static_cast<size_t>(4 * (3 + 8 * 4)));
+  for (double v : gtg->values) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_F(GradientBaselines, GtgTruncationSkipsFlatRounds) {
+  GtgShapleyConfig aggressive;
+  aggressive.max_permutations_per_round = 8;
+  aggressive.round_truncation = 1.0;  // every round looks flat -> all skipped
+  Result<ValuationResult> gtg = GtgShapley(*context_, aggressive);
+  ASSERT_TRUE(gtg.ok());
+  for (double v : gtg->values) EXPECT_DOUBLE_EQ(v, 0.0);
+  // Only the per-round before/after global evaluations were needed.
+  EXPECT_LE(gtg->num_evaluations, 8u);
+}
+
+TEST_F(GradientBaselines, DigFlProducesNonNegativeScores) {
+  Result<ValuationResult> dig = DigFlShapley(*context_);
+  ASSERT_TRUE(dig.ok());
+  EXPECT_EQ(dig->values.size(), 4u);
+  for (double v : dig->values) EXPECT_GE(v, 0.0);
+  // O(R) utility evaluations only.
+  EXPECT_LE(dig->num_evaluations, 8u);
+  EXPECT_EQ(dig->num_trainings, 1u);
+}
+
+TEST_F(GradientBaselines, DigFlTotalsTrackGlobalImprovement) {
+  // DIG-FL splits per-round positive gains, so the total assigned mass is
+  // at most the summed positive round gains.
+  Result<ValuationResult> dig = DigFlShapley(*context_);
+  ASSERT_TRUE(dig.ok());
+  double total = std::accumulate(dig->values.begin(), dig->values.end(),
+                                 0.0);
+  double gain_sum = 0.0;
+  for (int round = 0; round < context_->num_rounds(); ++round) {
+    const double before =
+        context_->EvaluateGlobalAfterRound(round).value();
+    const double after =
+        context_->EvaluateGlobalAfterRound(round + 1).value();
+    gain_sum += std::max(0.0, after - before);
+  }
+  EXPECT_NEAR(total, gain_sum, 1e-9);
+}
+
+TEST_F(GradientBaselines, GradientBaselinesRankQualityGradient) {
+  // Clients have increasing label noise (0 cleanest, 3 noisiest). The
+  // cheap gradient methods should broadly prefer cleaner clients: check
+  // the cleanest client is not ranked last and the noisiest not first.
+  Result<ValuationResult> or_result = OrShapley(*context_);
+  ASSERT_TRUE(or_result.ok());
+  const std::vector<double>& v = or_result->values;
+  const int best = static_cast<int>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+  const int worst = static_cast<int>(
+      std::min_element(v.begin(), v.end()) - v.begin());
+  EXPECT_NE(best, 3);
+  EXPECT_NE(worst, 0);
+}
+
+TEST_F(GradientBaselines, ChargedTimeIncludesGrandTraining) {
+  Result<ValuationResult> dig = DigFlShapley(*context_);
+  ASSERT_TRUE(dig.ok());
+  EXPECT_GE(dig->charged_seconds, context_->grand_training_seconds());
+}
+
+}  // namespace
+}  // namespace fedshap

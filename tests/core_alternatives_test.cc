@@ -1,0 +1,169 @@
+#include "core/alternatives.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/valuation_metrics.h"
+#include "test_util.h"
+
+namespace fedshap {
+namespace {
+
+using testing_util::MonotoneTable;
+using testing_util::RandomTable;
+
+TEST(ExactBanzhafTest, AdditiveGameMatchesShapley) {
+  // For additive games every semivalue coincides: phi_i = U({i}).
+  Result<TableUtility> table =
+      TableUtility::FromFunction(5, [](const Coalition& s) {
+        double total = 0.0;
+        s.ForEach([&](int i) { total += 0.1 * (i + 1); });
+        return total;
+      });
+  ASSERT_TRUE(table.ok());
+  UtilityCache cache(&table.value());
+  UtilitySession banzhaf_session(&cache), shapley_session(&cache);
+  Result<ValuationResult> banzhaf = ExactBanzhaf(banzhaf_session);
+  Result<ValuationResult> shapley = ExactShapleyMc(shapley_session);
+  ASSERT_TRUE(banzhaf.ok());
+  ASSERT_TRUE(shapley.ok());
+  EXPECT_LT(testing_util::MaxAbsDiff(banzhaf->values, shapley->values),
+            1e-10);
+}
+
+TEST(ExactBanzhafTest, HandComputedTwoPlayerGame) {
+  // n=2: phi_0^Bz = ((U({0})-U({})) + (U({0,1})-U({1}))) / 2.
+  Result<TableUtility> table =
+      TableUtility::FromValues(2, {0.0, 0.4, 0.3, 1.0});
+  ASSERT_TRUE(table.ok());
+  UtilityCache cache(&table.value());
+  UtilitySession session(&cache);
+  Result<ValuationResult> banzhaf = ExactBanzhaf(session);
+  ASSERT_TRUE(banzhaf.ok());
+  EXPECT_NEAR(banzhaf->values[0], (0.4 + 0.7) / 2.0, 1e-12);
+  EXPECT_NEAR(banzhaf->values[1], (0.3 + 0.6) / 2.0, 1e-12);
+}
+
+TEST(ExactBanzhafTest, NullPlayerGetsZero) {
+  Result<TableUtility> table =
+      TableUtility::FromFunction(4, [](const Coalition& s) {
+        return 0.5 * s.Without(2).Count();
+      });
+  ASSERT_TRUE(table.ok());
+  UtilityCache cache(&table.value());
+  UtilitySession session(&cache);
+  Result<ValuationResult> banzhaf = ExactBanzhaf(session);
+  ASSERT_TRUE(banzhaf.ok());
+  EXPECT_NEAR(banzhaf->values[2], 0.0, 1e-12);
+}
+
+TEST(ExactBanzhafTest, DoesNotSatisfyEfficiencyInGeneral) {
+  TableUtility table = MonotoneTable(4);
+  UtilityCache cache(&table);
+  UtilitySession session(&cache);
+  Result<ValuationResult> banzhaf = ExactBanzhaf(session);
+  ASSERT_TRUE(banzhaf.ok());
+  const double u_full = table.Evaluate(Coalition::Full(4)).value();
+  EXPECT_GT(EfficiencyResidual(banzhaf->values, u_full, 0.0), 0.01);
+}
+
+TEST(MonteCarloBanzhafTest, ConvergesToExact) {
+  const int n = 5;
+  TableUtility table = MonotoneTable(n);
+  UtilityCache cache(&table);
+  UtilitySession exact_session(&cache);
+  Result<ValuationResult> exact = ExactBanzhaf(exact_session);
+  ASSERT_TRUE(exact.ok());
+
+  UtilitySession mc_session(&cache);
+  BanzhafConfig config;
+  config.samples = 20000;
+  config.seed = 3;
+  Result<ValuationResult> mc = MonteCarloBanzhaf(mc_session, config);
+  ASSERT_TRUE(mc.ok());
+  EXPECT_LT(RelativeL2Error(exact->values, mc->values), 0.1);
+}
+
+TEST(MonteCarloBanzhafTest, SampleReuse) {
+  // MSR: every sample informs every client, so evaluations == samples.
+  TableUtility table = RandomTable(6, 5);
+  UtilityCache cache(&table);
+  UtilitySession session(&cache);
+  BanzhafConfig config;
+  config.samples = 40;
+  Result<ValuationResult> mc = MonteCarloBanzhaf(session, config);
+  ASSERT_TRUE(mc.ok());
+  EXPECT_EQ(mc->num_evaluations, 40u);
+}
+
+TEST(MonteCarloBanzhafTest, DeterministicPerSeed) {
+  TableUtility table = RandomTable(5, 7);
+  UtilityCache cache(&table);
+  BanzhafConfig config;
+  config.samples = 25;
+  config.seed = 11;
+  UtilitySession s1(&cache), s2(&cache);
+  Result<ValuationResult> r1 = MonteCarloBanzhaf(s1, config);
+  Result<ValuationResult> r2 = MonteCarloBanzhaf(s2, config);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->values, r2->values);
+}
+
+TEST(MonteCarloBanzhafTest, Validation) {
+  TableUtility table = RandomTable(3, 9);
+  UtilityCache cache(&table);
+  UtilitySession session(&cache);
+  BanzhafConfig config;
+  config.samples = 0;
+  EXPECT_FALSE(MonteCarloBanzhaf(session, config).ok());
+}
+
+TEST(LeaveOneOutTest, HandComputed) {
+  TableUtility table = testing_util::PaperTableOne();
+  UtilityCache cache(&table);
+  UtilitySession session(&cache);
+  Result<ValuationResult> loo = LeaveOneOut(session);
+  ASSERT_TRUE(loo.ok());
+  // phi_i = U(N) - U(N \ {i}).
+  EXPECT_NEAR(loo->values[0], 0.96 - 0.90, 1e-12);
+  EXPECT_NEAR(loo->values[1], 0.96 - 0.90, 1e-12);
+  EXPECT_NEAR(loo->values[2], 0.96 - 0.80, 1e-12);
+  EXPECT_EQ(loo->num_trainings, 4u);  // U(N) + three leave-one-outs
+}
+
+TEST(LeaveOneOutTest, FailsSymmetryForDuplicates) {
+  // Two perfectly redundant clients: LOO gives both ~0 although they are
+  // jointly essential — the classic LOO failure the SV avoids.
+  Result<TableUtility> table =
+      TableUtility::FromFunction(3, [](const Coalition& s) {
+        // Utility 1 iff client 0 present AND (client 1 or client 2).
+        return (s.Contains(0) && (s.Contains(1) || s.Contains(2))) ? 1.0
+                                                                   : 0.0;
+      });
+  ASSERT_TRUE(table.ok());
+  UtilityCache cache(&table.value());
+  UtilitySession loo_session(&cache), sv_session(&cache);
+  Result<ValuationResult> loo = LeaveOneOut(loo_session);
+  Result<ValuationResult> sv = ExactShapleyMc(sv_session);
+  ASSERT_TRUE(loo.ok());
+  ASSERT_TRUE(sv.ok());
+  EXPECT_NEAR(loo->values[1], 0.0, 1e-12);
+  EXPECT_NEAR(loo->values[2], 0.0, 1e-12);
+  EXPECT_GT(sv->values[1], 0.1);  // SV credits redundant contributors
+  EXPECT_NEAR(sv->values[1], sv->values[2], 1e-12);
+}
+
+TEST(LeaveOneOutTest, BudgetIsLinear) {
+  TableUtility table = RandomTable(7, 13);
+  UtilityCache cache(&table);
+  UtilitySession session(&cache);
+  Result<ValuationResult> loo = LeaveOneOut(session);
+  ASSERT_TRUE(loo.ok());
+  EXPECT_EQ(loo->num_trainings, 8u);
+}
+
+}  // namespace
+}  // namespace fedshap

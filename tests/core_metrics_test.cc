@@ -1,0 +1,121 @@
+#include "core/valuation_metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fedshap {
+namespace {
+
+TEST(RelativeL2ErrorTest, ZeroForIdenticalVectors) {
+  EXPECT_DOUBLE_EQ(RelativeL2Error({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(RelativeL2ErrorTest, MatchesHandComputation) {
+  // ||(0.1, -0.2)|| / ||(1, 2)|| = sqrt(0.05) / sqrt(5) = 0.1.
+  EXPECT_NEAR(RelativeL2Error({1, 2}, {1.1, 1.8}), 0.1, 1e-12);
+}
+
+TEST(RelativeL2ErrorTest, ZeroExactVectorEdgeCases) {
+  EXPECT_DOUBLE_EQ(RelativeL2Error({0, 0}, {0, 0}), 0.0);
+  EXPECT_TRUE(std::isinf(RelativeL2Error({0, 0}, {1, 0})));
+}
+
+TEST(RelativeL2ErrorTest, ScaleInvarianceOfExact) {
+  // Doubling both vectors keeps the relative error.
+  const double e1 = RelativeL2Error({1, 2, 3}, {1.5, 2.5, 2.0});
+  const double e2 = RelativeL2Error({2, 4, 6}, {3.0, 5.0, 4.0});
+  EXPECT_NEAR(e1, e2, 1e-12);
+}
+
+TEST(SpearmanTest, PerfectCorrelationForMonotoneTransforms) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 2, 3}, {2, 4, 9}), 1.0);
+}
+
+TEST(SpearmanTest, PerfectAntiCorrelation) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 2, 3}, {3, 2, 1}), -1.0);
+}
+
+TEST(SpearmanTest, HandlesTiesWithAverageRanks) {
+  const double rho = SpearmanCorrelation({1, 1, 2}, {1, 2, 3});
+  EXPECT_GT(rho, 0.5);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(SpearmanTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({5}, {7}), 1.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(KendallTauTest, PerfectAgreementAndReversal) {
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2, 3}, {3, 2, 1}), -1.0);
+}
+
+TEST(KendallTauTest, HandComputedMixedCase) {
+  // Pairs: (1,2)/(2,1) discordant; (1,3)/(2,3) concordant with both others
+  // concordant -> (2 - 1) / 3.
+  EXPECT_NEAR(KendallTau({1, 2, 3}, {2, 1, 3}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, TiesCountAsNeither) {
+  // One tied pair in `a` out of three pairs: tau-a = 2/3 when the other
+  // two pairs are concordant.
+  EXPECT_NEAR(KendallTau({1, 1, 2}, {1, 2, 3}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, DegenerateSizes) {
+  EXPECT_DOUBLE_EQ(KendallTau({5}, {7}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau({}, {}), 1.0);
+}
+
+TEST(KendallTauTest, AgreesWithSpearmanOnCleanRankings) {
+  // Both should be 1 / -1 on strictly monotone data and broadly agree in
+  // sign elsewhere.
+  std::vector<double> a = {0.1, 0.5, 0.3, 0.9, 0.7};
+  std::vector<double> b = {1.0, 3.0, 2.0, 5.0, 4.0};  // same order
+  EXPECT_DOUBLE_EQ(KendallTau(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(a, b), 1.0);
+}
+
+TEST(FairnessProxiesTest, ZeroErrorForIdealValuation) {
+  // Nulls at 0, duplicates equal.
+  Result<FairnessProxyError> error = ComputeFairnessProxies(
+      {0.5, 0.0, 0.25, 0.25}, {1}, {{2, 3}});
+  ASSERT_TRUE(error.ok());
+  EXPECT_DOUBLE_EQ(error->free_rider, 0.0);
+  EXPECT_DOUBLE_EQ(error->symmetry, 0.0);
+  EXPECT_DOUBLE_EQ(error->combined, 0.0);
+}
+
+TEST(FairnessProxiesTest, DetectsViolations) {
+  // Null player got 0.2 of total |mass| 1.0; duplicates differ by 0.3.
+  Result<FairnessProxyError> error = ComputeFairnessProxies(
+      {0.2, 0.4, 0.1, 0.3}, {0}, {{2, 3}});
+  ASSERT_TRUE(error.ok());
+  EXPECT_NEAR(error->free_rider, 0.2, 1e-12);
+  EXPECT_NEAR(error->symmetry, 0.2, 1e-12);
+  EXPECT_NEAR(error->combined, 0.4, 1e-12);
+}
+
+TEST(FairnessProxiesTest, AllZeroValuationHasZeroError) {
+  Result<FairnessProxyError> error =
+      ComputeFairnessProxies({0, 0, 0}, {0}, {{1, 2}});
+  ASSERT_TRUE(error.ok());
+  EXPECT_DOUBLE_EQ(error->combined, 0.0);
+}
+
+TEST(FairnessProxiesTest, ValidatesIndices) {
+  EXPECT_FALSE(ComputeFairnessProxies({1.0}, {5}, {}).ok());
+  EXPECT_FALSE(ComputeFairnessProxies({1.0}, {}, {{0, 9}}).ok());
+  EXPECT_FALSE(ComputeFairnessProxies({1.0}, {-1}, {}).ok());
+}
+
+TEST(EfficiencyResidualTest, ExactForBalancedValues) {
+  EXPECT_NEAR(EfficiencyResidual({0.3, 0.56}, 0.96, 0.10), 0.0, 1e-12);
+  EXPECT_NEAR(EfficiencyResidual({0.3, 0.5}, 0.96, 0.10), 0.06, 1e-12);
+}
+
+}  // namespace
+}  // namespace fedshap

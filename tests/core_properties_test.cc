@@ -1,0 +1,208 @@
+/// Property-based suites over the valuation algorithms: the Shapley axioms
+/// and cross-algorithm identities are checked on grids of (n, seed, utility
+/// family) via parameterized gtest, rather than single hand-picked cases.
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/ipss.h"
+#include "core/kgreedy.h"
+#include "core/stratified.h"
+#include "core/valuation_metrics.h"
+#include "test_util.h"
+#include "util/combinatorics.h"
+
+namespace fedshap {
+namespace {
+
+enum class UtilityFamily { kRandom, kMonotone, kAdditive, kSubmodular };
+
+const char* FamilyName(UtilityFamily family) {
+  switch (family) {
+    case UtilityFamily::kRandom:
+      return "random";
+    case UtilityFamily::kMonotone:
+      return "monotone";
+    case UtilityFamily::kAdditive:
+      return "additive";
+    case UtilityFamily::kSubmodular:
+      return "submodular";
+  }
+  return "?";
+}
+
+/// Builds a utility of the given family over n clients.
+TableUtility MakeUtility(UtilityFamily family, int n, uint64_t seed) {
+  switch (family) {
+    case UtilityFamily::kRandom:
+      return testing_util::RandomTable(n, seed);
+    case UtilityFamily::kMonotone:
+      return testing_util::MonotoneTable(n);
+    case UtilityFamily::kAdditive: {
+      // U(S) = sum of fixed per-client weights: SV must equal the weights.
+      Rng rng(seed);
+      std::vector<double> weights(n);
+      for (double& w : weights) w = rng.Uniform(0.0, 1.0);
+      Result<TableUtility> table =
+          TableUtility::FromFunction(n, [&weights](const Coalition& s) {
+            double total = 0.0;
+            s.ForEach([&](int i) { total += weights[i]; });
+            return total;
+          });
+      FEDSHAP_CHECK(table.ok());
+      return std::move(table).value();
+    }
+    case UtilityFamily::kSubmodular: {
+      // Coverage-style utility: sqrt of summed weights (diminishing
+      // returns, monotone).
+      Rng rng(seed);
+      std::vector<double> weights(n);
+      for (double& w : weights) w = rng.Uniform(0.2, 1.0);
+      Result<TableUtility> table =
+          TableUtility::FromFunction(n, [&weights](const Coalition& s) {
+            double total = 0.0;
+            s.ForEach([&](int i) { total += weights[i]; });
+            return std::sqrt(total);
+          });
+      FEDSHAP_CHECK(table.ok());
+      return std::move(table).value();
+    }
+  }
+  FEDSHAP_CHECK(false);
+  return testing_util::RandomTable(2, 1);
+}
+
+using PropertyParam = std::tuple<int, uint64_t, UtilityFamily>;
+
+class ShapleyProperties : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  int n() const { return std::get<0>(GetParam()); }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+  UtilityFamily family() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(ShapleyProperties, SchemesAgree) {
+  TableUtility table = MakeUtility(family(), n(), seed());
+  UtilityCache cache(&table);
+  UtilitySession mc_session(&cache), cc_session(&cache);
+  Result<ValuationResult> mc = ExactShapleyMc(mc_session);
+  Result<ValuationResult> cc = ExactShapleyCc(cc_session);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE(cc.ok());
+  EXPECT_LT(testing_util::MaxAbsDiff(mc->values, cc->values), 1e-9);
+}
+
+TEST_P(ShapleyProperties, EfficiencyAxiom) {
+  TableUtility table = MakeUtility(family(), n(), seed());
+  UtilityCache cache(&table);
+  UtilitySession session(&cache);
+  Result<ValuationResult> exact = ExactShapleyMc(session);
+  ASSERT_TRUE(exact.ok());
+  const double u_full = table.Evaluate(Coalition::Full(n())).value();
+  const double u_empty = table.Evaluate(Coalition()).value();
+  EXPECT_NEAR(EfficiencyResidual(exact->values, u_full, u_empty), 0.0,
+              1e-9);
+}
+
+TEST_P(ShapleyProperties, AdditiveUtilityGivesWeightsBack) {
+  if (family() != UtilityFamily::kAdditive) GTEST_SKIP();
+  TableUtility table = MakeUtility(family(), n(), seed());
+  UtilityCache cache(&table);
+  UtilitySession session(&cache);
+  Result<ValuationResult> exact = ExactShapleyMc(session);
+  ASSERT_TRUE(exact.ok());
+  // For additive games phi_i = U({i}) exactly.
+  for (int i = 0; i < n(); ++i) {
+    const double weight = table.Evaluate(Coalition::Of({i})).value();
+    EXPECT_NEAR(exact->values[i], weight, 1e-10);
+  }
+}
+
+TEST_P(ShapleyProperties, MonotoneUtilityGivesNonNegativeValues) {
+  if (family() == UtilityFamily::kRandom) GTEST_SKIP();
+  TableUtility table = MakeUtility(family(), n(), seed());
+  UtilityCache cache(&table);
+  UtilitySession session(&cache);
+  Result<ValuationResult> exact = ExactShapleyMc(session);
+  ASSERT_TRUE(exact.ok());
+  for (double v : exact->values) EXPECT_GE(v, -1e-12);
+}
+
+TEST_P(ShapleyProperties, IpssExactAtFullBudget) {
+  TableUtility table = MakeUtility(family(), n(), seed());
+  UtilityCache cache(&table);
+  UtilitySession ipss_session(&cache), exact_session(&cache);
+  IpssConfig config;
+  config.total_rounds = 1 << n();
+  config.seed = seed();
+  Result<ValuationResult> ipss = IpssShapley(ipss_session, config);
+  Result<ValuationResult> exact = ExactShapleyMc(exact_session);
+  ASSERT_TRUE(ipss.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LT(testing_util::MaxAbsDiff(ipss->values, exact->values), 1e-9);
+}
+
+TEST_P(ShapleyProperties, IpssNeverExceedsBudget) {
+  TableUtility table = MakeUtility(family(), n(), seed());
+  UtilityCache cache(&table);
+  for (int gamma : {1, 3, 7, 15}) {
+    UtilitySession session(&cache);
+    IpssConfig config;
+    config.total_rounds = gamma;
+    config.seed = seed();
+    Result<ValuationResult> ipss = IpssShapley(session, config);
+    ASSERT_TRUE(ipss.ok());
+    EXPECT_LE(ipss->num_trainings, static_cast<size_t>(gamma))
+        << "gamma=" << gamma;
+  }
+}
+
+TEST_P(ShapleyProperties, KGreedyAtKnIsExact) {
+  TableUtility table = MakeUtility(family(), n(), seed());
+  UtilityCache cache(&table);
+  UtilitySession kg_session(&cache), exact_session(&cache);
+  Result<ValuationResult> kg = KGreedyShapley(kg_session, n());
+  Result<ValuationResult> exact = ExactShapleyMc(exact_session);
+  ASSERT_TRUE(kg.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LT(testing_util::MaxAbsDiff(kg->values, exact->values), 1e-9);
+}
+
+TEST_P(ShapleyProperties, StratifiedFullSamplingIsExact) {
+  TableUtility table = MakeUtility(family(), n(), seed());
+  UtilityCache cache(&table);
+  StratifiedConfig config;
+  for (int k = 1; k <= n(); ++k) {
+    config.rounds_per_stratum.push_back(
+        static_cast<int>(BinomialU64(n(), k)) * 40);
+  }
+  config.seed = seed() + 7;
+  UtilitySession session(&cache), exact_session(&cache);
+  Result<ValuationResult> stratified =
+      StratifiedSamplingShapley(session, config);
+  Result<ValuationResult> exact = ExactShapleyMc(exact_session);
+  ASSERT_TRUE(stratified.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LT(testing_util::MaxAbsDiff(stratified->values, exact->values),
+            1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShapleyProperties,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6, 7),
+                       ::testing::Values<uint64_t>(1, 17, 4242),
+                       ::testing::Values(UtilityFamily::kRandom,
+                                         UtilityFamily::kMonotone,
+                                         UtilityFamily::kAdditive,
+                                         UtilityFamily::kSubmodular)),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             FamilyName(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace fedshap

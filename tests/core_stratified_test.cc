@@ -1,0 +1,337 @@
+#include "core/stratified.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/valuation_metrics.h"
+#include "test_util.h"
+#include "util/combinatorics.h"
+
+namespace fedshap {
+namespace {
+
+using testing_util::MonotoneTable;
+using testing_util::PaperTableOne;
+using testing_util::RandomTable;
+
+TEST(StratumAllocationTest, SplitsBudgetRoundRobin) {
+  std::vector<int> alloc = DefaultStratumAllocation(4, 8);
+  ASSERT_EQ(alloc.size(), 4u);
+  EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0), 8);
+  // Every stratum gets at least one sample with budget >= n.
+  for (int m : alloc) EXPECT_GE(m, 1);
+}
+
+TEST(StratumAllocationTest, ClipsAtStratumPopulation) {
+  // n=3: strata have C(3,1)=3, C(3,2)=3, C(3,3)=1 sets -> max total 7.
+  std::vector<int> alloc = DefaultStratumAllocation(3, 100);
+  EXPECT_EQ(alloc[0], 3);
+  EXPECT_EQ(alloc[1], 3);
+  EXPECT_EQ(alloc[2], 1);
+}
+
+TEST(StratumAllocationTest, ZeroBudget) {
+  std::vector<int> alloc = DefaultStratumAllocation(5, 0);
+  for (int m : alloc) EXPECT_EQ(m, 0);
+}
+
+TEST(StratifiedSamplingTest, FullSamplingReproducesExactMcSv) {
+  // When every stratum is exhaustively sampled, the framework touches every
+  // pair and the estimate collapses to the exact MC-SV.
+  const int n = 5;
+  TableUtility table = RandomTable(n, 11);
+  UtilityCache cache(&table);
+
+  StratifiedConfig config;
+  config.scheme = SvScheme::kMarginal;
+  config.rounds_per_stratum.clear();
+  for (int k = 1; k <= n; ++k) {
+    // Oversample so duplicates cannot leave a set unsampled... sampling is
+    // with replacement, so instead sample each stratum's population many
+    // times over.
+    config.rounds_per_stratum.push_back(
+        static_cast<int>(BinomialU64(n, k)) * 30);
+  }
+  config.seed = 3;
+  UtilitySession session(&cache);
+  Result<ValuationResult> stratified =
+      StratifiedSamplingShapley(session, config);
+  ASSERT_TRUE(stratified.ok());
+
+  UtilitySession exact_session(&cache);
+  Result<ValuationResult> exact = ExactShapleyMc(exact_session);
+  ASSERT_TRUE(exact.ok());
+  // With-replacement sampling at 30x population misses a given set with
+  // probability < 1e-13 per stratum; treat as deterministic.
+  EXPECT_LT(testing_util::MaxAbsDiff(stratified->values, exact->values),
+            1e-9);
+}
+
+TEST(StratifiedSamplingTest, ApproximatelyUnbiasedOverManyRuns) {
+  // Average the estimator over many independent runs: it should approach
+  // the exact value. Theorem 1's unbiasedness is for the estimator that
+  // always evaluates the paired combination, i.e. kEvaluateOnDemand.
+  const int n = 4;
+  TableUtility table = MonotoneTable(n);
+  UtilityCache cache(&table);
+  UtilitySession exact_session(&cache);
+  Result<ValuationResult> exact = ExactShapleyMc(exact_session);
+  ASSERT_TRUE(exact.ok());
+
+  const int runs = 800;
+  std::vector<double> mean(n, 0.0);
+  for (int run = 0; run < runs; ++run) {
+    StratifiedConfig config;
+    config.scheme = SvScheme::kMarginal;
+    config.pair_policy = PairPolicy::kEvaluateOnDemand;
+    // Enough draws that every client almost surely appears in every
+    // stratum (the regime Theorem 1 analyzes: m_{i,k} > 0), while stratum
+    // 2 usually remains partially covered.
+    config.rounds_per_stratum = {16, 8, 8, 1};
+    config.seed = 1000 + run;
+    UtilitySession session(&cache);
+    Result<ValuationResult> result =
+        StratifiedSamplingShapley(session, config);
+    ASSERT_TRUE(result.ok());
+    for (int i = 0; i < n; ++i) mean[i] += result->values[i];
+  }
+  for (int i = 0; i < n; ++i) mean[i] /= runs;
+  // Loose tolerance: Monte Carlo average of 800 runs.
+  EXPECT_LT(testing_util::MaxAbsDiff(mean, exact->values), 0.03);
+}
+
+TEST(StratifiedSamplingTest, BudgetIsRespected) {
+  const int n = 6;
+  TableUtility table = RandomTable(n, 13);
+  UtilityCache cache(&table);
+  StratifiedConfig config;
+  config.total_rounds = 10;
+  config.seed = 5;
+  UtilitySession session(&cache);
+  Result<ValuationResult> result = StratifiedSamplingShapley(session, config);
+  ASSERT_TRUE(result.ok());
+  // gamma sampled sets + the always-available empty set.
+  EXPECT_LE(result->num_trainings, 10u + 1u);
+}
+
+TEST(StratifiedSamplingTest, CcSchemeAlsoFindsValuesWithFullSampling) {
+  const int n = 4;
+  TableUtility table = RandomTable(n, 17);
+  UtilityCache cache(&table);
+  StratifiedConfig config;
+  config.scheme = SvScheme::kComplementary;
+  config.rounds_per_stratum.clear();
+  for (int k = 1; k <= n; ++k) {
+    config.rounds_per_stratum.push_back(
+        static_cast<int>(BinomialU64(n, k)) * 30);
+  }
+  UtilitySession session(&cache);
+  Result<ValuationResult> cc = StratifiedSamplingShapley(session, config);
+  ASSERT_TRUE(cc.ok());
+  UtilitySession exact_session(&cache);
+  Result<ValuationResult> exact = ExactShapleyCc(exact_session);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LT(testing_util::MaxAbsDiff(cc->values, exact->values), 1e-9);
+}
+
+TEST(StratifiedSamplingTest, McHasLowerVarianceThanCcOnLinearRegression) {
+  // Thm. 2: with the same sampling strategy, MC-SV yields lower variance
+  // than CC-SV under the FL linear-regression noise model.
+  LinearRegressionUtility::Params params;
+  params.num_clients = 6;
+  params.samples_per_client = 30;
+  params.feature_dim = 3;
+  params.noise_scale = 0.002;
+  LinearRegressionUtility utility(params);
+
+  const int runs = 150;
+  const int n = params.num_clients;
+  std::vector<std::vector<double>> mc_samples, cc_samples;
+  for (int run = 0; run < runs; ++run) {
+    utility.Reseed(7000 + run);  // fresh noise realization per run
+    UtilityCache cache(&utility);  // fresh cache: utilities changed
+    StratifiedConfig config;
+    // Coverage-guaranteeing allocation: every client appears in every
+    // stratum with near-certainty, so the run-to-run variance reflects
+    // the utility noise (Thm. 2's setting) rather than Bernoulli
+    // presence/absence of whole strata.
+    config.rounds_per_stratum = {120, 30, 24, 24, 30, 1};
+    config.pair_policy = PairPolicy::kEvaluateOnDemand;
+    config.seed = 40 + run;
+    config.scheme = SvScheme::kMarginal;
+    UtilitySession mc_session(&cache);
+    Result<ValuationResult> mc =
+        StratifiedSamplingShapley(mc_session, config);
+    ASSERT_TRUE(mc.ok());
+    config.scheme = SvScheme::kComplementary;
+    UtilitySession cc_session(&cache);
+    Result<ValuationResult> cc =
+        StratifiedSamplingShapley(cc_session, config);
+    ASSERT_TRUE(cc.ok());
+    mc_samples.push_back(mc->values);
+    cc_samples.push_back(cc->values);
+  }
+  auto total_variance = [&](const std::vector<std::vector<double>>& runs_v) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double mean = 0.0;
+      for (const auto& v : runs_v) mean += v[i];
+      mean /= runs_v.size();
+      double var = 0.0;
+      for (const auto& v : runs_v) var += (v[i] - mean) * (v[i] - mean);
+      total += var / runs_v.size();
+    }
+    return total;
+  };
+  EXPECT_LT(total_variance(mc_samples), total_variance(cc_samples));
+}
+
+TEST(StratifiedSamplingTest, PaperExampleSchemesDisagreeUnderSampling) {
+  // Under partial sampling the two schemes give different estimates (as in
+  // the paper's Example 2: 0.2588 vs 0.22) though both target the same SV.
+  TableUtility table = PaperTableOne();
+  UtilityCache cache(&table);
+  StratifiedConfig config;
+  config.total_rounds = 4;
+  config.seed = 9;
+  config.scheme = SvScheme::kMarginal;
+  UtilitySession mc_session(&cache);
+  Result<ValuationResult> mc = StratifiedSamplingShapley(mc_session, config);
+  ASSERT_TRUE(mc.ok());
+  config.scheme = SvScheme::kComplementary;
+  UtilitySession cc_session(&cache);
+  Result<ValuationResult> cc = StratifiedSamplingShapley(cc_session, config);
+  ASSERT_TRUE(cc.ok());
+  // Estimates exist and are finite for every client under both schemes.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(mc->values[i]));
+    EXPECT_TRUE(std::isfinite(cc->values[i]));
+  }
+}
+
+TEST(StratifiedSamplingTest, ConfigValidation) {
+  TableUtility table = RandomTable(3, 19);
+  UtilityCache cache(&table);
+  UtilitySession session(&cache);
+  StratifiedConfig config;
+  config.rounds_per_stratum = {1, 2};  // wrong length for n=3
+  EXPECT_FALSE(StratifiedSamplingShapley(session, config).ok());
+}
+
+TEST(PerClientStratifiedTest, UnbiasedOverManyRuns) {
+  // The per-client estimator covers every stratum for every client, so it
+  // is unbiased without any coverage caveat (Thm. 1's setting).
+  const int n = 4;
+  TableUtility table = MonotoneTable(n);
+  UtilityCache cache(&table);
+  UtilitySession exact_session(&cache);
+  Result<ValuationResult> exact = ExactShapleyMc(exact_session);
+  ASSERT_TRUE(exact.ok());
+
+  const int runs = 600;
+  std::vector<double> mean(n, 0.0);
+  for (int run = 0; run < runs; ++run) {
+    PerClientStratifiedConfig config;
+    config.samples_per_stratum = 1;
+    config.seed = 5000 + run;
+    UtilitySession session(&cache);
+    Result<ValuationResult> result =
+        PerClientStratifiedShapley(session, config);
+    ASSERT_TRUE(result.ok());
+    for (int i = 0; i < n; ++i) mean[i] += result->values[i];
+  }
+  for (int i = 0; i < n; ++i) mean[i] /= runs;
+  EXPECT_LT(testing_util::MaxAbsDiff(mean, exact->values), 0.02);
+}
+
+TEST(PerClientStratifiedTest, McVarianceBelowCcOnFlShapedUtility) {
+  // Thm. 2 / Fig. 10 in the per-client estimator: complementary
+  // contributions disperse more than marginal contributions, so CC-SV has
+  // the higher run-to-run variance at matched budgets.
+  const int n = 6;
+  TableUtility table = MonotoneTable(n);
+  UtilityCache cache(&table);
+  const int runs = 200;
+  std::vector<std::vector<double>> mc_samples, cc_samples;
+  for (int run = 0; run < runs; ++run) {
+    PerClientStratifiedConfig config;
+    config.samples_per_stratum = 2;
+    config.seed = 9000 + run;
+    config.scheme = SvScheme::kMarginal;
+    UtilitySession mc_session(&cache);
+    Result<ValuationResult> mc =
+        PerClientStratifiedShapley(mc_session, config);
+    ASSERT_TRUE(mc.ok());
+    mc_samples.push_back(mc->values);
+    config.scheme = SvScheme::kComplementary;
+    UtilitySession cc_session(&cache);
+    Result<ValuationResult> cc =
+        PerClientStratifiedShapley(cc_session, config);
+    ASSERT_TRUE(cc.ok());
+    cc_samples.push_back(cc->values);
+  }
+  auto total_variance = [&](const std::vector<std::vector<double>>& v) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double mean = 0.0;
+      for (const auto& run : v) mean += run[i];
+      mean /= v.size();
+      double var = 0.0;
+      for (const auto& run : v) var += (run[i] - mean) * (run[i] - mean);
+      total += var / v.size();
+    }
+    return total;
+  };
+  EXPECT_LT(total_variance(mc_samples), total_variance(cc_samples));
+}
+
+TEST(PerClientStratifiedTest, DeterministicPerSeed) {
+  TableUtility table = RandomTable(5, 3);
+  UtilityCache cache(&table);
+  PerClientStratifiedConfig config;
+  config.samples_per_stratum = 2;
+  config.seed = 11;
+  UtilitySession s1(&cache), s2(&cache);
+  Result<ValuationResult> r1 = PerClientStratifiedShapley(s1, config);
+  Result<ValuationResult> r2 = PerClientStratifiedShapley(s2, config);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->values, r2->values);
+}
+
+TEST(PerClientStratifiedTest, Validation) {
+  TableUtility table = RandomTable(3, 5);
+  UtilityCache cache(&table);
+  UtilitySession session(&cache);
+  PerClientStratifiedConfig config;
+  config.samples_per_stratum = 0;
+  EXPECT_FALSE(PerClientStratifiedShapley(session, config).ok());
+}
+
+TEST(SmallestFirstAllocationTest, CoversTinyStrataFirst) {
+  // n=6: populations 6,15,20,15,6,1. The grand coalition (population 1)
+  // and the singleton stratum are budgeted before the big middle strata.
+  std::vector<int> alloc = SmallestFirstAllocation(6, 40);
+  ASSERT_EQ(alloc.size(), 6u);
+  EXPECT_GT(alloc[5], 0);  // stratum 6 (grand coalition) first
+  EXPECT_GT(alloc[0], 0);  // singletons next
+  EXPECT_EQ(alloc[2], 0);  // population-20 stratum starved at this budget
+}
+
+TEST(SmallestFirstAllocationTest, SpendsWholeBudget) {
+  for (int budget : {0, 10, 100, 5000}) {
+    std::vector<int> alloc = SmallestFirstAllocation(5, budget);
+    EXPECT_EQ(std::accumulate(alloc.begin(), alloc.end(), 0), budget);
+  }
+}
+
+TEST(SvSchemeNameTest, Names) {
+  EXPECT_STREQ(SvSchemeName(SvScheme::kMarginal), "MC-SV");
+  EXPECT_STREQ(SvSchemeName(SvScheme::kComplementary), "CC-SV");
+}
+
+}  // namespace
+}  // namespace fedshap

@@ -1,0 +1,145 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace fedshap {
+namespace {
+
+Dataset MakeToy(int rows = 5, int features = 3, int classes = 2) {
+  Result<Dataset> data = Dataset::Create(features, classes);
+  EXPECT_TRUE(data.ok());
+  Dataset d = std::move(data).value();
+  std::vector<float> row(features);
+  for (int i = 0; i < rows; ++i) {
+    for (int f = 0; f < features; ++f) {
+      row[f] = static_cast<float>(i * 10 + f);
+    }
+    d.Append(row.data(), static_cast<float>(i % classes));
+  }
+  return d;
+}
+
+TEST(DatasetTest, CreateValidatesSchema) {
+  EXPECT_FALSE(Dataset::Create(0, 2).ok());
+  EXPECT_FALSE(Dataset::Create(-1, 2).ok());
+  EXPECT_FALSE(Dataset::Create(3, -1).ok());
+  EXPECT_TRUE(Dataset::Create(3, 0).ok());  // regression
+  EXPECT_TRUE(Dataset::Create(3, 10).ok());
+}
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset d = MakeToy(4, 3, 2);
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.num_features(), 3);
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_FLOAT_EQ(d.Row(2)[1], 21.0f);
+  EXPECT_FLOAT_EQ(d.Target(3), 1.0f);
+  EXPECT_EQ(d.ClassLabel(3), 1);
+}
+
+TEST(DatasetTest, AppendVectorChecksWidth) {
+  Result<Dataset> d = Dataset::Create(2, 2);
+  ASSERT_TRUE(d.ok());
+  d->Append({1.0f, 2.0f}, 0.0f);
+  EXPECT_EQ(d->size(), 1u);
+}
+
+TEST(DatasetTest, SubsetCopiesSelectedRows) {
+  Dataset d = MakeToy(6);
+  Dataset sub = d.Subset({5, 0, 2});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_FLOAT_EQ(sub.Row(0)[0], 50.0f);
+  EXPECT_FLOAT_EQ(sub.Row(1)[0], 0.0f);
+  EXPECT_FLOAT_EQ(sub.Row(2)[0], 20.0f);
+}
+
+TEST(DatasetTest, HeadClampsToSize) {
+  Dataset d = MakeToy(4);
+  EXPECT_EQ(d.Head(2).size(), 2u);
+  EXPECT_EQ(d.Head(100).size(), 4u);
+  EXPECT_EQ(d.Head(0).size(), 0u);
+}
+
+TEST(DatasetTest, MergeConcatenates) {
+  Dataset a = MakeToy(2);
+  Dataset b = MakeToy(3);
+  Result<Dataset> merged = Dataset::Merge({&a, &b});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 5u);
+  EXPECT_FLOAT_EQ(merged->Row(2)[0], 0.0f);  // b's first row
+}
+
+TEST(DatasetTest, MergeSkipsNullAndEmpty) {
+  Dataset a = MakeToy(2);
+  Result<Dataset> empty = Dataset::Create(3, 2);
+  ASSERT_TRUE(empty.ok());
+  Result<Dataset> merged = Dataset::Merge({nullptr, &a, &empty.value()});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 2u);
+}
+
+TEST(DatasetTest, MergeAllEmptyYieldsEmpty) {
+  Result<Dataset> merged = Dataset::Merge({});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->empty());
+}
+
+TEST(DatasetTest, MergeRejectsSchemaMismatch) {
+  Dataset a = MakeToy(2, 3, 2);
+  Dataset b = MakeToy(2, 4, 2);
+  EXPECT_FALSE(Dataset::Merge({&a, &b}).ok());
+  Dataset c = MakeToy(2, 3, 5);
+  EXPECT_FALSE(Dataset::Merge({&a, &c}).ok());
+}
+
+TEST(DatasetTest, ShuffleKeepsRowIntegrity) {
+  Dataset d = MakeToy(20);
+  Rng rng(1);
+  Dataset shuffled = d;
+  shuffled.Shuffle(rng);
+  ASSERT_EQ(shuffled.size(), d.size());
+  // Every row must still have features consistent with its own pattern
+  // (feature f = row_id * 10 + f), i.e. rows moved as units.
+  for (size_t i = 0; i < shuffled.size(); ++i) {
+    const float base = shuffled.Row(i)[0];
+    EXPECT_FLOAT_EQ(shuffled.Row(i)[1], base + 1);
+    EXPECT_FLOAT_EQ(shuffled.Row(i)[2], base + 2);
+  }
+}
+
+TEST(DatasetTest, SplitPartitionsAllRows) {
+  Dataset d = MakeToy(10);
+  Rng rng(2);
+  auto [train, test] = d.Split(0.7, rng);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(test.size(), 3u);
+}
+
+TEST(DatasetTest, SplitExtremes) {
+  Dataset d = MakeToy(4);
+  Rng rng(3);
+  auto [all, none] = d.Split(1.0, rng);
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_EQ(none.size(), 0u);
+  auto [empty, everything] = d.Split(0.0, rng);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(everything.size(), 4u);
+}
+
+TEST(DatasetTest, ClassHistogramCounts) {
+  Dataset d = MakeToy(7, 3, 2);  // labels alternate 0,1,0,1,...
+  std::vector<size_t> histogram = d.ClassHistogram();
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram[0], 4u);
+  EXPECT_EQ(histogram[1], 3u);
+}
+
+TEST(DatasetTest, DebugStringMentionsShape) {
+  Dataset d = MakeToy(3, 2, 2);
+  const std::string s = d.DebugString();
+  EXPECT_NE(s.find("rows=3"), std::string::npos);
+  EXPECT_NE(s.find("features=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedshap

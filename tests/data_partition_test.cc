@@ -1,0 +1,276 @@
+#include "data/partition.h"
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fedshap {
+namespace {
+
+Dataset MakeClassified(size_t rows, int classes, uint64_t seed) {
+  Rng rng(seed);
+  Result<Dataset> data = GenerateBlobs(classes, 4, 5.0, rows, rng);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+TEST(PartitionTest, SameSizeSameDistEqualSizes) {
+  Dataset data = MakeClassified(1000, 4, 1);
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kSameSizeSameDist;
+  config.num_clients = 8;
+  Rng rng(2);
+  Result<std::vector<Dataset>> clients = PartitionDataset(data, config, rng);
+  ASSERT_TRUE(clients.ok());
+  ASSERT_EQ(clients->size(), 8u);
+  for (const Dataset& c : *clients) EXPECT_EQ(c.size(), 125u);
+}
+
+TEST(PartitionTest, SameDistLabelProportionsClose) {
+  Dataset data = MakeClassified(4000, 4, 3);
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kSameSizeSameDist;
+  config.num_clients = 4;
+  Rng rng(4);
+  Result<std::vector<Dataset>> clients = PartitionDataset(data, config, rng);
+  ASSERT_TRUE(clients.ok());
+  for (const Dataset& c : *clients) {
+    std::vector<size_t> histogram = c.ClassHistogram();
+    for (size_t count : histogram) {
+      // ~250 per class per client; random split keeps it near-uniform.
+      EXPECT_NEAR(static_cast<double>(count), 250.0, 60.0);
+    }
+  }
+}
+
+TEST(PartitionTest, DiffSizeRatios) {
+  Dataset data = MakeClassified(1100, 2, 5);
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kDiffSizeSameDist;
+  config.num_clients = 4;
+  Rng rng(6);
+  Result<std::vector<Dataset>> clients = PartitionDataset(data, config, rng);
+  ASSERT_TRUE(clients.ok());
+  ASSERT_EQ(clients->size(), 4u);
+  // Sizes approximately 1:2:3:4 of 1100 -> 110, 220, 330, 440.
+  EXPECT_NEAR((*clients)[0].size(), 110.0, 2.0);
+  EXPECT_NEAR((*clients)[1].size(), 220.0, 2.0);
+  EXPECT_NEAR((*clients)[2].size(), 330.0, 2.0);
+  EXPECT_NEAR((*clients)[3].size(), 440.0, 2.0);
+  size_t total = 0;
+  for (const Dataset& c : *clients) total += c.size();
+  EXPECT_LE(total, 1100u);
+}
+
+TEST(PartitionTest, LabelSkewCreatesDominantClass) {
+  Dataset data = MakeClassified(3000, 3, 7);
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kSameSizeDiffDist;
+  config.num_clients = 3;
+  config.label_skew = 0.7;
+  Rng rng(8);
+  Result<std::vector<Dataset>> clients = PartitionDataset(data, config, rng);
+  ASSERT_TRUE(clients.ok());
+  for (int i = 0; i < 3; ++i) {
+    const Dataset& c = (*clients)[i];
+    std::vector<size_t> histogram = c.ClassHistogram();
+    const int dominant = i % 3;
+    const double share =
+        static_cast<double>(histogram[dominant]) / c.size();
+    EXPECT_GT(share, 0.5) << "client " << i;
+  }
+}
+
+TEST(PartitionTest, LabelSkewRequiresClassification) {
+  Rng gen(9);
+  RegressionConfig reg_config;
+  Result<Dataset> reg = GenerateRegression(reg_config, 100, gen);
+  ASSERT_TRUE(reg.ok());
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kSameSizeDiffDist;
+  config.num_clients = 2;
+  Rng rng(10);
+  EXPECT_FALSE(PartitionDataset(*reg, config, rng).ok());
+}
+
+TEST(PartitionTest, NoisyLabelGradient) {
+  Dataset data = MakeClassified(4000, 4, 11);
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kSameSizeNoisyLabel;
+  config.num_clients = 4;
+  config.max_label_noise = 0.4;
+  Rng rng(12);
+  Result<std::vector<Dataset>> clients = PartitionDataset(data, config, rng);
+  ASSERT_TRUE(clients.ok());
+  // Client 0 is clean; later clients have increasing flip rates. Estimate
+  // flip rate via nearest-centroid disagreement using the clean client's
+  // centroids as reference.
+  const Dataset& clean = (*clients)[0];
+  const int dim = clean.num_features();
+  std::vector<std::vector<double>> centroid(4, std::vector<double>(dim, 0));
+  std::vector<int> counts(4, 0);
+  for (size_t i = 0; i < clean.size(); ++i) {
+    const int label = clean.ClassLabel(i);
+    for (int d = 0; d < dim; ++d) centroid[label][d] += clean.Row(i)[d];
+    ++counts[label];
+  }
+  for (int c = 0; c < 4; ++c) {
+    for (int d = 0; d < dim; ++d) centroid[c][d] /= std::max(counts[c], 1);
+  }
+  auto disagreement = [&](const Dataset& ds) {
+    int mismatches = 0;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      double best = 1e18;
+      int best_class = -1;
+      for (int c = 0; c < 4; ++c) {
+        double dist = 0;
+        for (int d = 0; d < dim; ++d) {
+          const double diff = ds.Row(i)[d] - centroid[c][d];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_class = c;
+        }
+      }
+      if (best_class != ds.ClassLabel(i)) ++mismatches;
+    }
+    return mismatches / static_cast<double>(ds.size());
+  };
+  const double clean_rate = disagreement((*clients)[0]);
+  const double noisy_rate = disagreement((*clients)[3]);
+  EXPECT_LT(clean_rate, 0.1);
+  EXPECT_GT(noisy_rate, clean_rate + 0.15);
+}
+
+TEST(PartitionTest, NoisyFeatureGradient) {
+  Dataset data = MakeClassified(2000, 2, 13);
+  PartitionConfig config;
+  config.scheme = PartitionScheme::kSameSizeNoisyFeature;
+  config.num_clients = 5;
+  config.max_feature_noise = 2.0;
+  Rng rng(14);
+  Result<std::vector<Dataset>> clients = PartitionDataset(data, config, rng);
+  ASSERT_TRUE(clients.ok());
+  // Per-feature variance should grow from client 0 (clean) to client 4.
+  auto variance = [](const Dataset& ds) {
+    double mean = 0, var = 0;
+    const size_t count = ds.size() * ds.num_features();
+    for (size_t i = 0; i < ds.size(); ++i) {
+      for (int d = 0; d < ds.num_features(); ++d) mean += ds.Row(i)[d];
+    }
+    mean /= count;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      for (int d = 0; d < ds.num_features(); ++d) {
+        var += (ds.Row(i)[d] - mean) * (ds.Row(i)[d] - mean);
+      }
+    }
+    return var / count;
+  };
+  EXPECT_GT(variance((*clients)[4]), variance((*clients)[0]) + 1.0);
+}
+
+TEST(PartitionTest, RejectsBadArguments) {
+  Dataset data = MakeClassified(100, 2, 15);
+  PartitionConfig config;
+  config.num_clients = 0;
+  Rng rng(16);
+  EXPECT_FALSE(PartitionDataset(data, config, rng).ok());
+  config.num_clients = 101;  // more clients than rows
+  EXPECT_FALSE(PartitionDataset(data, config, rng).ok());
+}
+
+TEST(PartitionByGroupTest, GroupsStayTogether) {
+  DigitsConfig digits;
+  digits.num_writers = 12;
+  Rng gen(17);
+  Result<FederatedSource> source = GenerateDigits(digits, 600, gen);
+  ASSERT_TRUE(source.ok());
+  Rng rng(18);
+  Result<std::vector<Dataset>> clients = PartitionByGroup(*source, 4, rng);
+  ASSERT_TRUE(clients.ok());
+  ASSERT_EQ(clients->size(), 4u);
+  size_t total = 0;
+  for (const Dataset& c : *clients) total += c.size();
+  EXPECT_EQ(total, 600u);
+}
+
+TEST(PartitionByGroupTest, NeedsEnoughGroups) {
+  DigitsConfig digits;
+  digits.num_writers = 2;
+  Rng gen(19);
+  Result<FederatedSource> source = GenerateDigits(digits, 100, gen);
+  ASSERT_TRUE(source.ok());
+  Rng rng(20);
+  EXPECT_FALSE(PartitionByGroup(*source, 3, rng).ok());
+}
+
+TEST(FlipLabelsTest, FractionRespected) {
+  Dataset data = MakeClassified(1000, 4, 21);
+  Dataset original = data;
+  Rng rng(22);
+  ASSERT_TRUE(FlipLabels(data, 0.3, rng).ok());
+  int changed = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data.ClassLabel(i) != original.ClassLabel(i)) ++changed;
+  }
+  EXPECT_EQ(changed, 300);  // flips always move to a different class
+}
+
+TEST(FlipLabelsTest, ZeroAndFullFraction) {
+  Dataset data = MakeClassified(100, 2, 23);
+  Dataset original = data;
+  Rng rng(24);
+  ASSERT_TRUE(FlipLabels(data, 0.0, rng).ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data.ClassLabel(i), original.ClassLabel(i));
+  }
+  ASSERT_TRUE(FlipLabels(data, 1.0, rng).ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NE(data.ClassLabel(i), original.ClassLabel(i));
+  }
+}
+
+TEST(FlipLabelsTest, Validation) {
+  Dataset data = MakeClassified(10, 2, 25);
+  Rng rng(26);
+  EXPECT_FALSE(FlipLabels(data, -0.1, rng).ok());
+  EXPECT_FALSE(FlipLabels(data, 1.1, rng).ok());
+}
+
+TEST(AddFeatureNoiseTest, ScaleZeroIsIdentity) {
+  Dataset data = MakeClassified(50, 2, 27);
+  Dataset original = data;
+  Rng rng(28);
+  ASSERT_TRUE(AddFeatureNoise(data, 0.0, rng).ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int d = 0; d < data.num_features(); ++d) {
+      EXPECT_FLOAT_EQ(data.Row(i)[d], original.Row(i)[d]);
+    }
+  }
+  EXPECT_FALSE(AddFeatureNoise(data, -1.0, rng).ok());
+}
+
+TEST(AddFeatureNoiseTest, PerturbationMagnitude) {
+  Dataset data = MakeClassified(500, 2, 29);
+  Dataset original = data;
+  Rng rng(30);
+  ASSERT_TRUE(AddFeatureNoise(data, 0.5, rng).ok());
+  double total_sq = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int d = 0; d < data.num_features(); ++d) {
+      const double diff = data.Row(i)[d] - original.Row(i)[d];
+      total_sq += diff * diff;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(std::sqrt(total_sq / count), 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace fedshap

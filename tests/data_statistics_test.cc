@@ -1,0 +1,90 @@
+#include "data/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace fedshap {
+namespace {
+
+TEST(SummarizeTest, EmptyDataset) {
+  DatasetSummary summary = Summarize(Dataset());
+  EXPECT_EQ(summary.rows, 0u);
+  EXPECT_TRUE(summary.feature_mean.empty());
+  EXPECT_DOUBLE_EQ(summary.label_entropy_bits, 0.0);
+}
+
+TEST(SummarizeTest, MeanAndStddevHandComputed) {
+  Result<Dataset> data = Dataset::Create(2, 2);
+  ASSERT_TRUE(data.ok());
+  data->Append({0.0f, 10.0f}, 0.0f);
+  data->Append({2.0f, 10.0f}, 1.0f);
+  data->Append({4.0f, 10.0f}, 1.0f);
+  DatasetSummary summary = Summarize(*data);
+  EXPECT_NEAR(summary.feature_mean[0], 2.0, 1e-9);
+  EXPECT_NEAR(summary.feature_mean[1], 10.0, 1e-9);
+  EXPECT_NEAR(summary.feature_stddev[0], std::sqrt(8.0 / 3.0), 1e-9);
+  EXPECT_NEAR(summary.feature_stddev[1], 0.0, 1e-9);
+  ASSERT_EQ(summary.class_counts.size(), 2u);
+  EXPECT_EQ(summary.class_counts[0], 1u);
+  EXPECT_EQ(summary.class_counts[1], 2u);
+}
+
+TEST(SummarizeTest, EntropyUniformVsSkewed) {
+  Rng rng(1);
+  Result<Dataset> uniform = GenerateBlobs(4, 3, 4.0, 2000, rng);
+  ASSERT_TRUE(uniform.ok());
+  DatasetSummary uniform_summary = Summarize(*uniform);
+  EXPECT_NEAR(uniform_summary.label_entropy_bits, 2.0, 0.05);
+
+  // Single-class shard: zero entropy.
+  Result<Dataset> single = Dataset::Create(3, 4);
+  ASSERT_TRUE(single.ok());
+  for (int i = 0; i < 50; ++i) single->Append({0.f, 0.f, 0.f}, 2.0f);
+  EXPECT_DOUBLE_EQ(Summarize(*single).label_entropy_bits, 0.0);
+}
+
+TEST(SummarizeTest, ToStringMentionsShape) {
+  Rng rng(2);
+  Result<Dataset> data = GenerateBlobs(3, 4, 4.0, 90, rng);
+  ASSERT_TRUE(data.ok());
+  const std::string s = SummaryToString(Summarize(*data));
+  EXPECT_NE(s.find("rows=90"), std::string::npos);
+  EXPECT_NE(s.find("classes=3"), std::string::npos);
+}
+
+TEST(ClientDriftTest, IidPartitionHasLowDrift) {
+  Rng rng(3);
+  Result<Dataset> pool = GenerateBlobs(4, 6, 4.0, 4000, rng);
+  ASSERT_TRUE(pool.ok());
+  PartitionConfig iid;
+  iid.scheme = PartitionScheme::kSameSizeSameDist;
+  iid.num_clients = 5;
+  Result<std::vector<Dataset>> iid_clients =
+      PartitionDataset(*pool, iid, rng);
+  ASSERT_TRUE(iid_clients.ok());
+
+  Result<std::vector<Dataset>> skewed_clients =
+      PartitionDirichlet(*pool, 5, 0.1, rng);
+  ASSERT_TRUE(skewed_clients.ok());
+
+  const double iid_drift = ClientDrift(*iid_clients);
+  const double skewed_drift = ClientDrift(*skewed_clients);
+  EXPECT_LT(iid_drift, skewed_drift);
+}
+
+TEST(ClientDriftTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(ClientDrift({}), 0.0);
+  Rng rng(4);
+  Result<Dataset> one = GenerateBlobs(2, 3, 4.0, 50, rng);
+  ASSERT_TRUE(one.ok());
+  EXPECT_DOUBLE_EQ(ClientDrift({*one}), 0.0);
+  // Empty clients are skipped.
+  EXPECT_DOUBLE_EQ(ClientDrift({*one, Dataset()}), 0.0);
+}
+
+}  // namespace
+}  // namespace fedshap

@@ -1,0 +1,218 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fedshap {
+namespace {
+
+TEST(GenerateDigitsTest, ShapeAndLabels) {
+  DigitsConfig config;
+  config.image_size = 8;
+  config.num_classes = 10;
+  config.num_writers = 4;
+  Rng rng(1);
+  Result<FederatedSource> source = GenerateDigits(config, 500, rng);
+  ASSERT_TRUE(source.ok()) << source.status();
+  EXPECT_EQ(source->data.size(), 500u);
+  EXPECT_EQ(source->data.num_features(), 64);
+  EXPECT_EQ(source->data.num_classes(), 10);
+  EXPECT_EQ(source->group_ids.size(), 500u);
+  EXPECT_EQ(source->num_groups, 4);
+  std::set<int> labels, writers;
+  for (size_t i = 0; i < source->data.size(); ++i) {
+    labels.insert(source->data.ClassLabel(i));
+    writers.insert(source->group_ids[i]);
+  }
+  EXPECT_EQ(labels.size(), 10u);
+  EXPECT_EQ(writers.size(), 4u);
+}
+
+TEST(GenerateDigitsTest, ClassesAreSeparable) {
+  // Same-class samples should be closer to their class prototype than to
+  // other classes on average: verify via nearest-centroid accuracy.
+  DigitsConfig config;
+  config.image_size = 8;
+  config.num_classes = 4;
+  config.pixel_noise = 0.2;
+  Rng rng(2);
+  Result<FederatedSource> source = GenerateDigits(config, 800, rng);
+  ASSERT_TRUE(source.ok());
+  const Dataset& data = source->data;
+  const int dim = data.num_features();
+  // Class centroids from the first half; evaluate on the second half.
+  std::vector<std::vector<double>> centroid(4, std::vector<double>(dim, 0));
+  std::vector<int> counts(4, 0);
+  for (size_t i = 0; i < 400; ++i) {
+    const int label = data.ClassLabel(i);
+    for (int d = 0; d < dim; ++d) centroid[label][d] += data.Row(i)[d];
+    ++counts[label];
+  }
+  for (int c = 0; c < 4; ++c) {
+    ASSERT_GT(counts[c], 0);
+    for (int d = 0; d < dim; ++d) centroid[c][d] /= counts[c];
+  }
+  int correct = 0;
+  for (size_t i = 400; i < 800; ++i) {
+    double best = 1e18;
+    int best_class = -1;
+    for (int c = 0; c < 4; ++c) {
+      double dist = 0.0;
+      for (int d = 0; d < dim; ++d) {
+        const double diff = data.Row(i)[d] - centroid[c][d];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_class = c;
+      }
+    }
+    if (best_class == data.ClassLabel(i)) ++correct;
+  }
+  EXPECT_GT(correct / 400.0, 0.8);
+}
+
+TEST(GenerateDigitsTest, WriterStyleShiftsDistribution) {
+  DigitsConfig config;
+  config.image_size = 8;
+  config.num_classes = 2;
+  config.num_writers = 2;
+  config.writer_shift = 1.0;
+  config.pixel_noise = 0.05;
+  Rng rng(3);
+  Result<FederatedSource> source = GenerateDigits(config, 1000, rng);
+  ASSERT_TRUE(source.ok());
+  // Mean images of the two writers should differ noticeably.
+  const int dim = source->data.num_features();
+  std::vector<double> mean0(dim, 0), mean1(dim, 0);
+  int n0 = 0, n1 = 0;
+  for (size_t i = 0; i < source->data.size(); ++i) {
+    const float* row = source->data.Row(i);
+    if (source->group_ids[i] == 0) {
+      for (int d = 0; d < dim; ++d) mean0[d] += row[d];
+      ++n0;
+    } else {
+      for (int d = 0; d < dim; ++d) mean1[d] += row[d];
+      ++n1;
+    }
+  }
+  double gap = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    gap += std::fabs(mean0[d] / n0 - mean1[d] / n1);
+  }
+  EXPECT_GT(gap / dim, 0.05);
+}
+
+TEST(GenerateDigitsTest, ValidatesConfig) {
+  Rng rng(4);
+  DigitsConfig bad_size;
+  bad_size.image_size = 2;
+  EXPECT_FALSE(GenerateDigits(bad_size, 10, rng).ok());
+  DigitsConfig bad_classes;
+  bad_classes.num_classes = 1;
+  EXPECT_FALSE(GenerateDigits(bad_classes, 10, rng).ok());
+  DigitsConfig bad_writers;
+  bad_writers.num_writers = 0;
+  EXPECT_FALSE(GenerateDigits(bad_writers, 10, rng).ok());
+}
+
+TEST(GenerateTabularTest, SchemaAndGroups) {
+  TabularConfig config;
+  config.num_occupations = 6;
+  Rng rng(5);
+  Result<FederatedSource> source = GenerateTabular(config, 400, rng);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source->data.num_features(), kTabularFeatures);
+  EXPECT_EQ(source->data.num_classes(), 2);
+  EXPECT_EQ(source->num_groups, 6);
+  std::set<int> groups(source->group_ids.begin(), source->group_ids.end());
+  EXPECT_EQ(groups.size(), 6u);
+}
+
+TEST(GenerateTabularTest, LabelsCorrelateWithSignalFeatures) {
+  TabularConfig config;
+  config.label_noise = 0.0;
+  Rng rng(6);
+  Result<FederatedSource> source = GenerateTabular(config, 4000, rng);
+  ASSERT_TRUE(source.ok());
+  // Education (feature 1) should be higher for positive labels on average.
+  double pos_edu = 0, neg_edu = 0;
+  int pos = 0, neg = 0;
+  for (size_t i = 0; i < source->data.size(); ++i) {
+    if (source->data.ClassLabel(i) == 1) {
+      pos_edu += source->data.Row(i)[1];
+      ++pos;
+    } else {
+      neg_edu += source->data.Row(i)[1];
+      ++neg;
+    }
+  }
+  ASSERT_GT(pos, 100);
+  ASSERT_GT(neg, 100);
+  EXPECT_GT(pos_edu / pos, neg_edu / neg);
+}
+
+TEST(GenerateTabularTest, BothClassesPresent) {
+  TabularConfig config;
+  Rng rng(7);
+  Result<FederatedSource> source = GenerateTabular(config, 1000, rng);
+  ASSERT_TRUE(source.ok());
+  std::vector<size_t> histogram = source->data.ClassHistogram();
+  EXPECT_GT(histogram[0], 100u);
+  EXPECT_GT(histogram[1], 100u);
+}
+
+TEST(GenerateRegressionTest, LinearSignalRecoverable) {
+  RegressionConfig config;
+  config.dim = 4;
+  config.noise_stddev = 0.1;
+  Rng rng(8);
+  Result<Dataset> data = GenerateRegression(config, 2000, rng);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_classes(), 0);
+  EXPECT_EQ(data->num_features(), 4);
+  // Var(y) should far exceed noise variance (there is real signal).
+  double mean = 0;
+  for (size_t i = 0; i < data->size(); ++i) mean += data->Target(i);
+  mean /= data->size();
+  double var = 0;
+  for (size_t i = 0; i < data->size(); ++i) {
+    var += (data->Target(i) - mean) * (data->Target(i) - mean);
+  }
+  var /= data->size();
+  EXPECT_GT(var, 0.5);
+}
+
+TEST(GenerateRegressionTest, SameWeightSeedSameFunction) {
+  RegressionConfig config;
+  config.dim = 3;
+  config.noise_stddev = 0.0;
+  Rng rng_a(9), rng_b(9);
+  Result<Dataset> a = GenerateRegression(config, 50, rng_a);
+  Result<Dataset> b = GenerateRegression(config, 50, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_FLOAT_EQ(a->Target(i), b->Target(i));
+  }
+}
+
+TEST(GenerateBlobsTest, SeparableAndBalancedEnough) {
+  Rng rng(10);
+  Result<Dataset> data = GenerateBlobs(3, 4, 6.0, 900, rng);
+  ASSERT_TRUE(data.ok());
+  std::vector<size_t> histogram = data->ClassHistogram();
+  for (size_t count : histogram) EXPECT_GT(count, 200u);
+}
+
+TEST(GenerateBlobsTest, RejectsBadConfig) {
+  Rng rng(11);
+  EXPECT_FALSE(GenerateBlobs(1, 4, 2.0, 10, rng).ok());
+  EXPECT_FALSE(GenerateBlobs(3, 0, 2.0, 10, rng).ok());
+}
+
+}  // namespace
+}  // namespace fedshap

@@ -1,0 +1,166 @@
+#include "fl/utility_cache.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/combinatorics.h"
+
+namespace fedshap {
+namespace {
+
+/// Counts underlying evaluations to verify memoization.
+class CountingUtility : public UtilityFunction {
+ public:
+  explicit CountingUtility(int n) : n_(n) {}
+  int num_clients() const override { return n_; }
+  Result<double> Evaluate(const Coalition& coalition) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<double>(coalition.Count());
+  }
+  int calls() const { return calls_.load(); }
+
+ private:
+  int n_;
+  mutable std::atomic<int> calls_{0};
+};
+
+/// Always fails; exercises error propagation.
+class FailingUtility : public UtilityFunction {
+ public:
+  int num_clients() const override { return 2; }
+  Result<double> Evaluate(const Coalition&) const override {
+    return Status::Internal("deliberate failure");
+  }
+};
+
+TEST(UtilityCacheTest, MemoizesDistinctCoalitions) {
+  CountingUtility fn(5);
+  UtilityCache cache(&fn);
+  const Coalition a = Coalition::Of({0, 1});
+  const Coalition b = Coalition::Of({2});
+  ASSERT_TRUE(cache.Get(a).ok());
+  ASSERT_TRUE(cache.Get(a).ok());
+  ASSERT_TRUE(cache.Get(b).ok());
+  ASSERT_TRUE(cache.Get(a).ok());
+  EXPECT_EQ(fn.calls(), 2);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(UtilityCacheTest, ValuesComeFromUnderlyingFunction) {
+  CountingUtility fn(5);
+  UtilityCache cache(&fn);
+  Result<UtilityRecord> record = cache.Get(Coalition::Of({0, 2, 4}));
+  ASSERT_TRUE(record.ok());
+  EXPECT_DOUBLE_EQ(record->utility, 3.0);
+  EXPECT_GE(record->cost_seconds, 0.0);
+}
+
+TEST(UtilityCacheTest, ErrorsPropagate) {
+  FailingUtility fn;
+  UtilityCache cache(&fn);
+  EXPECT_FALSE(cache.Get(Coalition()).ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(UtilityCacheTest, ClearResetsEverything) {
+  CountingUtility fn(4);
+  UtilityCache cache(&fn);
+  ASSERT_TRUE(cache.Get(Coalition::Of({1})).ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  ASSERT_TRUE(cache.Get(Coalition::Of({1})).ok());
+  EXPECT_EQ(fn.calls(), 2);  // recomputed after Clear
+}
+
+TEST(UtilityCacheTest, PrefetchSequential) {
+  CountingUtility fn(6);
+  UtilityCache cache(&fn);
+  std::vector<Coalition> batch;
+  ForEachSubsetOfSize(6, 2, [&](const Coalition& c) { batch.push_back(c); });
+  ASSERT_TRUE(cache.Prefetch(batch).ok());
+  EXPECT_EQ(cache.size(), 15u);
+  EXPECT_EQ(fn.calls(), 15);
+}
+
+TEST(UtilityCacheTest, PrefetchParallelComputesEachOnce) {
+  CountingUtility fn(8);
+  UtilityCache cache(&fn);
+  ThreadPool pool(4);
+  std::vector<Coalition> batch;
+  ForEachSubsetOfSize(8, 3, [&](const Coalition& c) { batch.push_back(c); });
+  ASSERT_TRUE(cache.Prefetch(batch, &pool).ok());
+  EXPECT_EQ(cache.size(), 56u);
+  // Racing duplicates are possible but bounded; all results are consistent.
+  EXPECT_GE(fn.calls(), 56);
+  for (const Coalition& c : batch) {
+    Result<UtilityRecord> record = cache.Get(c);
+    ASSERT_TRUE(record.ok());
+    EXPECT_DOUBLE_EQ(record->utility, 3.0);
+  }
+}
+
+TEST(UtilityCacheTest, PrefetchPropagatesFailure) {
+  FailingUtility fn;
+  UtilityCache cache(&fn);
+  ThreadPool pool(2);
+  EXPECT_FALSE(cache.Prefetch({Coalition()}, &pool).ok());
+}
+
+TEST(UtilitySessionTest, CountsEvaluationsAndDistinct) {
+  CountingUtility fn(5);
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  EXPECT_EQ(session.num_clients(), 5);
+  ASSERT_TRUE(session.Evaluate(Coalition::Of({0})).ok());
+  ASSERT_TRUE(session.Evaluate(Coalition::Of({0})).ok());
+  ASSERT_TRUE(session.Evaluate(Coalition::Of({1})).ok());
+  EXPECT_EQ(session.num_evaluations(), 3u);
+  EXPECT_EQ(session.num_distinct(), 2u);
+}
+
+TEST(UtilitySessionTest, ChargesEachDistinctCoalitionOnce) {
+  CountingUtility fn(5);
+  UtilityCache cache(&fn);
+  UtilitySession warmup(&cache);
+  ASSERT_TRUE(warmup.Evaluate(Coalition::Of({0, 1})).ok());
+  const double warm_cost = warmup.charged_seconds();
+  EXPECT_GE(warm_cost, 0.0);
+
+  // A later session re-asking for the cached coalition is still charged
+  // the recorded cost — the honest-time model.
+  UtilitySession later(&cache);
+  ASSERT_TRUE(later.Evaluate(Coalition::Of({0, 1})).ok());
+  ASSERT_TRUE(later.Evaluate(Coalition::Of({0, 1})).ok());
+  EXPECT_DOUBLE_EQ(later.charged_seconds(), warm_cost);
+  EXPECT_EQ(later.num_distinct(), 1u);
+  EXPECT_EQ(fn.calls(), 1);  // no recomputation happened
+}
+
+TEST(UtilitySessionTest, IndependentSessionsShareCache) {
+  CountingUtility fn(4);
+  UtilityCache cache(&fn);
+  UtilitySession a(&cache), b(&cache);
+  ASSERT_TRUE(a.Evaluate(Coalition::Of({2})).ok());
+  ASSERT_TRUE(b.Evaluate(Coalition::Of({2})).ok());
+  EXPECT_EQ(fn.calls(), 1);
+  EXPECT_EQ(a.num_distinct(), 1u);
+  EXPECT_EQ(b.num_distinct(), 1u);
+}
+
+TEST(UtilitySessionTest, PaperTableOneRoundTrip) {
+  TableUtility table = testing_util::PaperTableOne();
+  UtilityCache cache(&table);
+  UtilitySession session(&cache);
+  Result<double> u = session.Evaluate(Coalition::Of({0, 1, 2}));
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u, 0.96);
+}
+
+}  // namespace
+}  // namespace fedshap

@@ -1,0 +1,153 @@
+#include "ml/gbdt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fedshap {
+namespace {
+
+Dataset MakeBinary(size_t rows, uint64_t seed, double separation = 4.0) {
+  Rng rng(seed);
+  Result<Dataset> data = GenerateBlobs(2, 5, separation, rows, rng);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+TEST(GbdtTest, FitsSeparableData) {
+  Dataset data = MakeBinary(600, 1);
+  GbdtConfig config;
+  config.num_trees = 15;
+  config.max_depth = 3;
+  Gbdt booster(config);
+  ASSERT_TRUE(booster.Fit(data).ok());
+  EXPECT_EQ(booster.num_trees(), 15);
+  EXPECT_GT(booster.EvaluateAccuracy(data), 0.95);
+}
+
+TEST(GbdtTest, GeneralizesToHeldOut) {
+  Dataset train = MakeBinary(800, 2);
+  Dataset test = MakeBinary(300, 3);
+  GbdtConfig config;
+  config.num_trees = 20;
+  Gbdt booster(config);
+  ASSERT_TRUE(booster.Fit(train).ok());
+  EXPECT_GT(booster.EvaluateAccuracy(test), 0.9);
+}
+
+TEST(GbdtTest, LearnsNonLinearXor) {
+  // XOR of sign(x0), sign(x1): linearly inseparable, tree-friendly.
+  Result<Dataset> data = Dataset::Create(2, 2);
+  ASSERT_TRUE(data.ok());
+  Rng rng(4);
+  for (int i = 0; i < 800; ++i) {
+    const float x0 = static_cast<float>(rng.Gaussian());
+    const float x1 = static_cast<float>(rng.Gaussian());
+    const int label = ((x0 > 0) != (x1 > 0)) ? 1 : 0;
+    data->Append({x0, x1}, static_cast<float>(label));
+  }
+  GbdtConfig config;
+  config.num_trees = 25;
+  config.max_depth = 3;
+  Gbdt booster(config);
+  ASSERT_TRUE(booster.Fit(*data).ok());
+  EXPECT_GT(booster.EvaluateAccuracy(*data), 0.9);
+}
+
+TEST(GbdtTest, MoreTreesImproveTrainFit) {
+  Dataset data = MakeBinary(500, 5, 1.5);  // overlapping classes
+  GbdtConfig small;
+  small.num_trees = 2;
+  GbdtConfig large;
+  large.num_trees = 30;
+  Gbdt booster_small(small), booster_large(large);
+  ASSERT_TRUE(booster_small.Fit(data).ok());
+  ASSERT_TRUE(booster_large.Fit(data).ok());
+  EXPECT_GE(booster_large.EvaluateAccuracy(data),
+            booster_small.EvaluateAccuracy(data));
+}
+
+TEST(GbdtTest, RejectsNonBinaryData) {
+  Rng rng(6);
+  Result<Dataset> multi = GenerateBlobs(3, 4, 4.0, 100, rng);
+  ASSERT_TRUE(multi.ok());
+  Gbdt booster(GbdtConfig{});
+  EXPECT_FALSE(booster.Fit(*multi).ok());
+  RegressionConfig reg;
+  Result<Dataset> regression = GenerateRegression(reg, 100, rng);
+  ASSERT_TRUE(regression.ok());
+  EXPECT_FALSE(booster.Fit(*regression).ok());
+}
+
+TEST(GbdtTest, EmptyDatasetYieldsEmptyEnsemble) {
+  Result<Dataset> empty = Dataset::Create(3, 2);
+  ASSERT_TRUE(empty.ok());
+  Gbdt booster(GbdtConfig{});
+  ASSERT_TRUE(booster.Fit(*empty).ok());
+  EXPECT_EQ(booster.num_trees(), 0);
+  const float row[3] = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(booster.PredictLogit(row), 0.0);
+  EXPECT_DOUBLE_EQ(booster.PredictProbability(row), 0.5);
+}
+
+TEST(GbdtTest, PredictionProbabilitiesAreCalibratedSigmoids) {
+  Dataset data = MakeBinary(400, 7);
+  Gbdt booster(GbdtConfig{});
+  ASSERT_TRUE(booster.Fit(data).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    const double p = booster.PredictProbability(data.Row(i));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    const double logit = booster.PredictLogit(data.Row(i));
+    EXPECT_NEAR(p, 1.0 / (1.0 + std::exp(-logit)), 1e-12);
+  }
+}
+
+TEST(GbdtTest, RefitReplacesEnsemble) {
+  Dataset data = MakeBinary(200, 8);
+  GbdtConfig config;
+  config.num_trees = 5;
+  Gbdt booster(config);
+  ASSERT_TRUE(booster.Fit(data).ok());
+  ASSERT_TRUE(booster.Fit(data).ok());
+  EXPECT_EQ(booster.num_trees(), 5);  // not 10
+}
+
+TEST(GbdtTest, DeterministicAcrossFits) {
+  Dataset data = MakeBinary(300, 9);
+  Gbdt a(GbdtConfig{}), b(GbdtConfig{});
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictLogit(data.Row(i)),
+                     b.PredictLogit(data.Row(i)));
+  }
+}
+
+TEST(GbdtTest, MinSamplesLeafLimitsTreeGrowth) {
+  Dataset data = MakeBinary(50, 10, 1.0);
+  GbdtConfig config;
+  config.num_trees = 1;
+  config.max_depth = 10;
+  config.min_samples_leaf = 25;  // at most one split possible
+  Gbdt booster(config);
+  ASSERT_TRUE(booster.Fit(data).ok());
+  // With min_samples_leaf = half the data, accuracy is still defined and
+  // the booster must not crash or loop.
+  const double acc = booster.EvaluateAccuracy(data);
+  EXPECT_GE(acc, 0.4);
+}
+
+TEST(GbdtTest, EvaluateAccuracyOnEmptyTestIsZero) {
+  Dataset data = MakeBinary(100, 11);
+  Gbdt booster(GbdtConfig{});
+  ASSERT_TRUE(booster.Fit(data).ok());
+  Result<Dataset> empty = Dataset::Create(5, 2);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(booster.EvaluateAccuracy(*empty), 0.0);
+}
+
+}  // namespace
+}  // namespace fedshap

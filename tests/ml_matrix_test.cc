@@ -1,0 +1,116 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace fedshap {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.At(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m.At(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(m.RowPtr(1)[2], 5.0f);
+}
+
+TEST(MatrixTest, FillSetsEverything) {
+  Matrix m(3, 3);
+  m.Fill(2.5f);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(m.At(r, c), 2.5f);
+  }
+}
+
+TEST(MatVecTest, MatchesManualComputation) {
+  Matrix m(2, 3);
+  // [[1, 2, 3], [4, 5, 6]]
+  float v = 1.0f;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.At(r, c) = v++;
+  }
+  const float x[3] = {1.0f, 0.0f, -1.0f};
+  std::vector<float> out;
+  MatVec(m, x, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FLOAT_EQ(out[0], -2.0f);  // 1 - 3
+  EXPECT_FLOAT_EQ(out[1], -2.0f);  // 4 - 6
+}
+
+TEST(MatTVecTest, MatchesManualComputation) {
+  Matrix m(2, 3);
+  float v = 1.0f;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.At(r, c) = v++;
+  }
+  const float x[2] = {1.0f, 2.0f};
+  std::vector<float> out;
+  MatTVec(m, x, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FLOAT_EQ(out[0], 9.0f);   // 1*1 + 4*2
+  EXPECT_FLOAT_EQ(out[1], 12.0f);  // 2*1 + 5*2
+  EXPECT_FLOAT_EQ(out[2], 15.0f);  // 3*1 + 6*2
+}
+
+TEST(Rank1UpdateTest, AccumulatesOuterProduct) {
+  Matrix m(2, 2);
+  const float a[2] = {1.0f, 2.0f};
+  const float b[2] = {3.0f, 4.0f};
+  Rank1Update(m, 0.5f, a, b);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 4.0f);
+}
+
+TEST(SolveLinearSystemTest, SolvesKnownSystem) {
+  // 2x + y = 5 ; x + 3y = 10  ->  x = 1, y = 3
+  Result<std::vector<double>> x =
+      SolveLinearSystem({2, 1, 1, 3}, {5, 10}, 2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  Result<std::vector<double>> x =
+      SolveLinearSystem({0, 1, 1, 0}, {2, 3}, 2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, DetectsSingularity) {
+  EXPECT_FALSE(SolveLinearSystem({1, 2, 2, 4}, {1, 2}, 2).ok());
+}
+
+TEST(SolveLinearSystemTest, ValidatesShape) {
+  EXPECT_FALSE(SolveLinearSystem({1, 2, 3}, {1, 2}, 2).ok());
+  EXPECT_FALSE(SolveLinearSystem({1}, {1}, 0).ok());
+}
+
+TEST(SolveLinearSystemTest, LargerRandomSystemRoundTrips) {
+  // Build A (diagonally dominant, hence nonsingular) and x, solve for b.
+  const int n = 12;
+  std::vector<double> a(n * n), x_true(n), b(n, 0.0);
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) / (1ULL << 53);
+  };
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a[r * n + c] = next() - 0.5;
+    a[r * n + r] += n;  // dominance
+    x_true[r] = next() * 2 - 1;
+  }
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) b[r] += a[r * n + c] * x_true[c];
+  }
+  Result<std::vector<double>> x = SolveLinearSystem(a, b, n);
+  ASSERT_TRUE(x.ok());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace fedshap

@@ -1,0 +1,149 @@
+#include "util/coalition.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace fedshap {
+namespace {
+
+TEST(CoalitionTest, DefaultIsEmpty) {
+  Coalition c;
+  EXPECT_TRUE(c.Empty());
+  EXPECT_EQ(c.Count(), 0);
+  EXPECT_EQ(c.ToString(), "{}");
+}
+
+TEST(CoalitionTest, AddRemoveContains) {
+  Coalition c;
+  c.Add(3);
+  c.Add(100);
+  EXPECT_TRUE(c.Contains(3));
+  EXPECT_TRUE(c.Contains(100));
+  EXPECT_FALSE(c.Contains(4));
+  EXPECT_EQ(c.Count(), 2);
+  c.Remove(3);
+  EXPECT_FALSE(c.Contains(3));
+  EXPECT_EQ(c.Count(), 1);
+  c.Remove(3);  // removing a non-member is a no-op
+  EXPECT_EQ(c.Count(), 1);
+}
+
+TEST(CoalitionTest, OfAndFromIndices) {
+  Coalition a = Coalition::Of({0, 2, 5});
+  Coalition b = Coalition::FromIndices({5, 0, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "{0,2,5}");
+}
+
+TEST(CoalitionTest, FullCoalition) {
+  for (int n : {0, 1, 7, 64, 65, 130}) {
+    Coalition full = Coalition::Full(n);
+    EXPECT_EQ(full.Count(), n) << "n=" << n;
+    for (int i = 0; i < n; ++i) EXPECT_TRUE(full.Contains(i));
+    if (n < Coalition::kMaxClients) {
+      EXPECT_FALSE(full.Contains(n));
+    }
+  }
+}
+
+TEST(CoalitionTest, WithWithoutAreNonMutating) {
+  const Coalition base = Coalition::Of({1, 2});
+  Coalition plus = base.With(4);
+  Coalition minus = base.Without(2);
+  EXPECT_EQ(base.Count(), 2);
+  EXPECT_TRUE(plus.Contains(4));
+  EXPECT_EQ(plus.Count(), 3);
+  EXPECT_FALSE(minus.Contains(2));
+  EXPECT_EQ(minus.Count(), 1);
+}
+
+TEST(CoalitionTest, SetAlgebra) {
+  Coalition a = Coalition::Of({0, 1, 2});
+  Coalition b = Coalition::Of({2, 3});
+  EXPECT_EQ(a.Union(b), Coalition::Of({0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), Coalition::Of({2}));
+  EXPECT_EQ(a.Minus(b), Coalition::Of({0, 1}));
+  EXPECT_EQ(b.Minus(a), Coalition::Of({3}));
+}
+
+TEST(CoalitionTest, ComplementIn) {
+  Coalition s = Coalition::Of({1, 3});
+  Coalition complement = s.ComplementIn(5);
+  EXPECT_EQ(complement, Coalition::Of({0, 2, 4}));
+  // Complement of complement is the original.
+  EXPECT_EQ(complement.ComplementIn(5), s);
+  // Complement spanning a word boundary.
+  Coalition wide = Coalition::Of({0, 70});
+  Coalition wide_c = wide.ComplementIn(72);
+  EXPECT_EQ(wide_c.Count(), 70);
+  EXPECT_FALSE(wide_c.Contains(0));
+  EXPECT_FALSE(wide_c.Contains(70));
+  EXPECT_TRUE(wide_c.Contains(71));
+}
+
+TEST(CoalitionTest, SubsetRelation) {
+  Coalition small = Coalition::Of({1, 2});
+  Coalition big = Coalition::Of({0, 1, 2, 3});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(Coalition().IsSubsetOf(small));
+}
+
+TEST(CoalitionTest, MembersSortedAcrossWords) {
+  Coalition c = Coalition::Of({200, 3, 64, 65, 0});
+  std::vector<int> expected = {0, 3, 64, 65, 200};
+  EXPECT_EQ(c.Members(), expected);
+}
+
+TEST(CoalitionTest, ForEachVisitsAllMembersInOrder) {
+  Coalition c = Coalition::Of({7, 1, 130});
+  std::vector<int> visited;
+  c.ForEach([&](int i) { visited.push_back(i); });
+  std::vector<int> expected = {1, 7, 130};
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(CoalitionTest, EqualityAndOrdering) {
+  Coalition a = Coalition::Of({1});
+  Coalition b = Coalition::Of({1});
+  Coalition c = Coalition::Of({2});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);
+  EXPECT_FALSE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(CoalitionTest, HashDistinguishesSets) {
+  std::unordered_set<size_t> hashes;
+  // All 2^10 subsets of 10 clients should hash mostly distinctly.
+  for (uint64_t mask = 0; mask < 1024; ++mask) {
+    Coalition c;
+    for (int i = 0; i < 10; ++i) {
+      if ((mask >> i) & 1ULL) c.Add(i);
+    }
+    hashes.insert(c.Hash());
+  }
+  EXPECT_GE(hashes.size(), 1020u);  // allow a few collisions, not many
+}
+
+TEST(CoalitionTest, UsableAsUnorderedMapKey) {
+  std::unordered_set<Coalition, CoalitionHash> set;
+  set.insert(Coalition::Of({1, 2}));
+  set.insert(Coalition::Of({2, 1}));  // duplicate
+  set.insert(Coalition::Of({1}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Coalition::Of({1, 2})) > 0);
+}
+
+TEST(CoalitionTest, HighIndexMembership) {
+  Coalition c;
+  c.Add(Coalition::kMaxClients - 1);
+  EXPECT_TRUE(c.Contains(Coalition::kMaxClients - 1));
+  EXPECT_EQ(c.Count(), 1);
+}
+
+}  // namespace
+}  // namespace fedshap

@@ -1,0 +1,176 @@
+#include "util/combinatorics.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fedshap {
+namespace {
+
+TEST(BinomialTest, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(BinomialDouble(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(10, 3), 120.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(52, 5), 2598960.0);
+}
+
+TEST(BinomialTest, OutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(BinomialDouble(5, -1), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(5, 6), 0.0);
+  EXPECT_EQ(BinomialU64(5, -1), 0u);
+  EXPECT_EQ(BinomialU64(5, 6), 0u);
+}
+
+TEST(BinomialTest, PascalIdentity) {
+  for (int n = 1; n <= 30; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_DOUBLE_EQ(BinomialDouble(n, k),
+                       BinomialDouble(n - 1, k - 1) +
+                           BinomialDouble(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialTest, SymmetryIdentity) {
+  for (int n = 0; n <= 40; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_DOUBLE_EQ(BinomialDouble(n, k), BinomialDouble(n, n - k));
+    }
+  }
+}
+
+TEST(BinomialTest, RowSumIsPowerOfTwo) {
+  for (int n = 0; n <= 20; ++n) {
+    double total = 0.0;
+    for (int k = 0; k <= n; ++k) total += BinomialDouble(n, k);
+    EXPECT_DOUBLE_EQ(total, std::pow(2.0, n));
+  }
+}
+
+TEST(BinomialTest, U64MatchesDoubleInExactRange) {
+  for (int n = 0; n <= 30; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_EQ(static_cast<double>(BinomialU64(n, k)),
+                BinomialDouble(n, k));
+    }
+  }
+}
+
+TEST(BinomialTest, U64SaturatesInsteadOfOverflowing) {
+  // C(200, 100) greatly exceeds 2^64.
+  EXPECT_EQ(BinomialU64(200, 100), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(LogFactorialTest, MatchesDirectProducts) {
+  double expected = 0.0;
+  for (int n = 1; n <= 20; ++n) {
+    expected += std::log(static_cast<double>(n));
+    EXPECT_NEAR(LogFactorial(n), expected, 1e-9);
+  }
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+}
+
+TEST(SubsetsUpToSizeTest, MatchesManualSums) {
+  EXPECT_EQ(SubsetsUpToSize(4, 0), 1u);
+  EXPECT_EQ(SubsetsUpToSize(4, 1), 5u);
+  EXPECT_EQ(SubsetsUpToSize(4, 2), 11u);
+  EXPECT_EQ(SubsetsUpToSize(4, 4), 16u);
+  EXPECT_EQ(SubsetsUpToSize(10, 10), 1024u);
+  // k beyond n clamps at 2^n.
+  EXPECT_EQ(SubsetsUpToSize(10, 99), 1024u);
+}
+
+TEST(ForEachSubsetOfSizeTest, CountsMatchBinomials) {
+  for (int n = 0; n <= 10; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      size_t count = 0;
+      ForEachSubsetOfSize(n, k, [&](const Coalition& c) {
+        EXPECT_EQ(c.Count(), k);
+        ++count;
+      });
+      EXPECT_EQ(count, BinomialU64(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ForEachSubsetOfSizeTest, SubsetsAreDistinct) {
+  std::set<std::vector<int>> seen;
+  ForEachSubsetOfSize(8, 3, [&](const Coalition& c) {
+    EXPECT_TRUE(seen.insert(c.Members()).second);
+  });
+  EXPECT_EQ(seen.size(), 56u);
+}
+
+TEST(ForEachSubsetOfSizeTest, InvalidSizesProduceNothing) {
+  int count = 0;
+  ForEachSubsetOfSize(5, 6, [&](const Coalition&) { ++count; });
+  ForEachSubsetOfSize(5, -1, [&](const Coalition&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ForEachSubsetOfTest, EnumeratesPowerSet) {
+  Coalition universe = Coalition::Of({2, 5, 9});
+  std::set<std::vector<int>> seen;
+  ForEachSubsetOf(universe, [&](const Coalition& c) {
+    EXPECT_TRUE(c.IsSubsetOf(universe));
+    EXPECT_TRUE(seen.insert(c.Members()).second);
+  });
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomSubsetTest, SizeAndRangeRespected) {
+  Rng rng(5);
+  for (int t = 0; t < 200; ++t) {
+    Coalition c = RandomSubsetOfSize(9, 4, rng);
+    EXPECT_EQ(c.Count(), 4);
+    for (int member : c.Members()) {
+      EXPECT_GE(member, 0);
+      EXPECT_LT(member, 9);
+    }
+  }
+}
+
+TEST(RandomSubsetTest, ApproximatelyUniformOverSets) {
+  Rng rng(7);
+  // C(5,2) = 10 subsets; each should appear ~1/10 of the time.
+  std::map<std::vector<int>, int> counts;
+  const int draws = 20000;
+  for (int t = 0; t < draws; ++t) {
+    counts[RandomSubsetOfSize(5, 2, rng).Members()]++;
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [subset, count] : counts) {
+    EXPECT_NEAR(count / static_cast<double>(draws), 0.1, 0.015);
+  }
+}
+
+TEST(RandomSubsetExcludingTest, NeverContainsExcluded) {
+  Rng rng(9);
+  for (int t = 0; t < 500; ++t) {
+    const int excluded = t % 7;
+    Coalition c = RandomSubsetOfSizeExcluding(7, 3, excluded, rng);
+    EXPECT_EQ(c.Count(), 3);
+    EXPECT_FALSE(c.Contains(excluded));
+    for (int member : c.Members()) EXPECT_LT(member, 7);
+  }
+}
+
+TEST(RandomSubsetExcludingTest, CoversAllOtherClients) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int t = 0; t < 500; ++t) {
+    for (int member :
+         RandomSubsetOfSizeExcluding(6, 2, 3, rng).Members()) {
+      seen.insert(member);
+    }
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen.count(3), 0u);
+}
+
+}  // namespace
+}  // namespace fedshap

@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace fedshap {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogMacroDoesNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // silence output in the test log
+  FEDSHAP_LOG(Info) << "info message " << 42;
+  FEDSHAP_LOG(Warning) << "warning message";
+  SetLogLevel(original);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(FEDSHAP_CHECK(1 == 2), "Check failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  FEDSHAP_CHECK(true);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(FEDSHAP_CHECK_OK(Status::Internal("kaboom")), "kaboom");
+}
+
+TEST(CheckDeathTest, CheckOkPassesOnOk) {
+  FEDSHAP_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, DcheckActiveMatchesBuildType) {
+#ifdef NDEBUG
+  FEDSHAP_DCHECK(false);  // compiled out in release
+  SUCCEED();
+#else
+  EXPECT_DEATH(FEDSHAP_DCHECK(false), "Check failed");
+#endif
+}
+
+}  // namespace
+}  // namespace fedshap

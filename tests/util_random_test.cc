@@ -1,0 +1,191 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fedshap {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    // Each bucket should be close to draws/10; allow 10% slack.
+    EXPECT_NEAR(c, draws / 10, draws / 100);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(17);
+  const int draws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / draws;
+  const double var = sum_sq / draws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianShiftScale) {
+  Rng rng(19);
+  const int draws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < draws; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / draws, 5.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int successes = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.Bernoulli(0.3)) ++successes;
+  }
+  EXPECT_NEAR(successes / static_cast<double>(draws), 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.75, 0.02);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(31);
+  std::vector<int> perm = rng.Permutation(20);
+  std::vector<int> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, PermutationIsShuffledAcrossDraws) {
+  Rng rng(37);
+  // At least one of several permutations of size 10 must differ from
+  // identity (probability of failure is negligible).
+  bool any_shuffled = false;
+  for (int t = 0; t < 5; ++t) {
+    std::vector<int> perm = rng.Permutation(10);
+    for (int i = 0; i < 10; ++i) {
+      if (perm[i] != i) any_shuffled = true;
+    }
+  }
+  EXPECT_TRUE(any_shuffled);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<int> sample = rng.SampleWithoutReplacement(12, 5);
+    ASSERT_EQ(sample.size(), 5u);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 12);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(43);
+  std::vector<int> sample = rng.SampleWithoutReplacement(6, 6);
+  std::sort(sample.begin(), sample.end());
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformCoverage) {
+  Rng rng(47);
+  std::vector<int> counts(8, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    for (int v : rng.SampleWithoutReplacement(8, 2)) ++counts[v];
+  }
+  // Each element appears in a 2-of-8 sample with probability 1/4.
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(draws), 0.25, 0.02);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(53);
+  Rng child_a = parent.Fork();
+  Rng child_b = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a.Uniform() == child_b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(59), b(59);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(fa.Uniform(), fb.Uniform());
+  }
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(61);
+  std::vector<int> items = {5, 5, 1, 2, 9};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(items.begin(), items.end());
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(items, shuffled);
+}
+
+}  // namespace
+}  // namespace fedshap

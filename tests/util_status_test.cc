@@ -1,0 +1,101 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fedshap {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad n");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad n");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotImplemented("x").code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_FALSE(Status::Internal("a") == Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::NotFound("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusDegradesToInternalError) {
+  Result<int> result = Status::OK();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  ASSERT_TRUE(result.ok());
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+Status FailingFunction() { return Status::Internal("boom"); }
+
+Status PropagatingFunction(bool fail) {
+  if (fail) {
+    FEDSHAP_RETURN_NOT_OK(FailingFunction());
+  }
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(PropagatingFunction(false).ok());
+  EXPECT_EQ(PropagatingFunction(true).code(), StatusCode::kInternal);
+}
+
+Result<int> ProduceValue(bool fail) {
+  if (fail) return Status::OutOfRange("nope");
+  return 7;
+}
+
+Result<int> ConsumeValue(bool fail) {
+  FEDSHAP_ASSIGN_OR_RETURN(int value, ProduceValue(fail));
+  return value + 1;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  Result<int> ok = ConsumeValue(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 8);
+  Result<int> err = ConsumeValue(true);
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace fedshap

@@ -1,0 +1,115 @@
+#include "util/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fedshap {
+namespace {
+
+TEST(ConsoleTableTest, RendersAlignedColumns) {
+  ConsoleTable table({"algo", "time"});
+  table.AddRow({"IPSS", "1.2s"});
+  table.AddRow({"MC-Shapley", "95985s"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| algo"), std::string::npos);
+  EXPECT_NE(out.find("IPSS"), std::string::npos);
+  EXPECT_NE(out.find("MC-Shapley"), std::string::npos);
+  // Every rendered line has equal width.
+  std::istringstream lines(out);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(ConsoleTableTest, SeparatorAddsRule) {
+  ConsoleTable table({"a"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::ostringstream os;
+  table.Print(os);
+  // header rule + top + separator + bottom = 4 rules.
+  size_t rules = 0;
+  std::istringstream lines(os.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(1.2300, 4), "1.23");
+  EXPECT_EQ(FormatDouble(5.0, 2), "5");
+  EXPECT_EQ(FormatDouble(-0.0, 3), "0");
+  EXPECT_EQ(FormatDouble(0.128, 2), "0.13");
+}
+
+TEST(FormatDoubleTest, HandlesSpecials) {
+  EXPECT_EQ(FormatDouble(std::nan(""), 2), "nan");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity(), 2),
+            "inf");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity(), 2),
+            "-inf");
+}
+
+TEST(FormatSecondsTest, AdaptiveUnits) {
+  EXPECT_EQ(FormatSeconds(0.0000005), "0us");
+  EXPECT_EQ(FormatSeconds(0.0005), "500us");
+  EXPECT_EQ(FormatSeconds(0.012), "12.0ms");
+  EXPECT_EQ(FormatSeconds(3.5), "3.50s");
+  EXPECT_EQ(FormatSeconds(-1.0), "-");
+  EXPECT_NE(FormatSeconds(123456.0).find("e"), std::string::npos);
+}
+
+TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvEscape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvEscape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/fedshap_csv_test.csv";
+  Result<CsvWriter> writer = CsvWriter::Create(path, {"a", "b"});
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE(writer->WriteRow({"1", "x,y"}).ok());
+  ASSERT_TRUE(writer->WriteRow({"2", "z"}).ok());
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"x,y\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,z");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, RowWidthMismatchFails) {
+  const std::string path = ::testing::TempDir() + "/fedshap_csv_test2.csv";
+  Result<CsvWriter> writer = CsvWriter::Create(path, {"a", "b"});
+  ASSERT_TRUE(writer.ok());
+  EXPECT_FALSE(writer->WriteRow({"only-one"}).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, EmptyHeaderRejected) {
+  Result<CsvWriter> writer =
+      CsvWriter::Create(::testing::TempDir() + "/x.csv", {});
+  EXPECT_FALSE(writer.ok());
+}
+
+}  // namespace
+}  // namespace fedshap

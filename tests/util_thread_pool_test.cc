@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedshap {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(257);
+  pool.ParallelFor(257, [&](int i) { touched[i].fetch_add(1); });
+  for (int i = 0; i < 257; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndNegativeCounts) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int) { ++calls; });
+  pool.ParallelFor(-5, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.ParallelFor(5, [&](int i) { order.push_back(i); });
+  std::vector<int> expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);  // inline execution preserves order
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    pool.ParallelFor(50, [&](int i) { total.fetch_add(i); });
+  }
+  EXPECT_EQ(total.load(), 10 * (49 * 50 / 2));
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, DestructionWithPendingWorkCompletes) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+  }  // destructor joins workers
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace fedshap
