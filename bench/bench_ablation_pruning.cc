@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
               "(n=10, MLP, %d runs) ===\n\n",
               repeats);
 
-  ScenarioRunner runner(MakeFemnistScenario(10, ModelKind::kMlp, options));
+  ScenarioRunner runner(MakeFemnistScenario(10, ModelKind::kMlp, options),
+                        options.threads);
   const std::vector<double>& exact = runner.GroundTruth();
 
   ConsoleTable table(

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
               "free rider=9, duplicates=(0,1)) ===\n\n");
 
   ScalabilityScenario scenario = MakeScalabilityScenario(10, options);
-  ScenarioRunner runner(std::move(scenario.scenario));
+  ScenarioRunner runner(std::move(scenario.scenario), options.threads);
   const std::vector<double>& exact = runner.GroundTruth();
 
   struct Row {

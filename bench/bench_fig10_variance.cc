@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
 
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
     for (int n : {3, 6, 10}) {
-      ScenarioRunner runner(MakeFemnistScenario(n, kind, options));
+      ScenarioRunner runner(MakeFemnistScenario(n, kind, options),
+                            options.threads);
       // Touch the ground truth so every coalition is cached; the variance
       // sweep then runs entirely against cached utilities.
       runner.GroundTruth();

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   std::printf("=== Fig. 1(b): error vs time, FEMNIST-like, n=10, MLP ===\n\n");
 
   ScenarioRunner runner(
-      MakeFemnistScenario(10, ModelKind::kMlp, options));
+      MakeFemnistScenario(10, ModelKind::kMlp, options), options.threads);
   const std::vector<double>& exact = runner.GroundTruth();
   const int gamma = PaperGamma(10);
 

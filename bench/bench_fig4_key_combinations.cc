@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   std::printf("=== Fig. 4: K-Greedy relative error vs K (n=10) ===\n\n");
 
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
-    ScenarioRunner runner(MakeFemnistScenario(10, kind, options));
+    ScenarioRunner runner(MakeFemnistScenario(10, kind, options),
+                          options.threads);
     const std::vector<double>& exact = runner.GroundTruth();
 
     ConsoleTable table(

@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
     for (int s = 0; s < 5; ++s) {
       ScenarioRunner runner(
-          MakeSyntheticScenario(schemes[s], 10, kind, options));
+          MakeSyntheticScenario(schemes[s], 10, kind, options),
+          options.threads);
       const std::vector<double>& exact = runner.GroundTruth();
       const int gamma = PaperGamma(10);
 

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
               repeats);
 
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
-    ScenarioRunner runner(MakeFemnistScenario(10, kind, options));
+    ScenarioRunner runner(MakeFemnistScenario(10, kind, options),
+                          options.threads);
     const std::vector<double>& exact = runner.GroundTruth();
 
     ConsoleTable table({"gamma", "algorithm", "mean err", "std err"});

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
                       "free-rider err", "symmetry err", "combined"});
   for (int n : {20, 40, 60, 80, 100}) {
     ScalabilityScenario scenario = MakeScalabilityScenario(n, options);
-    ScenarioRunner runner(std::move(scenario.scenario));
+    ScenarioRunner runner(std::move(scenario.scenario), options.threads);
     const int gamma = PaperGamma(n);
 
     for (Algo algo : SamplingAlgos()) {

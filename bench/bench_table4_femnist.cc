@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
 
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
     for (int n : {3, 6, 10}) {
-      ScenarioRunner runner(MakeFemnistScenario(n, kind, options));
+      ScenarioRunner runner(MakeFemnistScenario(n, kind, options),
+                            options.threads);
       const std::vector<double>& exact = runner.GroundTruth();
       const int gamma = PaperGamma(n);
 

@@ -29,6 +29,9 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
   if (const char* env = std::getenv("FEDSHAP_BENCH_SCALE")) {
     options.scale = std::atof(env);
   }
+  if (const char* env = std::getenv("FEDSHAP_BENCH_THREADS")) {
+    options.threads = std::atoi(env);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
@@ -37,9 +40,13 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg == "--quick") {
       options.scale = 0.4;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = std::atoi(arg.c_str() + 10);
     }
   }
   if (options.scale <= 0.0) options.scale = 1.0;
+  if (options.threads == 0) options.threads = ThreadPool::DefaultThreads();
+  if (options.threads < 1) options.threads = 1;
   return options;
 }
 
@@ -364,8 +371,11 @@ std::vector<Algo> SamplingAlgos() {
   return {Algo::kExtTmc, Algo::kExtGtb, Algo::kCcShapley, Algo::kIpss};
 }
 
-ScenarioRunner::ScenarioRunner(Scenario scenario)
-    : scenario_(std::move(scenario)), cache_(scenario_.utility.get()) {}
+ScenarioRunner::ScenarioRunner(Scenario scenario, int threads)
+    : scenario_(std::move(scenario)), cache_(scenario_.utility.get()) {
+  if (threads == 0) threads = ThreadPool::DefaultThreads();
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
 
 Result<ReconstructionContext*> ScenarioRunner::GetContext() {
   if (scenario_.fedavg == nullptr) {
@@ -382,7 +392,7 @@ Result<ReconstructionContext*> ScenarioRunner::GetContext() {
 
 const std::vector<double>& ScenarioRunner::GroundTruth() {
   if (!ground_truth_.has_value()) {
-    UtilitySession session(&cache_);
+    UtilitySession session(&cache_, pool_.get());
     Result<ValuationResult> exact = ExactShapleyMc(session);
     FEDSHAP_CHECK_OK(exact.status());
     ground_truth_ = exact->values;
@@ -413,7 +423,7 @@ Result<AlgoRun> ScenarioRunner::Run(Algo algo, int gamma, uint64_t seed) {
       return run;
     }
     case Algo::kMcShapley: {
-      UtilitySession session(&cache_);
+      UtilitySession session(&cache_, pool_.get());
       FEDSHAP_ASSIGN_OR_RETURN(run.result, ExactShapleyMc(session));
       run.exact = true;
       return run;
@@ -425,7 +435,7 @@ Result<AlgoRun> ScenarioRunner::Run(Algo algo, int gamma, uint64_t seed) {
       return run;
     }
     case Algo::kExtTmc: {
-      UtilitySession session(&cache_);
+      UtilitySession session(&cache_, pool_.get());
       ExtendedTmcConfig config;
       config.permutations = gamma;
       config.seed = seed;
@@ -434,7 +444,7 @@ Result<AlgoRun> ScenarioRunner::Run(Algo algo, int gamma, uint64_t seed) {
       return run;
     }
     case Algo::kExtGtb: {
-      UtilitySession session(&cache_);
+      UtilitySession session(&cache_, pool_.get());
       ExtendedGtbConfig config;
       config.samples = gamma;
       config.seed = seed;
@@ -443,7 +453,7 @@ Result<AlgoRun> ScenarioRunner::Run(Algo algo, int gamma, uint64_t seed) {
       return run;
     }
     case Algo::kCcShapley: {
-      UtilitySession session(&cache_);
+      UtilitySession session(&cache_, pool_.get());
       CcShapleyConfig config;
       config.rounds = gamma;
       config.seed = seed;
@@ -474,7 +484,7 @@ Result<AlgoRun> ScenarioRunner::Run(Algo algo, int gamma, uint64_t seed) {
       return run;
     }
     case Algo::kIpss: {
-      UtilitySession session(&cache_);
+      UtilitySession session(&cache_, pool_.get());
       IpssConfig config;
       config.total_rounds = gamma;
       config.seed = seed;

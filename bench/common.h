@@ -24,9 +24,13 @@ namespace bench {
 ///                     readable from FEDSHAP_BENCH_SCALE. Default 1.0.
 ///   --seed=<u64>      master seed. Default 2025.
 ///   --quick           equivalent to --scale=0.4 (CI-sized run).
+///   --threads=<int>   worker threads for coalition-batch evaluation; also
+///                     readable from FEDSHAP_BENCH_THREADS. 0 = all
+///                     hardware threads. Default 1 (sequential).
 struct BenchOptions {
   double scale = 1.0;
   uint64_t seed = 2025;
+  int threads = 1;
 
   static BenchOptions Parse(int argc, char** argv);
 
@@ -108,10 +112,13 @@ struct AlgoRun {
 };
 
 /// Drives all algorithms against one scenario with a shared utility cache,
-/// computing the exact ground truth once.
+/// computing the exact ground truth once. With `threads` > 1, every
+/// session it opens fans coalition batches out over a shared ThreadPool
+/// (0 = all hardware threads); estimates and accounting are identical to a
+/// sequential run.
 class ScenarioRunner {
  public:
-  explicit ScenarioRunner(Scenario scenario);
+  explicit ScenarioRunner(Scenario scenario, int threads = 1);
 
   int n() const { return scenario_.n; }
   const std::string& description() const { return scenario_.description; }
@@ -131,6 +138,7 @@ class ScenarioRunner {
 
   Scenario scenario_;
   UtilityCache cache_;
+  std::unique_ptr<ThreadPool> pool_;  // null when running sequentially
   std::unique_ptr<ReconstructionContext> context_;
   std::optional<std::vector<double>> ground_truth_;
   double ground_truth_seconds_ = 0.0;

@@ -22,14 +22,29 @@ Result<ValuationResult> CcShapley(UtilitySession& session,
       n, std::vector<double>(n, 0.0));
   std::vector<std::vector<int>> stratum_count(n, std::vector<int>(n, 0));
 
+  // Draw every round's (S, N\S) pair first — the rng stream does not
+  // depend on utilities — then train the whole batch across the session's
+  // thread pool, in the order a sequential run would evaluate.
+  std::vector<std::pair<int, Coalition>> drawn;  // (k, S) per round
+  std::vector<Coalition> order;
+  drawn.reserve(config.rounds);
+  order.reserve(2 * static_cast<size_t>(config.rounds));
   for (int t = 0; t < config.rounds; ++t) {
     const int k =
         static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n))) + 1;
     const Coalition s = RandomSubsetOfSize(n, k, rng);
-    const Coalition complement = s.ComplementIn(n);
-    FEDSHAP_ASSIGN_OR_RETURN(const double u_s, session.Evaluate(s));
-    FEDSHAP_ASSIGN_OR_RETURN(const double u_c,
-                             session.Evaluate(complement));
+    drawn.emplace_back(k, s);
+    order.push_back(s);
+    order.push_back(s.ComplementIn(n));
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> u,
+                           session.EvaluateBatch(order));
+
+  for (int t = 0; t < config.rounds; ++t) {
+    const int k = drawn[t].first;
+    const Coalition& s = drawn[t].second;
+    const double u_s = u[2 * static_cast<size_t>(t)];
+    const double u_c = u[2 * static_cast<size_t>(t) + 1];
     const double cc = u_s - u_c;
     // One pair informs every client (Zhang et al.'s key efficiency trick).
     for (int i = 0; i < n; ++i) {

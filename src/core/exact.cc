@@ -1,5 +1,6 @@
 #include "core/exact.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/combinatorics.h"
@@ -21,14 +22,26 @@ Coalition FromMask(uint64_t mask, int n) {
   return c;
 }
 
-/// Evaluates U on every subset of {0..n-1}; index = bitmask.
+/// Evaluates U on every subset of {0..n-1}; index = bitmask. The sweep is
+/// fed to the session in chunks so the thread pool sees thousands of
+/// independent evaluations at a time while the Coalition scratch buffer
+/// stays small (2^25 coalitions at once would be ~1 GiB).
 Result<std::vector<double>> EvaluateAllSubsets(UtilitySession& session,
                                                int n) {
   const uint64_t total = 1ULL << n;
+  constexpr uint64_t kChunk = 1ULL << 13;
   std::vector<double> utilities(total, 0.0);
-  for (uint64_t mask = 0; mask < total; ++mask) {
-    FEDSHAP_ASSIGN_OR_RETURN(utilities[mask],
-                             session.Evaluate(FromMask(mask, n)));
+  std::vector<Coalition> chunk;
+  for (uint64_t begin = 0; begin < total; begin += kChunk) {
+    const uint64_t end = std::min(total, begin + kChunk);
+    chunk.clear();
+    for (uint64_t mask = begin; mask < end; ++mask) {
+      chunk.push_back(FromMask(mask, n));
+    }
+    FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> values,
+                             session.EvaluateBatch(chunk));
+    std::copy(values.begin(), values.end(),
+              utilities.begin() + static_cast<ptrdiff_t>(begin));
   }
   return utilities;
 }

@@ -123,22 +123,21 @@ Result<ValuationResult> IpssShapley(UtilitySession& session,
   FEDSHAP_CHECK(k_star >= 0);  // total_rounds >= 1 admits the empty set
 
   // ---- Lines 2-7: evaluate every coalition with <= k_star clients. ----
-  std::unordered_map<Coalition, double, CoalitionHash> utilities;
-  uint64_t evaluated = 0;
-  Status failure = Status::OK();
+  // The whole exhaustive prefix is one independent batch: the session fans
+  // it out over its thread pool (one FL training per coalition).
+  std::vector<Coalition> exhaustive;
   for (int k = 0; k <= k_star; ++k) {
-    ForEachSubsetOfSize(n, k, [&](const Coalition& c) {
-      if (!failure.ok()) return;
-      Result<double> u = session.Evaluate(c);
-      if (!u.ok()) {
-        failure = u.status();
-        return;
-      }
-      utilities.emplace(c, u.value());
-      ++evaluated;
-    });
-    if (!failure.ok()) return failure;
+    ForEachSubsetOfSize(n, k,
+                        [&](const Coalition& c) { exhaustive.push_back(c); });
   }
+  FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> exhaustive_u,
+                           session.EvaluateBatch(exhaustive));
+  std::unordered_map<Coalition, double, CoalitionHash> utilities;
+  utilities.reserve(static_cast<size_t>(config.total_rounds));
+  for (size_t j = 0; j < exhaustive.size(); ++j) {
+    utilities.emplace(exhaustive[j], exhaustive_u[j]);
+  }
+  const uint64_t evaluated = exhaustive.size();
 
   // ---- Lines 8-14: balanced sampling of the (k*+1)-stratum. ----
   std::vector<Coalition> pruned_sample;
@@ -146,9 +145,10 @@ Result<ValuationResult> IpssShapley(UtilitySession& session,
     const int remaining =
         config.total_rounds - static_cast<int>(evaluated);
     pruned_sample = BalancedCoalitionSample(n, k_star + 1, remaining, rng);
-    for (const Coalition& c : pruned_sample) {
-      FEDSHAP_ASSIGN_OR_RETURN(double u, session.Evaluate(c));
-      utilities.emplace(c, u);
+    FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> pruned_u,
+                             session.EvaluateBatch(pruned_sample));
+    for (size_t j = 0; j < pruned_sample.size(); ++j) {
+      utilities.emplace(pruned_sample[j], pruned_u[j]);
     }
   }
 

@@ -13,21 +13,20 @@ Result<ValuationResult> KGreedyShapley(UtilitySession& session, int k_max) {
   }
   Stopwatch timer;
 
-  // Evaluate all coalitions of size <= K (Alg. 2 lines 2-4). Utilities are
-  // kept keyed by coalition for the marginal pass.
-  std::unordered_map<Coalition, double, CoalitionHash> utilities;
-  Status failure = Status::OK();
+  // Evaluate all coalitions of size <= K (Alg. 2 lines 2-4) as one batch
+  // fanned out over the session's thread pool. Utilities are kept keyed by
+  // coalition for the marginal pass.
+  std::vector<Coalition> sweep;
   for (int k = 0; k <= k_max; ++k) {
-    ForEachSubsetOfSize(n, k, [&](const Coalition& c) {
-      if (!failure.ok()) return;
-      Result<double> u = session.Evaluate(c);
-      if (!u.ok()) {
-        failure = u.status();
-        return;
-      }
-      utilities.emplace(c, u.value());
-    });
-    if (!failure.ok()) return failure;
+    ForEachSubsetOfSize(n, k,
+                        [&](const Coalition& c) { sweep.push_back(c); });
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> sweep_u,
+                           session.EvaluateBatch(sweep));
+  std::unordered_map<Coalition, double, CoalitionHash> utilities;
+  utilities.reserve(sweep.size());
+  for (size_t j = 0; j < sweep.size(); ++j) {
+    utilities.emplace(sweep[j], sweep_u[j]);
   }
 
   // Marginal pass (Alg. 2 lines 6-8): exact stratum averages for the first

@@ -53,31 +53,46 @@ Result<ValuationResult> PerClientStratifiedShapley(
   Stopwatch timer;
   Rng rng(config.seed);
 
+  // Draw every stratum sample up front (the rng stream is independent of
+  // the utilities), recording the evaluation order a sequential run would
+  // use: per draw, U(S u {i}) then its scheme pair. One batch then fans
+  // the trainings over the session's thread pool with identical
+  // accounting.
+  std::vector<Coalition> order;
+  for (int i = 0; i < n; ++i) {
+    // Stratum k holds the coalitions S with |S| = k that exclude i.
+    for (int k = 0; k <= n - 1; ++k) {
+      const uint64_t population = BinomialU64(n - 1, k);
+      const int m = static_cast<int>(std::min<uint64_t>(
+          population, static_cast<uint64_t>(config.samples_per_stratum)));
+      for (int draw = 0; draw < m; ++draw) {
+        const Coalition s = RandomSubsetOfSizeExcluding(n, k, i, rng);
+        order.push_back(s.With(i));
+        switch (config.scheme) {
+          case SvScheme::kMarginal:
+            order.push_back(s);
+            break;
+          case SvScheme::kComplementary:
+            order.push_back(s.With(i).ComplementIn(n));
+            break;
+        }
+      }
+    }
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> u, session.EvaluateBatch(order));
+
   std::vector<double> values(n, 0.0);
+  size_t cursor = 0;
   for (int i = 0; i < n; ++i) {
     double stratum_total = 0.0;
-    // Stratum k holds the coalitions S with |S| = k that exclude i.
     for (int k = 0; k <= n - 1; ++k) {
       const uint64_t population = BinomialU64(n - 1, k);
       const int m = static_cast<int>(std::min<uint64_t>(
           population, static_cast<uint64_t>(config.samples_per_stratum)));
       double stratum_sum = 0.0;
       for (int draw = 0; draw < m; ++draw) {
-        const Coalition s = RandomSubsetOfSizeExcluding(n, k, i, rng);
-        FEDSHAP_ASSIGN_OR_RETURN(const double u_with,
-                                 session.Evaluate(s.With(i)));
-        double u_pair = 0.0;
-        switch (config.scheme) {
-          case SvScheme::kMarginal: {
-            FEDSHAP_ASSIGN_OR_RETURN(u_pair, session.Evaluate(s));
-            break;
-          }
-          case SvScheme::kComplementary: {
-            FEDSHAP_ASSIGN_OR_RETURN(
-                u_pair, session.Evaluate(s.With(i).ComplementIn(n)));
-            break;
-          }
-        }
+        const double u_with = u[cursor++];
+        const double u_pair = u[cursor++];
         stratum_sum += u_with - u_pair;
       }
       stratum_total += stratum_sum / m;
@@ -213,22 +228,26 @@ Result<ValuationResult> StratifiedSamplingShapley(
   // ---- Lines 1-8: sample and evaluate each stratum. ----
   // sampled[k] holds the distinct coalitions drawn for stratum k (k=1..n):
   // the paper's S_k is a set, so repeated i.i.d. draws collapse. Stratum 0
-  // is the empty coalition, treated as always available.
+  // is the empty coalition, treated as always available. All draws are
+  // made first (the rng stream does not depend on utilities), then
+  // evaluated as one batch across the session's thread pool.
   std::vector<std::unordered_set<Coalition, CoalitionHash>> sampled(n + 1);
   std::vector<std::vector<Coalition>> draws(n + 1);  // distinct, in order
   sampled[0].insert(Coalition());
-  FEDSHAP_ASSIGN_OR_RETURN(double u_empty, session.Evaluate(Coalition()));
-  (void)u_empty;
+  std::vector<Coalition> to_evaluate;
+  to_evaluate.push_back(Coalition());
   for (int k = 1; k <= n; ++k) {
     const int m_k = rounds[k - 1];
     for (int s = 0; s < m_k; ++s) {
       Coalition c = RandomSubsetOfSize(n, k, rng);
       if (!sampled[k].insert(c).second) continue;  // duplicate draw
       draws[k].push_back(c);
-      FEDSHAP_ASSIGN_OR_RETURN(double u, session.Evaluate(c));
-      (void)u;
+      to_evaluate.push_back(c);
     }
   }
+  FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> batch_u,
+                           session.EvaluateBatch(to_evaluate));
+  (void)batch_u;  // re-read as cache hits by the pairing pass below
 
   // ---- Lines 9-17: average paired differences within each stratum. ----
   std::vector<double> values(n, 0.0);

@@ -12,29 +12,33 @@ UtilityCache::UtilityCache(const UtilityFunction* fn) : fn_(fn) {
 }
 
 Result<UtilityRecord> UtilityCache::Get(const Coalition& coalition) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
     auto it = entries_.find(coalition);
     if (it != entries_.end()) {
       ++hits_;
       return it->second;
     }
+    // Single-flight: first asker computes, racers wait for its result
+    // instead of duplicating a full FL training.
+    if (inflight_.insert(coalition).second) break;
+    inflight_done_.wait(lock);
   }
-  // Compute outside the lock; underlying functions are thread-safe and
-  // deterministic, so a racing duplicate computation is wasteful but
-  // harmless (both produce the same record).
+  lock.unlock();
   Stopwatch timer;
-  FEDSHAP_ASSIGN_OR_RETURN(double utility, fn_->Evaluate(coalition));
-  UtilityRecord record{utility, timer.ElapsedSeconds()};
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = entries_.emplace(coalition, record);
-  if (inserted) {
-    ++misses_;
-    total_compute_seconds_ += record.cost_seconds;
-  } else {
-    ++hits_;
-  }
-  return it->second;
+  Result<double> utility = fn_->Evaluate(coalition);
+  const double cost_seconds = timer.ElapsedSeconds();
+  lock.lock();
+  inflight_.erase(coalition);
+  inflight_done_.notify_all();
+  // A failed evaluation counts as neither hit nor miss; a waiter finding
+  // no entry retakes the in-flight slot and retries the computation.
+  if (!utility.ok()) return utility.status();
+  UtilityRecord record{utility.value(), cost_seconds};
+  entries_.emplace(coalition, record);
+  ++misses_;
+  total_compute_seconds_ += record.cost_seconds;
+  return record;
 }
 
 Status UtilityCache::Prefetch(const std::vector<Coalition>& coalitions,
@@ -92,6 +96,27 @@ Result<double> UtilitySession::Evaluate(const Coalition& coalition) {
     charged_seconds_ += record.cost_seconds;
   }
   return record.utility;
+}
+
+Result<std::vector<double>> UtilitySession::EvaluateBatch(
+    const std::vector<Coalition>& coalitions) {
+  if (pool_ != nullptr && pool_->num_threads() > 1 &&
+      coalitions.size() > 1) {
+    // Fan the misses out over the pool. A failure here is deliberately
+    // ignored: the sequential pass below rediscovers it at the same
+    // coalition a sequential run would have, so the returned error and
+    // the *session* accounting are deterministic. (Cache-level stats may
+    // still record trainings the pool completed past the failing
+    // coalition before the error surfaced.)
+    (void)cache_->Prefetch(coalitions, pool_);
+  }
+  std::vector<double> values;
+  values.reserve(coalitions.size());
+  for (const Coalition& coalition : coalitions) {
+    FEDSHAP_ASSIGN_OR_RETURN(double utility, Evaluate(coalition));
+    values.push_back(utility);
+  }
+  return values;
 }
 
 }  // namespace fedshap

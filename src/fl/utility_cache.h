@@ -1,6 +1,7 @@
 #ifndef FEDSHAP_FL_UTILITY_CACHE_H_
 #define FEDSHAP_FL_UTILITY_CACHE_H_
 
+#include <condition_variable>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -23,7 +24,10 @@ struct UtilityRecord {
 
 /// Thread-safe memoization layer over a UtilityFunction.
 ///
-/// Every distinct coalition is trained at most once, and the measured
+/// Every distinct coalition is trained *exactly* once, even under
+/// concurrent access: a Get racing an in-flight computation of the same
+/// coalition blocks until that computation lands instead of duplicating
+/// the FL training (single-flight). The measured
 /// train+evaluate cost is stored alongside the value. This enables the
 /// benches' *charged time* accounting: an algorithm run "pays" the recorded
 /// training cost of every coalition it asks for, whether or not the value
@@ -59,6 +63,10 @@ class UtilityCache {
   const UtilityFunction* fn_;
   mutable std::mutex mutex_;
   std::unordered_map<Coalition, UtilityRecord, CoalitionHash> entries_;
+  /// Coalitions currently being computed by some thread; waiters park on
+  /// `inflight_done_` until theirs lands in `entries_`.
+  std::unordered_set<Coalition, CoalitionHash> inflight_;
+  std::condition_variable inflight_done_;
   size_t hits_ = 0;
   size_t misses_ = 0;
   double total_compute_seconds_ = 0.0;
@@ -73,13 +81,24 @@ class UtilityCache {
 /// matching an implementation that memoizes within the run).
 class UtilitySession {
  public:
-  /// `cache` must outlive the session.
-  explicit UtilitySession(UtilityCache* cache) : cache_(cache) {}
+  /// `cache` (and `pool`, when given) must outlive the session. A session
+  /// with a pool fans EvaluateBatch misses out over the pool's workers;
+  /// without one it degrades to plain sequential evaluation.
+  explicit UtilitySession(UtilityCache* cache, ThreadPool* pool = nullptr)
+      : cache_(cache), pool_(pool) {}
 
   int num_clients() const { return cache_->num_clients(); }
 
   /// U(S), with cost accounting.
   Result<double> Evaluate(const Coalition& coalition);
+
+  /// Evaluates a round's worth of coalitions, returning their utilities in
+  /// order. Cache misses are computed in parallel on the session's thread
+  /// pool (when set); accounting is identical to calling Evaluate on each
+  /// coalition sequentially — same num_evaluations, num_distinct and
+  /// charged_seconds, and on failure the same first error.
+  Result<std::vector<double>> EvaluateBatch(
+      const std::vector<Coalition>& coalitions);
 
   /// Statistics for ValuationResult.
   size_t num_evaluations() const { return num_evaluations_; }
@@ -88,6 +107,7 @@ class UtilitySession {
 
  private:
   UtilityCache* cache_;
+  ThreadPool* pool_;
   std::unordered_set<Coalition, CoalitionHash> seen_;
   size_t num_evaluations_ = 0;
   double charged_seconds_ = 0.0;

@@ -278,5 +278,23 @@ TEST(SamplingBaselinesTest, IpssErrorIsCompetitiveAtTableIiiBudgets) {
   EXPECT_LT(ipss_error, cc_error);
 }
 
+TEST(CcShapleyTest, ParallelSessionMatchesSequential) {
+  TableUtility table = RandomTable(10, 23);
+  UtilityCache cache(&table);
+  CcShapleyConfig config;
+  config.rounds = 48;
+  config.seed = 3;
+  UtilitySession sequential(&cache);
+  Result<ValuationResult> reference = CcShapley(sequential, config);
+  ASSERT_TRUE(reference.ok());
+  ThreadPool pool(4);
+  UtilitySession batched(&cache, &pool);
+  Result<ValuationResult> parallel = CcShapley(batched, config);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->values, reference->values);
+  EXPECT_EQ(parallel->num_evaluations, reference->num_evaluations);
+  EXPECT_EQ(parallel->num_trainings, reference->num_trainings);
+  EXPECT_DOUBLE_EQ(parallel->charged_seconds, reference->charged_seconds);
+}
 }  // namespace
 }  // namespace fedshap

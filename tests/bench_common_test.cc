@@ -2,7 +2,7 @@
 /// budget table, option parsing and the algorithm runner — the machinery
 /// every paper-figure binary depends on.
 
-#include "common.h"
+#include "bench/common.h"
 
 #include <cstdlib>
 

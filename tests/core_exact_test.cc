@@ -170,5 +170,30 @@ TEST(ExactShapleyTest, SessionAccountingMatchesCoalitionCount) {
   EXPECT_EQ(result->num_evaluations, 32u);
 }
 
+TEST(ExactShapleyTest, ParallelSessionMatchesSequential) {
+  TableUtility table = RandomTable(8, 11);
+  UtilityCache cache(&table);
+  ThreadPool pool(4);
+
+  UtilitySession mc_seq(&cache);
+  Result<ValuationResult> mc_reference = ExactShapleyMc(mc_seq);
+  ASSERT_TRUE(mc_reference.ok());
+  UtilitySession mc_par(&cache, &pool);
+  Result<ValuationResult> mc_parallel = ExactShapleyMc(mc_par);
+  ASSERT_TRUE(mc_parallel.ok());
+  EXPECT_EQ(mc_parallel->values, mc_reference->values);
+  EXPECT_EQ(mc_parallel->num_evaluations, mc_reference->num_evaluations);
+  EXPECT_EQ(mc_parallel->num_trainings, mc_reference->num_trainings);
+  EXPECT_DOUBLE_EQ(mc_parallel->charged_seconds,
+                   mc_reference->charged_seconds);
+
+  UtilitySession cc_seq(&cache);
+  Result<ValuationResult> cc_reference = ExactShapleyCc(cc_seq);
+  ASSERT_TRUE(cc_reference.ok());
+  UtilitySession cc_par(&cache, &pool);
+  Result<ValuationResult> cc_parallel = ExactShapleyCc(cc_par);
+  ASSERT_TRUE(cc_parallel.ok());
+  EXPECT_EQ(cc_parallel->values, cc_reference->values);
+}
 }  // namespace
 }  // namespace fedshap

@@ -314,5 +314,27 @@ TEST(IpssTest, Validation) {
   EXPECT_FALSE(IpssShapley(session, config).ok());
 }
 
+TEST(IpssTest, ParallelSessionMatchesSequential) {
+  TableUtility table = RandomTable(10, 21);
+  UtilityCache cache(&table);
+  IpssConfig config;
+  config.total_rounds = 60;
+  config.seed = 7;
+
+  UtilitySession sequential(&cache);
+  Result<ValuationResult> reference = IpssShapley(sequential, config);
+  ASSERT_TRUE(reference.ok());
+
+  // Same cache: the pooled run must produce bit-identical estimates and
+  // identical per-run accounting (charged costs come from shared records).
+  ThreadPool pool(4);
+  UtilitySession batched(&cache, &pool);
+  Result<ValuationResult> parallel = IpssShapley(batched, config);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->values, reference->values);
+  EXPECT_EQ(parallel->num_evaluations, reference->num_evaluations);
+  EXPECT_EQ(parallel->num_trainings, reference->num_trainings);
+  EXPECT_DOUBLE_EQ(parallel->charged_seconds, reference->charged_seconds);
+}
 }  // namespace
 }  // namespace fedshap

@@ -102,5 +102,20 @@ TEST(KGreedyTest, Validation) {
   EXPECT_FALSE(KGreedyShapley(session, 5).ok());
 }
 
+TEST(KGreedyTest, ParallelSessionMatchesSequential) {
+  TableUtility table = RandomTable(10, 19);
+  UtilityCache cache(&table);
+  UtilitySession sequential(&cache);
+  Result<ValuationResult> reference = KGreedyShapley(sequential, 3);
+  ASSERT_TRUE(reference.ok());
+  ThreadPool pool(4);
+  UtilitySession batched(&cache, &pool);
+  Result<ValuationResult> parallel = KGreedyShapley(batched, 3);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->values, reference->values);
+  EXPECT_EQ(parallel->num_evaluations, reference->num_evaluations);
+  EXPECT_EQ(parallel->num_trainings, reference->num_trainings);
+  EXPECT_DOUBLE_EQ(parallel->charged_seconds, reference->charged_seconds);
+}
 }  // namespace
 }  // namespace fedshap

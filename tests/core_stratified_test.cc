@@ -333,5 +333,51 @@ TEST(SvSchemeNameTest, Names) {
   EXPECT_STREQ(SvSchemeName(SvScheme::kComplementary), "CC-SV");
 }
 
+TEST(StratifiedSamplingTest, ParallelSessionMatchesSequential) {
+  TableUtility table = RandomTable(9, 13);
+  UtilityCache cache(&table);
+  ThreadPool pool(4);
+  for (SvScheme scheme : {SvScheme::kMarginal, SvScheme::kComplementary}) {
+    StratifiedConfig config;
+    config.total_rounds = 50;
+    config.seed = 5;
+    config.scheme = scheme;
+    UtilitySession sequential(&cache);
+    Result<ValuationResult> reference =
+        StratifiedSamplingShapley(sequential, config);
+    ASSERT_TRUE(reference.ok());
+    UtilitySession batched(&cache, &pool);
+    Result<ValuationResult> parallel =
+        StratifiedSamplingShapley(batched, config);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->values, reference->values)
+        << SvSchemeName(scheme);
+    EXPECT_EQ(parallel->num_evaluations, reference->num_evaluations);
+    EXPECT_EQ(parallel->num_trainings, reference->num_trainings);
+  }
+}
+
+TEST(PerClientStratifiedTest, ParallelSessionMatchesSequential) {
+  TableUtility table = RandomTable(8, 17);
+  UtilityCache cache(&table);
+  ThreadPool pool(4);
+  for (SvScheme scheme : {SvScheme::kMarginal, SvScheme::kComplementary}) {
+    PerClientStratifiedConfig config;
+    config.samples_per_stratum = 3;
+    config.seed = 9;
+    config.scheme = scheme;
+    UtilitySession sequential(&cache);
+    Result<ValuationResult> reference =
+        PerClientStratifiedShapley(sequential, config);
+    ASSERT_TRUE(reference.ok());
+    UtilitySession batched(&cache, &pool);
+    Result<ValuationResult> parallel =
+        PerClientStratifiedShapley(batched, config);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->values, reference->values)
+        << SvSchemeName(scheme);
+    EXPECT_EQ(parallel->num_evaluations, reference->num_evaluations);
+  }
+}
 }  // namespace
 }  // namespace fedshap

@@ -1,11 +1,14 @@
 #include "fl/utility_cache.h"
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "test_util.h"
 #include "util/combinatorics.h"
+#include "util/random.h"
 
 namespace fedshap {
 namespace {
@@ -96,12 +99,83 @@ TEST(UtilityCacheTest, PrefetchParallelComputesEachOnce) {
   ForEachSubsetOfSize(8, 3, [&](const Coalition& c) { batch.push_back(c); });
   ASSERT_TRUE(cache.Prefetch(batch, &pool).ok());
   EXPECT_EQ(cache.size(), 56u);
-  // Racing duplicates are possible but bounded; all results are consistent.
-  EXPECT_GE(fn.calls(), 56);
+  // Single-flight: racing workers wait for the in-flight computation
+  // instead of duplicating it.
+  EXPECT_EQ(fn.calls(), 56);
+  EXPECT_EQ(cache.misses(), 56u);
   for (const Coalition& c : batch) {
     Result<UtilityRecord> record = cache.Get(c);
     ASSERT_TRUE(record.ok());
     EXPECT_DOUBLE_EQ(record->utility, 3.0);
+  }
+}
+
+/// Coalition.Count() plus a deliberate stall, to force Get/Prefetch races
+/// to overlap in time.
+class SlowCountingUtility : public UtilityFunction {
+ public:
+  explicit SlowCountingUtility(int n) : n_(n) {}
+  int num_clients() const override { return n_; }
+  Result<double> Evaluate(const Coalition& coalition) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    return static_cast<double>(coalition.Count()) * 1.5;
+  }
+  int calls() const { return calls_.load(); }
+
+ private:
+  int n_;
+  mutable std::atomic<int> calls_{0};
+};
+
+TEST(UtilityCacheTest, ConcurrentHammerComputesEachCoalitionExactlyOnce) {
+  // The reference: one sequential sweep over the distinct coalitions.
+  std::vector<Coalition> distinct;
+  ForEachSubsetOfSize(10, 2, [&](const Coalition& c) {
+    distinct.push_back(c);
+  });
+  SlowCountingUtility sequential_fn(10);
+  UtilityCache sequential_cache(&sequential_fn);
+  std::vector<double> expected;
+  for (const Coalition& c : distinct) {
+    Result<UtilityRecord> r = sequential_cache.Get(c);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r->utility);
+  }
+
+  // The hammer: 8 threads each Get/Prefetch every coalition in a
+  // different order, racing on a shared cache.
+  SlowCountingUtility fn(10);
+  UtilityCache cache(&fn);
+  ThreadPool prefetch_pool(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      std::vector<Coalition> order = distinct;
+      Rng rng(1000 + t);
+      for (size_t j = order.size(); j > 1; --j) {
+        std::swap(order[j - 1], order[rng.UniformInt(j)]);
+      }
+      if (t % 2 == 0) {
+        ASSERT_TRUE(cache.Prefetch(order, &prefetch_pool).ok());
+      } else {
+        for (const Coalition& c : order) {
+          ASSERT_TRUE(cache.Get(c).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Exactly-once: every distinct coalition trained once, despite 8x
+  // oversubscription, and every value matches the sequential run.
+  EXPECT_EQ(cache.misses(), distinct.size());
+  EXPECT_EQ(fn.calls(), static_cast<int>(distinct.size()));
+  EXPECT_EQ(cache.size(), distinct.size());
+  for (size_t j = 0; j < distinct.size(); ++j) {
+    Result<UtilityRecord> r = cache.Get(distinct[j]);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r->utility, expected[j]);
   }
 }
 
@@ -151,6 +225,55 @@ TEST(UtilitySessionTest, IndependentSessionsShareCache) {
   EXPECT_EQ(fn.calls(), 1);
   EXPECT_EQ(a.num_distinct(), 1u);
   EXPECT_EQ(b.num_distinct(), 1u);
+}
+
+TEST(UtilitySessionTest, EvaluateBatchMatchesSequentialAccounting) {
+  SlowCountingUtility fn(9);
+  UtilityCache cache(&fn);
+  std::vector<Coalition> batch;
+  ForEachSubsetOfSize(9, 2, [&](const Coalition& c) { batch.push_back(c); });
+  batch.push_back(batch.front());  // a repeat, to exercise hit accounting
+
+  // Sequential reference session.
+  UtilitySession sequential(&cache);
+  std::vector<double> expected;
+  for (const Coalition& c : batch) {
+    Result<double> u = sequential.Evaluate(c);
+    ASSERT_TRUE(u.ok());
+    expected.push_back(*u);
+  }
+
+  // Pooled batch session on the same cache: identical values, identical
+  // per-run accounting (charged costs come from the same records).
+  ThreadPool pool(4);
+  UtilitySession parallel(&cache, &pool);
+  Result<std::vector<double>> values = parallel.EvaluateBatch(batch);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*values, expected);
+  EXPECT_EQ(parallel.num_evaluations(), sequential.num_evaluations());
+  EXPECT_EQ(parallel.num_distinct(), sequential.num_distinct());
+  EXPECT_DOUBLE_EQ(parallel.charged_seconds(),
+                   sequential.charged_seconds());
+}
+
+TEST(UtilitySessionTest, EvaluateBatchWithoutPoolStillWorks) {
+  CountingUtility fn(5);
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  Result<std::vector<double>> values =
+      session.EvaluateBatch({Coalition::Of({0}), Coalition::Of({0, 1})});
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*values, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(session.num_evaluations(), 2u);
+}
+
+TEST(UtilitySessionTest, EvaluateBatchPropagatesFailure) {
+  FailingUtility fn;
+  UtilityCache cache(&fn);
+  ThreadPool pool(2);
+  UtilitySession session(&cache, &pool);
+  EXPECT_FALSE(session.EvaluateBatch({Coalition(), Coalition::Of({0})}).ok());
+  EXPECT_EQ(session.num_evaluations(), 0u);
 }
 
 TEST(UtilitySessionTest, PaperTableOneRoundTrip) {
