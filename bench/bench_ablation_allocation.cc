@@ -18,9 +18,11 @@ using namespace fedshap::bench;
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
   const int repeats = 30;
-  std::printf("=== Ablation: uniform vs Neyman stratum allocation "
-              "(linear-regression utility, %d runs) ===\n\n",
-              repeats);
+  PrintRunHeader(("Ablation: uniform vs Neyman stratum allocation "
+                  "(linear-regression utility, " +
+                  std::to_string(repeats) + " runs)")
+                     .c_str(),
+                 options, /*runner_backed=*/false);
 
   LinearRegressionUtility::Params params;
   params.num_clients = 8;

@@ -22,12 +22,14 @@ using namespace fedshap::bench;
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
   const int repeats = 10;
-  std::printf("=== Ablation: importance pruning at matched budgets "
-              "(n=10, MLP, %d runs) ===\n\n",
-              repeats);
+  PrintRunHeader(("Ablation: importance pruning at matched budgets "
+                  "(n=10, MLP, " +
+                  std::to_string(repeats) + " runs)")
+                     .c_str(),
+                 options);
 
   ScenarioRunner runner(MakeFemnistScenario(10, ModelKind::kMlp, options),
-                        options.threads);
+                        options);
   const std::vector<double>& exact = runner.GroundTruth();
 
   ConsoleTable table(

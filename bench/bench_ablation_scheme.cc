@@ -36,9 +36,11 @@ double TotalVariance(const std::vector<std::vector<double>>& samples,
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
   const int runs = 120;
-  std::printf("=== Ablation: MC-SV vs CC-SV variance under Thm. 2's "
-              "linear-regression model (%d runs) ===\n\n",
-              runs);
+  PrintRunHeader(("Ablation: MC-SV vs CC-SV variance under Thm. 2's "
+                  "linear-regression model (" +
+                  std::to_string(runs) + " runs)")
+                     .c_str(),
+                 options, /*runner_backed=*/false);
 
   ConsoleTable table({"noise sigma", "Var[MC-SV]", "Var[CC-SV]",
                       "CC/MC ratio"});

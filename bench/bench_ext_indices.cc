@@ -20,11 +20,13 @@ using namespace fedshap::bench;
 
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
-  std::printf("=== Extension: SV vs Banzhaf vs leave-one-out (n=10, "
-              "free rider=9, duplicates=(0,1)) ===\n\n");
+  PrintRunHeader(
+      "Extension: SV vs Banzhaf vs leave-one-out (n=10, "
+      "free rider=9, duplicates=(0,1))",
+      options);
 
   ScalabilityScenario scenario = MakeScalabilityScenario(10, options);
-  ScenarioRunner runner(std::move(scenario.scenario), options.threads);
+  ScenarioRunner runner(std::move(scenario.scenario), options);
   const std::vector<double>& exact = runner.GroundTruth();
 
   struct Row {

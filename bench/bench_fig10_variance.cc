@@ -35,14 +35,15 @@ double TotalVariance(const std::vector<std::vector<double>>& samples,
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
   const int runs = 40;
-  std::printf("=== Fig. 10: variance of Alg. 1 with MC-SV vs CC-SV "
-              "(%d runs/point) ===\n\n",
-              runs);
+  PrintRunHeader(("Fig. 10: variance of Alg. 1 with MC-SV vs CC-SV (" +
+                  std::to_string(runs) + " runs/point)")
+                     .c_str(),
+                 options);
 
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
     for (int n : {3, 6, 10}) {
       ScenarioRunner runner(MakeFemnistScenario(n, kind, options),
-                            options.threads);
+                            options);
       // Touch the ground truth so every coalition is cached; the variance
       // sweep then runs entirely against cached utilities.
       runner.GroundTruth();

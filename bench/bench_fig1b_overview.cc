@@ -15,10 +15,11 @@ using namespace fedshap::bench;
 
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
-  std::printf("=== Fig. 1(b): error vs time, FEMNIST-like, n=10, MLP ===\n\n");
+  PrintRunHeader("Fig. 1(b): error vs time, FEMNIST-like, n=10, MLP",
+                 options);
 
   ScenarioRunner runner(
-      MakeFemnistScenario(10, ModelKind::kMlp, options), options.threads);
+      MakeFemnistScenario(10, ModelKind::kMlp, options), options);
   const std::vector<double>& exact = runner.GroundTruth();
   const int gamma = PaperGamma(10);
 

@@ -17,11 +17,11 @@ using namespace fedshap::bench;
 
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
-  std::printf("=== Fig. 4: K-Greedy relative error vs K (n=10) ===\n\n");
+  PrintRunHeader("Fig. 4: K-Greedy relative error vs K (n=10)", options);
 
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
     ScenarioRunner runner(MakeFemnistScenario(10, kind, options),
-                          options.threads);
+                          options);
     const std::vector<double>& exact = runner.GroundTruth();
 
     ConsoleTable table(

@@ -13,7 +13,7 @@ using namespace fedshap::bench;
 
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
-  std::printf("=== Fig. 6: synthetic setups (a)-(e), n=10 ===\n\n");
+  PrintRunHeader("Fig. 6: synthetic setups (a)-(e), n=10", options);
 
   const PartitionScheme schemes[] = {
       PartitionScheme::kSameSizeSameDist,
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     for (int s = 0; s < 5; ++s) {
       ScenarioRunner runner(
           MakeSyntheticScenario(schemes[s], 10, kind, options),
-          options.threads);
+          options);
       const std::vector<double>& exact = runner.GroundTruth();
       const int gamma = PaperGamma(10);
 

@@ -18,13 +18,14 @@ using namespace fedshap::bench;
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
   const int repeats = 10;
-  std::printf("=== Fig. 7: error vs sampling rounds gamma (n=10, %d runs"
-              " per point) ===\n\n",
-              repeats);
+  PrintRunHeader(("Fig. 7: error vs sampling rounds gamma (n=10, " +
+                  std::to_string(repeats) + " runs per point)")
+                     .c_str(),
+                 options);
 
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
     ScenarioRunner runner(MakeFemnistScenario(10, kind, options),
-                          options.threads);
+                          options);
     const std::vector<double>& exact = runner.GroundTruth();
 
     ConsoleTable table({"gamma", "algorithm", "mean err", "std err"});

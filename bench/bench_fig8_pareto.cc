@@ -30,16 +30,17 @@ struct ParetoPoint {
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
   const int repeats = 8;
-  std::printf("=== Fig. 8: Pareto curves, time vs error (%d runs/point)"
-              " ===\n\n",
-              repeats);
+  PrintRunHeader(("Fig. 8: Pareto curves, time vs error (" +
+                  std::to_string(repeats) + " runs/point)")
+                     .c_str(),
+                 options);
 
   const char* labels[] = {"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"};
   int panel = 0;
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
     for (int n : {3, 6, 10}) {
       ScenarioRunner runner(MakeFemnistScenario(n, kind, options),
-                            options.threads);
+                            options);
       const std::vector<double>& exact = runner.GroundTruth();
 
       std::vector<ParetoPoint> points;

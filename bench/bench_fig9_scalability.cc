@@ -17,14 +17,16 @@ using namespace fedshap::bench;
 
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
-  std::printf("=== Fig. 9: scalability to 100 clients (gamma = n log2 n,"
-              " 5%% free riders + 5%% duplicates) ===\n\n");
+  PrintRunHeader(
+      "Fig. 9: scalability to 100 clients (gamma = n log2 n, "
+      "5% free riders + 5% duplicates)",
+      options);
 
   ConsoleTable table({"n", "algorithm", "time", "trainings",
                       "free-rider err", "symmetry err", "combined"});
   for (int n : {20, 40, 60, 80, 100}) {
     ScalabilityScenario scenario = MakeScalabilityScenario(n, options);
-    ScenarioRunner runner(std::move(scenario.scenario), options.threads);
+    ScenarioRunner runner(std::move(scenario.scenario), options);
     const int gamma = PaperGamma(n);
 
     for (Algo algo : SamplingAlgos()) {

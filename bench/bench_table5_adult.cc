@@ -14,16 +14,15 @@ using namespace fedshap::bench;
 
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::Parse(argc, argv);
-  std::printf(
-      "=== Table V: Adult-like tabular, by-occupation partition ===\n");
-  std::printf("(scale=%.2f seed=%llu; time = charged train+eval cost)\n\n",
-              options.scale,
-              static_cast<unsigned long long>(options.seed));
+  PrintRunHeader(
+      "Table V: Adult-like tabular, by-occupation partition "
+      "(time = charged train+eval cost)",
+      options);
 
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kXgb}) {
     for (int n : {3, 6, 10}) {
       ScenarioRunner runner(MakeAdultScenario(n, kind, options),
-                            options.threads);
+                            options);
       const std::vector<double>& exact = runner.GroundTruth();
       const int gamma = PaperGamma(n);
 

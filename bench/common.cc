@@ -1,6 +1,7 @@
 #include "common.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -32,6 +33,9 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
   if (const char* env = std::getenv("FEDSHAP_BENCH_THREADS")) {
     options.threads = std::atoi(env);
   }
+  if (const char* env = std::getenv("FEDSHAP_BENCH_CACHE_FILE")) {
+    options.cache_file = env;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
@@ -42,6 +46,10 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.scale = 0.4;
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--cache-file=", 0) == 0) {
+      options.cache_file = arg.substr(13);
+    } else if (arg == "--resume") {
+      options.resume = true;
     }
   }
   if (options.scale <= 0.0) options.scale = 1.0;
@@ -53,6 +61,24 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
 size_t BenchOptions::ScaledRows(size_t rows) const {
   const size_t scaled = static_cast<size_t>(rows * scale);
   return std::max<size_t>(scaled, 64);
+}
+
+void PrintRunHeader(const char* title, const BenchOptions& options,
+                    bool runner_backed) {
+  std::printf("=== %s ===\n", title);
+  if (runner_backed) {
+    std::printf(
+        "config: scale=%.2f seed=%llu threads=%d cache=%s resume=%s\n\n",
+        options.scale, static_cast<unsigned long long>(options.seed),
+        options.threads,
+        options.cache_file.empty() ? "(none)" : options.cache_file.c_str(),
+        options.resume ? "yes" : "no");
+  } else {
+    std::printf(
+        "config: scale=%.2f seed=%llu (closed-form utilities, reseeded "
+        "per run: --threads/--cache-file do not apply)\n\n",
+        options.scale, static_cast<unsigned long long>(options.seed));
+  }
 }
 
 const char* ModelKindName(ModelKind kind) {
@@ -377,6 +403,33 @@ ScenarioRunner::ScenarioRunner(Scenario scenario, int threads)
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
+ScenarioRunner::ScenarioRunner(Scenario scenario,
+                               const BenchOptions& options)
+    : ScenarioRunner(std::move(scenario), options.threads) {
+  if (options.cache_file.empty()) return;
+  // Flush after every training: one bench utility evaluation is a full
+  // FL training, so file-rewrite cost is noise next to what a crash
+  // would otherwise lose.
+  Result<std::unique_ptr<UtilityStore>> store =
+      OpenAndAttachStore(options.cache_file, options.resume,
+                         *scenario_.utility, cache_, /*flush_every=*/1);
+  FEDSHAP_CHECK_OK(store.status());
+  store_ = std::move(store).value();
+  std::printf("[cache] %s: %zu utilities loaded (%s)\n",
+              store_->path().c_str(), store_->loaded_entries(),
+              scenario_.description.c_str());
+}
+
+ScenarioRunner::~ScenarioRunner() {
+  if (store_ != nullptr) {
+    Status flushed = store_->Flush();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "[cache] final flush failed: %s\n",
+                   flushed.ToString().c_str());
+    }
+  }
+}
+
 Result<ReconstructionContext*> ScenarioRunner::GetContext() {
   if (scenario_.fedavg == nullptr) {
     return Status::FailedPrecondition(
@@ -404,7 +457,9 @@ const std::vector<double>& ScenarioRunner::GroundTruth() {
 double ScenarioRunner::MeanTrainingCost() const {
   const size_t entries = cache_.size();
   if (entries == 0) return 0.0;
-  return cache_.total_compute_seconds() / static_cast<double>(entries);
+  // Recorded costs, not this-process compute time: a store-warmed run
+  // still knows what each of its utilities originally cost to train.
+  return cache_.recorded_cost_seconds() / static_cast<double>(entries);
 }
 
 Result<AlgoRun> ScenarioRunner::Run(Algo algo, int gamma, uint64_t seed) {

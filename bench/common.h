@@ -14,6 +14,7 @@
 #include "fl/reconstruction.h"
 #include "fl/utility.h"
 #include "fl/utility_cache.h"
+#include "fl/utility_store.h"
 
 namespace fedshap {
 namespace bench {
@@ -27,16 +28,38 @@ namespace bench {
 ///   --threads=<int>   worker threads for coalition-batch evaluation; also
 ///                     readable from FEDSHAP_BENCH_THREADS. 0 = all
 ///                     hardware threads. Default 1 (sequential).
+///   --cache-file=<stem>  persist utility evaluations: each workload the
+///                     binary runs writes `<stem>.<fingerprint>.fsus`
+///                     (content-addressed, crash-safe; also readable from
+///                     FEDSHAP_BENCH_CACHE_FILE). Without --resume any
+///                     existing store files are replaced.
+///   --resume          with --cache-file: load existing store files, so a
+///                     killed run relaunches warm and repeated invocations
+///                     share trainings across processes. Charged-time
+///                     accounting is unaffected (disk hits charge their
+///                     recorded training cost).
 struct BenchOptions {
   double scale = 1.0;
   uint64_t seed = 2025;
   int threads = 1;
+  std::string cache_file;
+  bool resume = false;
 
   static BenchOptions Parse(int argc, char** argv);
 
   /// rows scaled by `scale`, with a floor to stay meaningful.
   size_t ScaledRows(size_t rows) const;
 };
+
+/// Prints the effective run configuration (scale, seed, threads, cache
+/// file, resume mode) so every bench's output records its own
+/// provenance. Every bench main calls this right after Parse. Benches
+/// that never evaluate through a ScenarioRunner (closed-form utilities
+/// reseeded per run, where caching and threading cannot apply) pass
+/// `runner_backed = false`, and the header says the flags are unused
+/// instead of claiming them as effective.
+void PrintRunHeader(const char* title, const BenchOptions& options,
+                    bool runner_backed = true);
 
 /// FL model architectures used across the paper's evaluation.
 enum class ModelKind { kMlp, kCnn, kLogReg, kXgb };
@@ -116,9 +139,23 @@ struct AlgoRun {
 /// session it opens fans coalition batches out over a shared ThreadPool
 /// (0 = all hardware threads); estimates and accounting are identical to a
 /// sequential run.
+///
+/// When the options carry a `--cache-file` stem, the runner opens the
+/// scenario's content-addressed UtilityStore (`<stem>.<fp>.fsus` where fp
+/// = the utility's workload fingerprint) and attaches it to the cache:
+/// every training becomes durable as it completes, and with `--resume`
+/// previously persisted trainings are preloaded, so a relaunched run only
+/// pays for what the killed one never computed.
 class ScenarioRunner {
  public:
   explicit ScenarioRunner(Scenario scenario, int threads = 1);
+
+  /// Applies `options.threads` and, when `options.cache_file` is set,
+  /// opens + attaches the scenario's persistent utility store.
+  ScenarioRunner(Scenario scenario, const BenchOptions& options);
+
+  /// Flushes the attached store (when any) before tearing down.
+  ~ScenarioRunner();
 
   int n() const { return scenario_.n; }
   const std::string& description() const { return scenario_.description; }
@@ -138,6 +175,7 @@ class ScenarioRunner {
 
   Scenario scenario_;
   UtilityCache cache_;
+  std::unique_ptr<UtilityStore> store_;  // null without --cache-file
   std::unique_ptr<ThreadPool> pool_;  // null when running sequentially
   std::unique_ptr<ReconstructionContext> context_;
   std::optional<std::vector<double>> ground_truth_;

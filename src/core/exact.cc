@@ -56,6 +56,13 @@ Result<ValuationResult> ExactShapleyMc(UtilitySession& session) {
   Stopwatch timer;
   FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> u,
                            EvaluateAllSubsets(session, n));
+  return FinishValuation(McShapleyFromSubsetUtilities(n, u), session,
+                         timer.ElapsedSeconds());
+}
+
+std::vector<double> McShapleyFromSubsetUtilities(
+    int n, const std::vector<double>& u) {
+  FEDSHAP_CHECK(u.size() == (uint64_t{1} << n));
   std::vector<double> values(n, 0.0);
   const uint64_t total = 1ULL << n;
   for (int i = 0; i < n; ++i) {
@@ -67,8 +74,7 @@ Result<ValuationResult> ExactShapleyMc(UtilitySession& session) {
       values[i] += (u[mask | bit] - u[mask]) * weight;
     }
   }
-  return FinishValuation(std::move(values), session,
-                         timer.ElapsedSeconds());
+  return values;
 }
 
 Result<ValuationResult> ExactShapleyCc(UtilitySession& session) {
@@ -79,6 +85,13 @@ Result<ValuationResult> ExactShapleyCc(UtilitySession& session) {
   Stopwatch timer;
   FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> u,
                            EvaluateAllSubsets(session, n));
+  return FinishValuation(CcShapleyFromSubsetUtilities(n, u), session,
+                         timer.ElapsedSeconds());
+}
+
+std::vector<double> CcShapleyFromSubsetUtilities(
+    int n, const std::vector<double>& u) {
+  FEDSHAP_CHECK(u.size() == (uint64_t{1} << n));
   std::vector<double> values(n, 0.0);
   const uint64_t total = 1ULL << n;
   const uint64_t full = total - 1;
@@ -94,8 +107,7 @@ Result<ValuationResult> ExactShapleyCc(UtilitySession& session) {
       values[i] += (u[with_i] - u[complement]) * weight;
     }
   }
-  return FinishValuation(std::move(values), session,
-                         timer.ElapsedSeconds());
+  return values;
 }
 
 Result<ValuationResult> ExactShapleyPermutation(UtilitySession& session) {

@@ -1,6 +1,8 @@
 #ifndef FEDSHAP_CORE_EXACT_H_
 #define FEDSHAP_CORE_EXACT_H_
 
+#include <vector>
+
 #include "core/valuation_result.h"
 #include "fl/utility_cache.h"
 #include "util/status.h"
@@ -31,6 +33,18 @@ double EstimatePermShapleySeconds(int n, double tau);
 
 /// Projected cost of exact MC-Shapley: 2^n evaluations at `tau` seconds.
 double EstimateMcShapleySeconds(int n, double tau);
+
+/// The MC-scheme weight loop of ExactShapleyMc in isolation: exact SV
+/// from a full subset-utility table `u` where `u[mask]` is U(S) for the
+/// coalition whose members are the set bits of `mask` (2^n entries).
+/// Shared by the one-shot path and the resumable ExactMcSweep so both
+/// produce bit-identical values from the same utilities.
+std::vector<double> McShapleyFromSubsetUtilities(
+    int n, const std::vector<double>& u);
+
+/// CC-scheme counterpart of McShapleyFromSubsetUtilities.
+std::vector<double> CcShapleyFromSubsetUtilities(
+    int n, const std::vector<double>& u);
 
 }  // namespace fedshap
 

@@ -153,6 +153,26 @@ Result<ValuationResult> IpssShapley(UtilitySession& session,
   }
 
   // ---- Lines 15-17: MC-SV estimate over the evaluated coalitions. ----
+  FEDSHAP_ASSIGN_OR_RETURN(
+      std::vector<double> values,
+      IpssEstimateFromUtilities(n, k_star, utilities, pruned_sample));
+
+  return FinishValuation(std::move(values), session,
+                         timer.ElapsedSeconds());
+}
+
+Result<std::vector<double>> IpssEstimateFromUtilities(
+    int n, int k_star,
+    const std::unordered_map<Coalition, double, CoalitionHash>& utilities,
+    const std::vector<Coalition>& pruned_sample) {
+  const auto utility_of = [&utilities](const Coalition& c) -> Result<double> {
+    auto it = utilities.find(c);
+    if (it == utilities.end()) {
+      return Status::Internal("IPSS estimate is missing the utility of " +
+                              c.ToString());
+    }
+    return it->second;
+  };
   std::vector<double> values(n, 0.0);
   for (int i = 0; i < n; ++i) {
     double total = 0.0;
@@ -160,26 +180,33 @@ Result<ValuationResult> IpssShapley(UtilitySession& session,
     // so both utilities are known.
     for (int k = 0; k < k_star; ++k) {
       const double weight = 1.0 / BinomialDouble(n - 1, k);
+      Status failed = Status::OK();
       ForEachSubsetOfSize(n, k, [&](const Coalition& s) {
-        if (s.Contains(i)) return;
-        total += weight *
-                 (utilities.at(s.With(i)) - utilities.at(s));
+        if (s.Contains(i) || !failed.ok()) return;
+        Result<double> with_i = utility_of(s.With(i));
+        Result<double> without = utility_of(s);
+        if (!with_i.ok() || !without.ok()) {
+          failed = with_i.ok() ? without.status() : with_i.status();
+          return;
+        }
+        total += weight * (*with_i - *without);
       });
+      FEDSHAP_RETURN_NOT_OK(failed);
     }
     // Pruned stratum: S u {i} sampled in P, |S| = k*.
     if (k_star < n) {
       const double weight = 1.0 / BinomialDouble(n - 1, k_star);
       for (const Coalition& p : pruned_sample) {
         if (!p.Contains(i)) continue;
-        const Coalition s = p.Without(i);
-        total += weight * (utilities.at(p) - utilities.at(s));
+        FEDSHAP_ASSIGN_OR_RETURN(const double u_p, utility_of(p));
+        FEDSHAP_ASSIGN_OR_RETURN(const double u_s,
+                                 utility_of(p.Without(i)));
+        total += weight * (u_p - u_s);
       }
     }
     values[i] = total / n;
   }
-
-  return FinishValuation(std::move(values), session,
-                         timer.ElapsedSeconds());
+  return values;
 }
 
 }  // namespace fedshap

@@ -1,6 +1,7 @@
 #ifndef FEDSHAP_CORE_IPSS_H_
 #define FEDSHAP_CORE_IPSS_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "core/valuation_result.h"
@@ -9,6 +10,12 @@
 #include "util/status.h"
 
 namespace fedshap {
+
+/// \file
+/// IPSS — the paper's contribution (Alg. 3): importance-pruned
+/// stratified sampling of the Shapley value, plus the adaptive-budget
+/// extension and the estimate-from-recorded-utilities helper shared
+/// with the resumable sweep layer (core/resumable.h).
 
 /// Configuration of IPSS (Alg. 3).
 struct IpssConfig {
@@ -44,6 +51,19 @@ std::vector<Coalition> BalancedCoalitionSample(int n, int size, int count,
 /// key-combinations phenomenon (small coalitions dominate the value).
 Result<ValuationResult> IpssShapley(UtilitySession& session,
                                     const IpssConfig& config);
+
+/// Phase 2 of IPSS in isolation: the MC-SV estimate (Alg. 3 lines 15-17)
+/// computed from already-evaluated utilities. `utilities` must contain
+/// every coalition of size <= k_star plus every member of
+/// `pruned_sample` (the sampled (k*+1)-stratum) and each sample's
+/// size-k* subsets obtained by removing one member. Shared by the
+/// one-shot IpssShapley and the resumable IpssSweep so both produce
+/// bit-identical estimates from the same evaluations. Fails with
+/// Internal when a required utility is missing.
+Result<std::vector<double>> IpssEstimateFromUtilities(
+    int n, int k_star,
+    const std::unordered_map<Coalition, double, CoalitionHash>& utilities,
+    const std::vector<Coalition>& pruned_sample);
 
 /// Configuration of the adaptive-budget IPSS extension.
 struct AdaptiveIpssConfig {

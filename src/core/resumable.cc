@@ -1,0 +1,470 @@
+#include "core/resumable.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/exact.h"
+#include "util/combinatorics.h"
+#include "util/logging.h"
+#include "util/serialization.h"
+#include "util/stopwatch.h"
+
+namespace fedshap {
+
+namespace {
+
+/// Frame tag of snapshot files/strings ("FSSN" little-endian).
+constexpr uint32_t kSnapshotMagic = 0x4e535346u;
+constexpr uint32_t kSnapshotVersion = 1;
+
+/// The common snapshot header: algorithm name + configuration hash.
+void PutSnapshotHeader(ByteWriter& payload, const char* algorithm,
+                       uint64_t config_hash) {
+  payload.PutString(algorithm);
+  payload.PutU64(config_hash);
+}
+
+/// Validates the frame and the common header against the restoring
+/// estimator's identity; returns the remaining payload reader on match.
+Result<ByteReader> CheckSnapshotHeader(std::string_view snapshot,
+                                       const char* algorithm,
+                                       uint64_t config_hash) {
+  FEDSHAP_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      DecodeFramed(kSnapshotMagic, kSnapshotVersion, snapshot));
+  ByteReader reader(payload);
+  FEDSHAP_ASSIGN_OR_RETURN(std::string name, reader.GetString());
+  if (name != algorithm) {
+    return Status::FailedPrecondition("snapshot was taken by '" + name +
+                                      "', not '" + algorithm + "'");
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t stored_hash, reader.GetU64());
+  if (stored_hash != config_hash) {
+    return Status::FailedPrecondition(
+        "snapshot configuration does not match this sweep");
+  }
+  return reader;
+}
+
+}  // namespace
+
+Result<ValuationResult> ResumableEstimator::Run(UtilitySession& session) {
+  FEDSHAP_RETURN_NOT_OK(Step(session, 0));
+  return Finish(session);
+}
+
+Status SaveSnapshot(const ResumableEstimator& estimator,
+                    const std::string& path) {
+  FEDSHAP_ASSIGN_OR_RETURN(std::string snapshot, estimator.Snapshot());
+  return WriteFileAtomic(path, snapshot);
+}
+
+Status LoadSnapshot(ResumableEstimator& estimator, const std::string& path) {
+  FEDSHAP_ASSIGN_OR_RETURN(std::string snapshot, ReadFileToString(path));
+  return estimator.Restore(snapshot);
+}
+
+// ---------------------------------------------------------------------------
+// CoalitionPlanSweep
+
+void CoalitionPlanSweep::SetPlan(std::vector<Coalition> plan) {
+  plan_ = std::move(plan);
+  utilities_.reserve(plan_.size());
+}
+
+void CoalitionPlanSweep::FailInit(Status status) {
+  FEDSHAP_CHECK(!status.ok());
+  init_status_ = std::move(status);
+}
+
+uint64_t CoalitionPlanSweep::PlanHash() const {
+  Hasher64 hasher;
+  hasher.MixU64(plan_.size());
+  for (const Coalition& c : plan_) hasher.MixU64(c.Hash());
+  return hasher.digest();
+}
+
+Status CoalitionPlanSweep::Step(UtilitySession& session, int max_units) {
+  FEDSHAP_RETURN_NOT_OK(init_status_);
+  if (cursor_ >= plan_.size()) return Status::OK();
+  Stopwatch timer;
+  size_t todo = plan_.size() - cursor_;
+  if (max_units > 0) todo = std::min(todo, static_cast<size_t>(max_units));
+  const std::vector<Coalition> batch(
+      plan_.begin() + static_cast<ptrdiff_t>(cursor_),
+      plan_.begin() + static_cast<ptrdiff_t>(cursor_ + todo));
+  FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> values,
+                           session.EvaluateBatch(batch));
+  utilities_.insert(utilities_.end(), values.begin(), values.end());
+  cursor_ += todo;
+  wall_accum_ += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<ValuationResult> CoalitionPlanSweep::Finish(UtilitySession& session) {
+  FEDSHAP_RETURN_NOT_OK(init_status_);
+  if (cursor_ != plan_.size()) {
+    return Status::FailedPrecondition(
+        "sweep is not complete: " + std::to_string(cursor_) + "/" +
+        std::to_string(plan_.size()) + " evaluations done");
+  }
+  Stopwatch timer;
+  FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> values, Estimate(session));
+  return FinishValuation(std::move(values), session,
+                         wall_accum_ + timer.ElapsedSeconds());
+}
+
+Result<std::string> CoalitionPlanSweep::Snapshot() const {
+  FEDSHAP_RETURN_NOT_OK(init_status_);
+  ByteWriter payload;
+  PutSnapshotHeader(payload, AlgorithmName(), ConfigHash());
+  payload.PutU64(PlanHash());
+  payload.PutVarint(plan_.size());
+  payload.PutVarint(cursor_);
+  for (size_t j = 0; j < cursor_; ++j) payload.PutDouble(utilities_[j]);
+  return EncodeFramed(kSnapshotMagic, kSnapshotVersion, payload.bytes());
+}
+
+Status CoalitionPlanSweep::Restore(std::string_view snapshot) {
+  FEDSHAP_RETURN_NOT_OK(init_status_);
+  FEDSHAP_ASSIGN_OR_RETURN(
+      ByteReader reader,
+      CheckSnapshotHeader(snapshot, AlgorithmName(), ConfigHash()));
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t plan_hash, reader.GetU64());
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t plan_size, reader.GetVarint());
+  if (plan_hash != PlanHash() || plan_size != plan_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot evaluation plan does not match this sweep");
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t cursor, reader.GetVarint());
+  if (cursor > plan_.size()) {
+    return Status::InvalidArgument("snapshot cursor exceeds the plan");
+  }
+  std::vector<double> utilities;
+  utilities.reserve(cursor);
+  for (uint64_t j = 0; j < cursor; ++j) {
+    FEDSHAP_ASSIGN_OR_RETURN(double value, reader.GetDouble());
+    utilities.push_back(value);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("snapshot has trailing bytes");
+  }
+  // All validated; commit. Wall accounting restarts: the resumed run
+  // reports its own process's time, not the dead process's (nor time
+  // spent on work a rollback just discarded).
+  utilities_ = std::move(utilities);
+  cursor_ = cursor;
+  wall_accum_ = 0.0;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// IpssSweep
+
+IpssSweep::IpssSweep(int n, const IpssConfig& config)
+    : n_(n), config_(config) {
+  if (n < 1) {
+    FailInit(Status::InvalidArgument("need at least one client"));
+    return;
+  }
+  if (config.total_rounds < 1) {
+    FailInit(Status::InvalidArgument("total_rounds must be >= 1"));
+    return;
+  }
+  // Mirrors IpssShapley exactly: exhaustive strata up to k*, then the
+  // balanced sample of the (k*+1)-stratum drawn from Rng(seed).
+  k_star_ = IpssKStar(n, config.total_rounds);
+  FEDSHAP_CHECK(k_star_ >= 0);
+  std::vector<Coalition> plan;
+  for (int k = 0; k <= k_star_; ++k) {
+    ForEachSubsetOfSize(n, k,
+                        [&](const Coalition& c) { plan.push_back(c); });
+  }
+  exhaustive_count_ = plan.size();
+  if (k_star_ + 1 <= n) {
+    Rng rng(config.seed);
+    const int remaining =
+        config.total_rounds - static_cast<int>(exhaustive_count_);
+    for (const Coalition& c :
+         BalancedCoalitionSample(n, k_star_ + 1, remaining, rng)) {
+      plan.push_back(c);
+    }
+  }
+  SetPlan(std::move(plan));
+}
+
+uint64_t IpssSweep::ConfigHash() const {
+  return Hasher64()
+      .MixString("ipss")
+      .MixU64(static_cast<uint64_t>(n_))
+      .MixU64(static_cast<uint64_t>(config_.total_rounds))
+      .MixU64(config_.seed)
+      .digest();
+}
+
+Result<std::vector<double>> IpssSweep::Estimate(UtilitySession&) const {
+  std::unordered_map<Coalition, double, CoalitionHash> utilities;
+  utilities.reserve(plan_.size());
+  for (size_t j = 0; j < plan_.size(); ++j) {
+    utilities.emplace(plan_[j], utilities_[j]);
+  }
+  const std::vector<Coalition> pruned_sample(
+      plan_.begin() + static_cast<ptrdiff_t>(exhaustive_count_),
+      plan_.end());
+  return IpssEstimateFromUtilities(n_, k_star_, utilities, pruned_sample);
+}
+
+// ---------------------------------------------------------------------------
+// StratifiedSweep
+
+StratifiedSweep::StratifiedSweep(int n, const StratifiedConfig& config)
+    : n_(n), config_(config) {
+  if (n < 1) {
+    FailInit(Status::InvalidArgument("need at least one client"));
+    return;
+  }
+  if (config.rounds_per_stratum.empty() && config.total_rounds < 0) {
+    FailInit(Status::InvalidArgument("total_rounds must be >= 0"));
+    return;
+  }
+  std::vector<int> rounds = config.rounds_per_stratum;
+  if (rounds.empty()) {
+    rounds = DefaultStratumAllocation(n, config.total_rounds);
+  }
+  if (static_cast<int>(rounds.size()) != n) {
+    FailInit(Status::InvalidArgument(
+        "rounds_per_stratum must have n entries (m_1..m_n)"));
+    return;
+  }
+  // Mirrors StratifiedSamplingShapley's draw loop exactly: repeated
+  // i.i.d. draws per stratum, duplicates collapsed, the empty coalition
+  // always first.
+  Rng rng(config.seed);
+  std::vector<std::unordered_set<Coalition, CoalitionHash>> sampled(n + 1);
+  std::vector<Coalition> plan;
+  plan.push_back(Coalition());
+  for (int k = 1; k <= n; ++k) {
+    const int m_k = rounds[k - 1];
+    for (int s = 0; s < m_k; ++s) {
+      Coalition c = RandomSubsetOfSize(n, k, rng);
+      if (!sampled[k].insert(c).second) continue;
+      plan.push_back(c);
+    }
+  }
+  SetPlan(std::move(plan));
+}
+
+uint64_t StratifiedSweep::ConfigHash() const {
+  Hasher64 hasher;
+  hasher.MixString("stratified")
+      .MixU64(static_cast<uint64_t>(n_))
+      .MixU64(static_cast<uint64_t>(config_.scheme))
+      .MixU64(static_cast<uint64_t>(config_.pair_policy))
+      .MixU64(static_cast<uint64_t>(config_.total_rounds))
+      .MixU64(config_.seed);
+  hasher.MixU64(config_.rounds_per_stratum.size());
+  for (int m : config_.rounds_per_stratum) {
+    hasher.MixU64(static_cast<uint64_t>(m));
+  }
+  return hasher.digest();
+}
+
+Result<std::vector<double>> StratifiedSweep::Estimate(
+    UtilitySession& session) const {
+  // Regroup the flat plan into per-stratum draw lists (plan order is
+  // already grouped by ascending stratum).
+  std::vector<std::vector<Coalition>> draws(n_ + 1);
+  std::unordered_map<Coalition, double, CoalitionHash> utilities;
+  utilities.reserve(plan_.size());
+  for (size_t j = 0; j < plan_.size(); ++j) {
+    draws[plan_[j].Count()].push_back(plan_[j]);
+    utilities.emplace(plan_[j], utilities_[j]);
+  }
+  return StratifiedEstimateFromDraws(
+      n_, config_.scheme, config_.pair_policy, draws,
+      [&utilities, &session](const Coalition& c) -> Result<double> {
+        auto it = utilities.find(c);
+        if (it != utilities.end()) return it->second;
+        // Only reachable under PairPolicy::kEvaluateOnDemand: the pair
+        // of a sampled coalition was never itself drawn.
+        return session.Evaluate(c);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// ExactSweep
+
+ExactSweep::ExactSweep(int n, SvScheme scheme) : n_(n), scheme_(scheme) {
+  if (n < 1 || n > 20) {
+    FailInit(Status::InvalidArgument(
+        "resumable exact SV requires 1 <= n <= 20"));
+    return;
+  }
+  const uint64_t total = uint64_t{1} << n;
+  std::vector<Coalition> plan;
+  plan.reserve(total);
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    Coalition c;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1ULL) c.Add(i);
+    }
+    plan.push_back(c);
+  }
+  SetPlan(std::move(plan));
+}
+
+uint64_t ExactSweep::ConfigHash() const {
+  return Hasher64()
+      .MixString("exact")
+      .MixU64(static_cast<uint64_t>(n_))
+      .MixU64(static_cast<uint64_t>(scheme_))
+      .digest();
+}
+
+Result<std::vector<double>> ExactSweep::Estimate(UtilitySession&) const {
+  // plan_ is in mask order, so utilities_ already is the subset-utility
+  // table u[mask] the exact schemes consume.
+  switch (scheme_) {
+    case SvScheme::kMarginal:
+      return McShapleyFromSubsetUtilities(n_, utilities_);
+    case SvScheme::kComplementary:
+      return CcShapleyFromSubsetUtilities(n_, utilities_);
+  }
+  return Status::Internal("unknown scheme");
+}
+
+// ---------------------------------------------------------------------------
+// PermutationMcSweep
+
+PermutationMcSweep::PermutationMcSweep(int n,
+                                       const PermutationMcConfig& config)
+    : n_(n), config_(config), sums_(std::max(n, 1), 0.0),
+      rng_(config.seed) {
+  if (n < 1) {
+    init_status_ = Status::InvalidArgument("need at least one client");
+    return;
+  }
+  if (config.permutations < 1) {
+    init_status_ = Status::InvalidArgument("permutations must be >= 1");
+  }
+}
+
+size_t PermutationMcSweep::total_units() const {
+  return static_cast<size_t>(std::max(config_.permutations, 0));
+}
+
+bool PermutationMcSweep::done() const {
+  return init_status_.ok() && permutations_done_ >= total_units();
+}
+
+Status PermutationMcSweep::Step(UtilitySession& session, int max_units) {
+  FEDSHAP_RETURN_NOT_OK(init_status_);
+  if (done()) return Status::OK();
+  Stopwatch timer;
+  size_t todo = total_units() - permutations_done_;
+  if (max_units > 0) todo = std::min(todo, static_cast<size_t>(max_units));
+  // Draw the chunk's permutations first — the RNG stream must not depend
+  // on evaluation scheduling, or resumption would not be bit-identical.
+  std::vector<std::vector<int>> perms;
+  perms.reserve(todo);
+  for (size_t p = 0; p < todo; ++p) perms.push_back(rng_.Permutation(n_));
+  // One batch holding every prefix of every drawn permutation (plus the
+  // empty coalition) fans out over the session's thread pool; distinct
+  // prefixes deduplicate in the utility cache.
+  std::vector<Coalition> order;
+  order.reserve(1 + todo * static_cast<size_t>(n_));
+  order.push_back(Coalition());
+  for (const std::vector<int>& perm : perms) {
+    Coalition prefix;
+    for (int member : perm) {
+      prefix.Add(member);
+      order.push_back(prefix);
+    }
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(std::vector<double> u,
+                           session.EvaluateBatch(order));
+  size_t cursor = 1;
+  for (const std::vector<int>& perm : perms) {
+    double previous = u[0];
+    for (int member : perm) {
+      const double current = u[cursor++];
+      sums_[member] += current - previous;
+      previous = current;
+    }
+  }
+  permutations_done_ += todo;
+  wall_accum_ += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<ValuationResult> PermutationMcSweep::Finish(UtilitySession& session) {
+  FEDSHAP_RETURN_NOT_OK(init_status_);
+  if (!done()) {
+    return Status::FailedPrecondition(
+        "sweep is not complete: " + std::to_string(permutations_done_) +
+        "/" + std::to_string(total_units()) + " permutations done");
+  }
+  Stopwatch timer;
+  std::vector<double> values(n_, 0.0);
+  for (int i = 0; i < n_; ++i) {
+    values[i] = sums_[i] / static_cast<double>(permutations_done_);
+  }
+  return FinishValuation(std::move(values), session,
+                         wall_accum_ + timer.ElapsedSeconds());
+}
+
+uint64_t PermutationMcSweep::ConfigHash() const {
+  return Hasher64()
+      .MixString("perm-mc")
+      .MixU64(static_cast<uint64_t>(n_))
+      .MixU64(static_cast<uint64_t>(config_.permutations))
+      .MixU64(config_.seed)
+      .digest();
+}
+
+Result<std::string> PermutationMcSweep::Snapshot() const {
+  FEDSHAP_RETURN_NOT_OK(init_status_);
+  ByteWriter payload;
+  PutSnapshotHeader(payload, AlgorithmName(), ConfigHash());
+  payload.PutVarint(permutations_done_);
+  payload.PutVarint(sums_.size());
+  for (double sum : sums_) payload.PutDouble(sum);
+  payload.PutString(rng_.SaveState());
+  return EncodeFramed(kSnapshotMagic, kSnapshotVersion, payload.bytes());
+}
+
+Status PermutationMcSweep::Restore(std::string_view snapshot) {
+  FEDSHAP_RETURN_NOT_OK(init_status_);
+  FEDSHAP_ASSIGN_OR_RETURN(
+      ByteReader reader,
+      CheckSnapshotHeader(snapshot, AlgorithmName(), ConfigHash()));
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t done_count, reader.GetVarint());
+  if (done_count > total_units()) {
+    return Status::InvalidArgument("snapshot sample count out of range");
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t sum_count, reader.GetVarint());
+  if (sum_count != static_cast<uint64_t>(n_)) {
+    return Status::InvalidArgument("snapshot running-sum count mismatch");
+  }
+  std::vector<double> sums;
+  sums.reserve(sum_count);
+  for (uint64_t j = 0; j < sum_count; ++j) {
+    FEDSHAP_ASSIGN_OR_RETURN(double sum, reader.GetDouble());
+    sums.push_back(sum);
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(std::string rng_state, reader.GetString());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("snapshot has trailing bytes");
+  }
+  Rng rng(0);
+  FEDSHAP_RETURN_NOT_OK(rng.LoadState(rng_state));
+  // All validated; commit (wall accounting restarts with this process).
+  permutations_done_ = done_count;
+  sums_ = std::move(sums);
+  rng_ = rng;
+  wall_accum_ = 0.0;
+  return Status::OK();
+}
+
+}  // namespace fedshap

@@ -234,6 +234,7 @@ Result<ValuationResult> StratifiedSamplingShapley(
   std::vector<std::unordered_set<Coalition, CoalitionHash>> sampled(n + 1);
   std::vector<std::vector<Coalition>> draws(n + 1);  // distinct, in order
   sampled[0].insert(Coalition());
+  draws[0].push_back(Coalition());
   std::vector<Coalition> to_evaluate;
   to_evaluate.push_back(Coalition());
   for (int k = 1; k <= n; ++k) {
@@ -250,6 +251,32 @@ Result<ValuationResult> StratifiedSamplingShapley(
   (void)batch_u;  // re-read as cache hits by the pairing pass below
 
   // ---- Lines 9-17: average paired differences within each stratum. ----
+  FEDSHAP_ASSIGN_OR_RETURN(
+      std::vector<double> values,
+      StratifiedEstimateFromDraws(
+          n, config.scheme, config.pair_policy, draws,
+          [&session](const Coalition& c) { return session.Evaluate(c); }));
+
+  return FinishValuation(std::move(values), session,
+                         timer.ElapsedSeconds());
+}
+
+Result<std::vector<double>> StratifiedEstimateFromDraws(
+    int n, SvScheme scheme, PairPolicy pair_policy,
+    const std::vector<std::vector<Coalition>>& draws,
+    const std::function<Result<double>(const Coalition&)>& utility) {
+  if (static_cast<int>(draws.size()) != n + 1) {
+    return Status::InvalidArgument("draws must have n+1 strata (0..n)");
+  }
+  if (draws[0].size() != 1 || !draws[0][0].Empty()) {
+    return Status::InvalidArgument(
+        "draws[0] must hold exactly the empty coalition");
+  }
+  // Membership sets per stratum, for the pair-availability test.
+  std::vector<std::unordered_set<Coalition, CoalitionHash>> sampled(n + 1);
+  for (int k = 0; k <= n; ++k) {
+    sampled[k].insert(draws[k].begin(), draws[k].end());
+  }
   std::vector<double> values(n, 0.0);
   for (int i = 0; i < n; ++i) {
     double stratum_sum_total = 0.0;
@@ -260,7 +287,7 @@ Result<ValuationResult> StratifiedSamplingShapley(
         if (!s.Contains(i)) continue;
         Coalition paired;
         bool pair_available = false;
-        switch (config.scheme) {
+        switch (scheme) {
           case SvScheme::kMarginal: {
             paired = s.Without(i);
             pair_available = sampled[k - 1].count(paired) > 0;
@@ -273,12 +300,11 @@ Result<ValuationResult> StratifiedSamplingShapley(
             break;
           }
         }
-        if (!pair_available &&
-            config.pair_policy == PairPolicy::kRequireSampled) {
+        if (!pair_available && pair_policy == PairPolicy::kRequireSampled) {
           continue;
         }
-        FEDSHAP_ASSIGN_OR_RETURN(double u_s, session.Evaluate(s));
-        FEDSHAP_ASSIGN_OR_RETURN(double u_pair, session.Evaluate(paired));
+        FEDSHAP_ASSIGN_OR_RETURN(double u_s, utility(s));
+        FEDSHAP_ASSIGN_OR_RETURN(double u_pair, utility(paired));
         stratum_sum += u_s - u_pair;
         ++stratum_count;
       }
@@ -288,9 +314,7 @@ Result<ValuationResult> StratifiedSamplingShapley(
     }
     values[i] = stratum_sum_total / n;
   }
-
-  return FinishValuation(std::move(values), session,
-                         timer.ElapsedSeconds());
+  return values;
 }
 
 }  // namespace fedshap

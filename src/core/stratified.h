@@ -1,6 +1,7 @@
 #ifndef FEDSHAP_CORE_STRATIFIED_H_
 #define FEDSHAP_CORE_STRATIFIED_H_
 
+#include <functional>
 #include <vector>
 
 #include "core/valuation_result.h"
@@ -63,6 +64,21 @@ Result<ValuationResult> StratifiedSamplingShapley(
 /// `rounds_per_stratum` is empty: round-robin, clipped at C(n, k).
 /// Exposed for tests and for configuring paired MC/CC comparisons.
 std::vector<int> DefaultStratumAllocation(int n, int total_rounds);
+
+/// The pairing pass of Alg. 1 (lines 9-17) in isolation: averages paired
+/// differences over already-drawn strata. `draws[k]` (k = 0..n) holds
+/// the distinct sampled coalitions of size k, in draw order; `draws[0]`
+/// must hold exactly the empty coalition. `utility` supplies U(.) — for
+/// a live run it wraps UtilitySession::Evaluate, for a resumable sweep a
+/// recorded-utilities lookup. Under PairPolicy::kEvaluateOnDemand the
+/// pair of a sampled coalition may itself be unsampled, in which case it
+/// is fetched through `utility` too. Shared by the one-shot
+/// StratifiedSamplingShapley and the resumable StratifiedSweep so both
+/// produce bit-identical estimates from the same draws.
+Result<std::vector<double>> StratifiedEstimateFromDraws(
+    int n, SvScheme scheme, PairPolicy pair_policy,
+    const std::vector<std::vector<Coalition>>& draws,
+    const std::function<Result<double>(const Coalition&)>& utility);
 
 /// Configuration of the per-client stratified estimator.
 struct PerClientStratifiedConfig {

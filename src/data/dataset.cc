@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/serialization.h"
 
 namespace fedshap {
 
@@ -124,6 +125,16 @@ std::string Dataset::DebugString() const {
   os << "Dataset(rows=" << size() << ", features=" << num_features_
      << ", classes=" << num_classes_ << ")";
   return os.str();
+}
+
+uint64_t Dataset::Fingerprint() const {
+  Hasher64 hasher;
+  hasher.MixU64(static_cast<uint64_t>(num_features_))
+      .MixU64(static_cast<uint64_t>(num_classes_))
+      .MixU64(size());
+  hasher.MixBytes(features_.data(), features_.size() * sizeof(float));
+  hasher.MixBytes(labels_.data(), labels_.size() * sizeof(float));
+  return hasher.digest();
 }
 
 }  // namespace fedshap

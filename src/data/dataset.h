@@ -76,6 +76,13 @@ class Dataset {
 
   std::string DebugString() const;
 
+  /// 64-bit content fingerprint over the schema and every feature/target
+  /// byte. Two datasets fingerprint equal iff they hold the same rows in
+  /// the same order. Used to content-address persisted utility values: a
+  /// utility cached on disk is only valid for the exact client datasets
+  /// it was trained on.
+  uint64_t Fingerprint() const;
+
  private:
   Dataset(int num_features, int num_classes)
       : num_features_(num_features), num_classes_(num_classes) {}

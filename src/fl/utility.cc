@@ -4,8 +4,18 @@
 
 #include "ml/metrics.h"
 #include "util/logging.h"
+#include "util/serialization.h"
 
 namespace fedshap {
+
+uint64_t UtilityFunction::Fingerprint() const {
+  // Deliberately weak default: enough for unit-test utilities that are
+  // never persisted. Real workloads override with a full content hash.
+  return Hasher64()
+      .MixString("utility-function")
+      .MixU64(static_cast<uint64_t>(num_clients()))
+      .digest();
+}
 
 // ---------------------------------------------------------------------------
 // FedAvgUtility
@@ -65,6 +75,34 @@ Result<double> FedAvgUtility::EvaluateParameters(
   return Status::Internal("unknown utility metric");
 }
 
+uint64_t FedAvgUtility::Fingerprint() const {
+  // Everything Evaluate's result depends on: the client datasets, the
+  // test set and metric, the architecture and its shared initialization,
+  // and the FedAvg/SGD hyperparameters (including the seed that derives
+  // per-coalition training randomness).
+  Hasher64 hasher;
+  hasher.MixString("fedavg-utility");
+  hasher.MixString(prototype_->Name());
+  const std::vector<float> params = prototype_->GetParameters();
+  hasher.MixU64(params.size());
+  hasher.MixBytes(params.data(), params.size() * sizeof(float));
+  hasher.MixU64(static_cast<uint64_t>(config_.rounds));
+  hasher.MixU64(config_.seed);
+  hasher.MixU64(static_cast<uint64_t>(config_.local.epochs));
+  hasher.MixU64(static_cast<uint64_t>(config_.local.batch_size));
+  hasher.MixDouble(config_.local.learning_rate);
+  hasher.MixDouble(config_.local.momentum);
+  hasher.MixDouble(config_.local.weight_decay);
+  hasher.MixDouble(config_.local.proximal_mu);
+  hasher.MixU64(static_cast<uint64_t>(metric_));
+  hasher.MixU64(test_data_.Fingerprint());
+  hasher.MixU64(clients_.size());
+  for (const FlClient& client : clients_) {
+    hasher.MixU64(client.data().Fingerprint());
+  }
+  return hasher.digest();
+}
+
 // ---------------------------------------------------------------------------
 // GbdtUtility
 
@@ -92,6 +130,23 @@ Result<double> GbdtUtility::Evaluate(const Coalition& coalition) const {
     FEDSHAP_RETURN_NOT_OK(booster.Fit(merged));
   }
   return booster.EvaluateAccuracy(test_data_);
+}
+
+uint64_t GbdtUtility::Fingerprint() const {
+  Hasher64 hasher;
+  hasher.MixString("gbdt-utility");
+  hasher.MixU64(static_cast<uint64_t>(config_.num_trees));
+  hasher.MixU64(static_cast<uint64_t>(config_.max_depth));
+  hasher.MixDouble(config_.learning_rate);
+  hasher.MixDouble(config_.reg_lambda);
+  hasher.MixDouble(config_.min_child_weight);
+  hasher.MixU64(static_cast<uint64_t>(config_.min_samples_leaf));
+  hasher.MixU64(test_data_.Fingerprint());
+  hasher.MixU64(client_data_.size());
+  for (const Dataset& data : client_data_) {
+    hasher.MixU64(data.Fingerprint());
+  }
+  return hasher.digest();
 }
 
 // ---------------------------------------------------------------------------
@@ -137,6 +192,14 @@ Result<double> TableUtility::Evaluate(const Coalition& coalition) const {
   return values_[mask];
 }
 
+uint64_t TableUtility::Fingerprint() const {
+  Hasher64 hasher;
+  hasher.MixString("table-utility");
+  hasher.MixU64(static_cast<uint64_t>(n_));
+  for (double value : values_) hasher.MixDouble(value);
+  return hasher.digest();
+}
+
 // ---------------------------------------------------------------------------
 // LinearRegressionUtility
 
@@ -168,6 +231,19 @@ Result<double> LinearRegressionUtility::Evaluate(
     utility += noise;
   }
   return utility;
+}
+
+uint64_t LinearRegressionUtility::Fingerprint() const {
+  Hasher64 hasher;
+  hasher.MixString("linreg-utility");
+  hasher.MixU64(static_cast<uint64_t>(params_.num_clients));
+  hasher.MixU64(static_cast<uint64_t>(params_.samples_per_client));
+  hasher.MixU64(static_cast<uint64_t>(params_.feature_dim));
+  hasher.MixDouble(params_.noise_mean);
+  hasher.MixDouble(params_.initial_mse);
+  hasher.MixDouble(params_.noise_scale);
+  hasher.MixU64(noise_seed_);
+  return hasher.digest();
 }
 
 }  // namespace fedshap

@@ -31,6 +31,16 @@ class UtilityFunction {
 
   /// U(M_S): utility of the model trained on coalition `coalition`.
   virtual Result<double> Evaluate(const Coalition& coalition) const = 0;
+
+  /// 64-bit content fingerprint of the *workload*: everything that
+  /// determines the value of U(S) for every S — client datasets, test
+  /// data, model architecture and initialization, training configuration.
+  /// Two utility functions with equal fingerprints must agree on every
+  /// coalition; persisted utilities (UtilityStore) are addressed by this
+  /// value. The base implementation hashes only num_clients() and is
+  /// meant for throwaway test utilities; every persistable implementation
+  /// overrides it with a full content hash.
+  virtual uint64_t Fingerprint() const;
 };
 
 /// Which model-quality metric U(.) reports.
@@ -54,6 +64,7 @@ class FedAvgUtility : public UtilityFunction {
     return static_cast<int>(clients_.size());
   }
   Result<double> Evaluate(const Coalition& coalition) const override;
+  uint64_t Fingerprint() const override;
 
   const FlClient& client(int i) const { return clients_[i]; }
   const Dataset& test_data() const { return test_data_; }
@@ -96,6 +107,7 @@ class GbdtUtility : public UtilityFunction {
     return static_cast<int>(client_data_.size());
   }
   Result<double> Evaluate(const Coalition& coalition) const override;
+  uint64_t Fingerprint() const override;
 
  private:
   GbdtUtility(std::vector<Dataset> client_data, Dataset test_data,
@@ -124,6 +136,7 @@ class TableUtility : public UtilityFunction {
 
   int num_clients() const override { return n_; }
   Result<double> Evaluate(const Coalition& coalition) const override;
+  uint64_t Fingerprint() const override;
 
  private:
   TableUtility(int n, std::vector<double> values)
@@ -171,6 +184,7 @@ class LinearRegressionUtility : public UtilityFunction {
 
   int num_clients() const override { return params_.num_clients; }
   Result<double> Evaluate(const Coalition& coalition) const override;
+  uint64_t Fingerprint() const override;
 
   /// Expected (noise-free) utility of a coalition of size k.
   double MeanUtility(int k) const;

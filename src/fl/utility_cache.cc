@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "fl/utility_store.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -38,7 +39,49 @@ Result<UtilityRecord> UtilityCache::Get(const Coalition& coalition) {
   entries_.emplace(coalition, record);
   ++misses_;
   total_compute_seconds_ += record.cost_seconds;
+  recorded_cost_seconds_ += record.cost_seconds;
+  UtilityStore* store = store_;
+  bool should_flush = false;
+  if (store != nullptr && flush_every_ > 0 &&
+      ++unflushed_ >= flush_every_) {
+    unflushed_ = 0;
+    should_flush = true;
+  }
+  // Store IO happens outside the cache mutex: the store is internally
+  // synchronized, and a full-file flush (encode + fsync + rename) must
+  // not stall concurrent hits on the evaluation hot path.
+  lock.unlock();
+  if (store != nullptr) {
+    // Write-through: the freshly trained utility becomes durable. The
+    // periodic flush bounds how many trainings a crash can lose; losing
+    // the flush interval's worth is the deliberate trade against
+    // rewriting the file on every single training.
+    store->Put(coalition, record);
+    if (should_flush) {
+      Status flushed = store->Flush();
+      if (!flushed.ok()) {
+        FEDSHAP_LOG(Warning) << "utility store flush failed: "
+                             << flushed.ToString();
+      }
+    }
+  }
   return record;
+}
+
+void UtilityCache::AttachStore(UtilityStore* store, size_t flush_every) {
+  FEDSHAP_CHECK(store != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_ = store;
+  flush_every_ = flush_every;
+  unflushed_ = 0;
+  preloaded_ = 0;
+  store->ForEach([this](const Coalition& coalition,
+                        const UtilityRecord& record) {
+    if (entries_.emplace(coalition, record).second) {
+      ++preloaded_;
+      recorded_cost_seconds_ += record.cost_seconds;
+    }
+  });
 }
 
 Status UtilityCache::Prefetch(const std::vector<Coalition>& coalitions,
@@ -66,7 +109,9 @@ void UtilityCache::Clear() {
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
+  preloaded_ = 0;
   total_compute_seconds_ = 0.0;
+  recorded_cost_seconds_ = 0.0;
 }
 
 size_t UtilityCache::size() const {
@@ -84,9 +129,19 @@ size_t UtilityCache::misses() const {
   return misses_;
 }
 
+size_t UtilityCache::preloaded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return preloaded_;
+}
+
 double UtilityCache::total_compute_seconds() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return total_compute_seconds_;
+}
+
+double UtilityCache::recorded_cost_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_cost_seconds_;
 }
 
 Result<double> UtilitySession::Evaluate(const Coalition& coalition) {

@@ -14,8 +14,18 @@
 
 namespace fedshap {
 
+class UtilityStore;
+
+/// \file
+/// In-process memoization of utility evaluations (one full FL training
+/// per distinct coalition) plus per-run cost accounting. The optional
+/// persistent backing (UtilityStore) extends the memoization across
+/// processes; see docs/ARCHITECTURE.md for where these layers sit on the
+/// utility-evaluation hot path.
+
 /// One memoized utility evaluation: the value and what it cost to compute.
 struct UtilityRecord {
+  /// U(S), the model quality the coalition's FL training reached.
   double utility = 0.0;
   /// Wall-clock seconds of the underlying train+evaluate (0 on rerun: the
   /// stored cost is from the first, real computation).
@@ -39,6 +49,7 @@ class UtilityCache {
   /// `fn` must outlive the cache.
   explicit UtilityCache(const UtilityFunction* fn);
 
+  /// Number of FL clients n of the underlying utility function.
   int num_clients() const { return fn_->num_clients(); }
 
   /// Returns the record for `coalition`, computing and memoizing on miss.
@@ -49,18 +60,50 @@ class UtilityCache {
   Status Prefetch(const std::vector<Coalition>& coalitions,
                   ThreadPool* pool = nullptr);
 
+  /// Attaches a persistent store as the cache's cross-process backing:
+  ///
+  ///  - every entry already in `store` is loaded into the cache
+  ///    immediately (load-on-open warm start; served as ordinary hits,
+  ///    with their *original* training costs, so charged-time accounting
+  ///    is identical to a run that really trained them);
+  ///  - every subsequent miss is written through to the store, and the
+  ///    store is flushed to disk after every `flush_every` newly computed
+  ///    entries (0 = only on explicit UtilityStore::Flush), bounding what
+  ///    a crash can lose.
+  ///
+  /// `store` must outlive the cache; its fingerprint must describe the
+  /// same workload as the cache's utility function (the caller binds the
+  /// two — see ScenarioRunner / UtilityFunction::Fingerprint).
+  void AttachStore(UtilityStore* store, size_t flush_every = 1);
+
   /// Drops all memoized entries (e.g. when the underlying utility was
-  /// reseeded and old values are stale).
+  /// reseeded and old values are stale). Entries already persisted in an
+  /// attached store are dropped from memory only, not from disk.
   void Clear();
 
+  /// Number of memoized entries.
   size_t size() const;
+  /// Gets served without a computation (memory hits, including entries
+  /// preloaded from an attached store).
   size_t hits() const;
+  /// Gets that computed a fresh utility (one FL training each).
   size_t misses() const;
+  /// Entries preloaded from the attached store (0 when none attached).
+  size_t preloaded() const;
   /// Total seconds actually spent computing utilities (misses only).
   double total_compute_seconds() const;
+  /// Sum of the recorded training costs of every entry, including those
+  /// preloaded from a store — i.e. what all held utilities originally
+  /// cost, wherever they were computed. The benches' tau (mean training
+  /// cost per model) is recorded_cost_seconds() / size().
+  double recorded_cost_seconds() const;
 
  private:
   const UtilityFunction* fn_;
+  UtilityStore* store_ = nullptr;
+  size_t flush_every_ = 0;
+  size_t unflushed_ = 0;
+  size_t preloaded_ = 0;
   mutable std::mutex mutex_;
   std::unordered_map<Coalition, UtilityRecord, CoalitionHash> entries_;
   /// Coalitions currently being computed by some thread; waiters park on
@@ -70,6 +113,7 @@ class UtilityCache {
   size_t hits_ = 0;
   size_t misses_ = 0;
   double total_compute_seconds_ = 0.0;
+  double recorded_cost_seconds_ = 0.0;
 };
 
 /// Per-algorithm-run view of a UtilityCache.
@@ -87,6 +131,7 @@ class UtilitySession {
   explicit UtilitySession(UtilityCache* cache, ThreadPool* pool = nullptr)
       : cache_(cache), pool_(pool) {}
 
+  /// Number of FL clients n of the underlying utility function.
   int num_clients() const { return cache_->num_clients(); }
 
   /// U(S), with cost accounting.
@@ -100,9 +145,13 @@ class UtilitySession {
   Result<std::vector<double>> EvaluateBatch(
       const std::vector<Coalition>& coalitions);
 
-  /// Statistics for ValuationResult.
+  /// Total U(.) queries this run issued (statistics for ValuationResult).
   size_t num_evaluations() const { return num_evaluations_; }
+  /// Distinct coalitions this run needed (= FL trainings a standalone
+  /// run would have performed).
   size_t num_distinct() const { return seen_.size(); }
+  /// Sum of the recorded training costs of the distinct coalitions, each
+  /// charged exactly once.
   double charged_seconds() const { return charged_seconds_; }
 
  private:

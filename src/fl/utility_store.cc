@@ -1,0 +1,151 @@
+#include "fl/utility_store.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace fedshap {
+
+void PutCoalition(ByteWriter& writer, const Coalition& coalition) {
+  const std::vector<int> members = coalition.Members();
+  writer.PutVarint(members.size());
+  int previous = -1;
+  for (int member : members) {
+    writer.PutVarint(static_cast<uint64_t>(member - previous - 1));
+    previous = member;
+  }
+}
+
+Result<Coalition> GetCoalition(ByteReader& reader) {
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  if (count > static_cast<uint64_t>(Coalition::kMaxClients)) {
+    return Status::InvalidArgument("coalition member count out of range");
+  }
+  Coalition coalition;
+  int previous = -1;
+  for (uint64_t j = 0; j < count; ++j) {
+    FEDSHAP_ASSIGN_OR_RETURN(uint64_t gap, reader.GetVarint());
+    const uint64_t member = static_cast<uint64_t>(previous) + 1 + gap;
+    if (member >= static_cast<uint64_t>(Coalition::kMaxClients)) {
+      return Status::InvalidArgument("coalition member index out of range");
+    }
+    coalition.Add(static_cast<int>(member));
+    previous = static_cast<int>(member);
+  }
+  return coalition;
+}
+
+Result<std::unique_ptr<UtilityStore>> UtilityStore::Open(
+    const std::string& path, uint64_t fingerprint) {
+  std::unique_ptr<UtilityStore> store(new UtilityStore(path, fingerprint));
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) {
+    if (contents.status().code() == StatusCode::kNotFound) {
+      return store;  // fresh store; the file appears on first Flush
+    }
+    return contents.status();
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(std::string_view payload,
+                           DecodeFramed(kMagic, kVersion, *contents));
+  ByteReader reader(payload);
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t stored_fingerprint, reader.GetU64());
+  if (stored_fingerprint != fingerprint) {
+    return Status::FailedPrecondition(
+        path + " was written for a different workload fingerprint; "
+               "refusing to serve its utilities");
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  for (uint64_t j = 0; j < count; ++j) {
+    FEDSHAP_ASSIGN_OR_RETURN(Coalition coalition, GetCoalition(reader));
+    UtilityRecord record;
+    FEDSHAP_ASSIGN_OR_RETURN(record.utility, reader.GetDouble());
+    FEDSHAP_ASSIGN_OR_RETURN(record.cost_seconds, reader.GetDouble());
+    store->entries_[coalition] = record;
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(path + " has trailing bytes");
+  }
+  if (store->entries_.size() != count) {
+    return Status::InvalidArgument(path + " contains duplicate coalitions");
+  }
+  store->loaded_entries_ = store->entries_.size();
+  return store;
+}
+
+std::string UtilityStore::StemPath(const std::string& stem,
+                                   uint64_t fingerprint) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return stem + "." + hex + ".fsus";
+}
+
+bool UtilityStore::Lookup(const Coalition& coalition,
+                          UtilityRecord* record) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(coalition);
+  if (it == entries_.end()) return false;
+  if (record != nullptr) *record = it->second;
+  return true;
+}
+
+void UtilityStore::Put(const Coalition& coalition,
+                       const UtilityRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[coalition] = record;
+  dirty_ = true;
+}
+
+std::string UtilityStore::EncodeLocked() const {
+  ByteWriter payload;
+  payload.PutU64(fingerprint_);
+  payload.PutVarint(entries_.size());
+  for (const auto& [coalition, record] : entries_) {
+    PutCoalition(payload, coalition);
+    payload.PutDouble(record.utility);
+    payload.PutDouble(record.cost_seconds);
+  }
+  return EncodeFramed(kMagic, kVersion, payload.bytes());
+}
+
+Status UtilityStore::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!dirty_) return Status::OK();
+  FEDSHAP_RETURN_NOT_OK(WriteFileAtomic(path_, EncodeLocked()));
+  dirty_ = false;
+  return Status::OK();
+}
+
+void UtilityStore::ForEach(
+    const std::function<void(const Coalition&, const UtilityRecord&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [coalition, record] : entries_) {
+    fn(coalition, record);
+  }
+}
+
+Result<std::unique_ptr<UtilityStore>> OpenAndAttachStore(
+    const std::string& stem, bool resume, const UtilityFunction& fn,
+    UtilityCache& cache, size_t flush_every) {
+  const uint64_t fingerprint = fn.Fingerprint();
+  const std::string path = UtilityStore::StemPath(stem, fingerprint);
+  if (!resume) std::remove(path.c_str());
+  FEDSHAP_ASSIGN_OR_RETURN(std::unique_ptr<UtilityStore> store,
+                           UtilityStore::Open(path, fingerprint));
+  cache.AttachStore(store.get(), flush_every);
+  return store;
+}
+
+size_t UtilityStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+bool UtilityStore::dirty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dirty_;
+}
+
+}  // namespace fedshap

@@ -1,0 +1,130 @@
+#ifndef FEDSHAP_FL_UTILITY_STORE_H_
+#define FEDSHAP_FL_UTILITY_STORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "fl/utility_cache.h"
+#include "util/coalition.h"
+#include "util/serialization.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// \file
+/// On-disk persistence for utility evaluations.
+///
+/// A full FL training per coalition is the dominant cost of SV-based data
+/// valuation — the very observation the paper's IPSS is built on. The
+/// in-process UtilityCache already guarantees each coalition is trained
+/// once per process; UtilityStore extends that guarantee *across*
+/// processes, so a killed table-IV/fig-9 sweep resumes in seconds and
+/// repeated bench invocations share a warm cache.
+
+/// Persistent, content-addressed map from coalitions to utility records.
+///
+/// **Content addressing.** A stored utility is only meaningful for the
+/// exact workload that produced it: the same client datasets, model
+/// architecture and initialization, and training configuration. Each
+/// store file is therefore bound to a 64-bit workload fingerprint
+/// (UtilityFunction::Fingerprint()); opening a file whose fingerprint
+/// differs fails with FailedPrecondition instead of silently serving
+/// utilities from a different experiment.
+///
+/// **Durability model.** Load-on-open, append-on-miss: Open reads every
+/// entry into memory; Put records new entries in memory and marks the
+/// store dirty; Flush atomically rewrites the file (write temp + fsync +
+/// rename), so a crash at any point leaves the previous complete file
+/// intact — a torn write can never be half-loaded because the frame
+/// checksum rejects it. Attach the store to a UtilityCache with a flush
+/// interval to bound the number of trainings a crash can lose.
+///
+/// Thread-safe; an instance may back several caches or sessions at once.
+class UtilityStore {
+ public:
+  /// Magic tag of store files ("FSUS" little-endian).
+  static constexpr uint32_t kMagic = 0x53555346u;
+  /// Current file-format version.
+  static constexpr uint32_t kVersion = 1;
+
+  /// Opens (or creates) the store at `path` for the workload identified
+  /// by `fingerprint`. A missing file yields an empty store; an existing
+  /// file is fully loaded. Fails with FailedPrecondition when the file
+  /// was written for a different fingerprint and InvalidArgument when it
+  /// is corrupt or not a store file.
+  static Result<std::unique_ptr<UtilityStore>> Open(const std::string& path,
+                                                    uint64_t fingerprint);
+
+  /// The conventional per-workload path `<stem>.<fingerprint-hex>.fsus`.
+  /// Bench binaries run several workloads per invocation; deriving the
+  /// file name from the fingerprint gives each workload its own store
+  /// under one user-supplied stem.
+  static std::string StemPath(const std::string& stem, uint64_t fingerprint);
+
+  /// Looks up `coalition`; fills `*record` and returns true when present.
+  bool Lookup(const Coalition& coalition, UtilityRecord* record) const;
+
+  /// Inserts or overwrites the record for `coalition` and marks the store
+  /// dirty. Call Flush to persist.
+  void Put(const Coalition& coalition, const UtilityRecord& record);
+
+  /// Atomically persists the current contents to the file. No-op when
+  /// nothing changed since the last flush.
+  Status Flush();
+
+  /// Copies every stored entry into `out` (ordered by coalition).
+  void ForEach(const std::function<void(const Coalition&,
+                                        const UtilityRecord&)>& fn) const;
+
+  /// Number of entries currently held.
+  size_t size() const;
+  /// Number of entries loaded from disk at Open time.
+  size_t loaded_entries() const { return loaded_entries_; }
+  /// True when in-memory contents differ from the file.
+  bool dirty() const;
+  /// The backing file path.
+  const std::string& path() const { return path_; }
+  /// The workload fingerprint this store is bound to.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  UtilityStore(std::string path, uint64_t fingerprint)
+      : path_(std::move(path)), fingerprint_(fingerprint) {}
+
+  std::string EncodeLocked() const;
+
+  const std::string path_;
+  const uint64_t fingerprint_;
+  mutable std::mutex mutex_;
+  /// Ordered so the file layout (and hence its checksum) is deterministic
+  /// for a given entry set.
+  std::map<Coalition, UtilityRecord> entries_;
+  size_t loaded_entries_ = 0;
+  bool dirty_ = false;
+};
+
+/// The standard way a process binds a cache to persistent storage, shared
+/// by the bench harness and the examples: derives the workload's store
+/// path (StemPath(stem, fn.Fingerprint())), replaces any existing file
+/// unless `resume` is set (fresh measurements are the default; resume is
+/// the explicit opt-in to trust a previous process's trainings), opens
+/// the store and attaches it to `cache` with the given flush interval.
+/// Returns the store, which must outlive `cache`'s use of it;
+/// `loaded_entries()` tells how warm the start was.
+Result<std::unique_ptr<UtilityStore>> OpenAndAttachStore(
+    const std::string& stem, bool resume, const UtilityFunction& fn,
+    UtilityCache& cache, size_t flush_every = 1);
+
+/// Serializes `coalition` as a varint member count followed by varint
+/// member deltas (ascending members encode as first index, then gaps).
+void PutCoalition(ByteWriter& writer, const Coalition& coalition);
+
+/// Reads a coalition written by PutCoalition; validates member bounds.
+Result<Coalition> GetCoalition(ByteReader& reader);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_FL_UTILITY_STORE_H_

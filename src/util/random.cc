@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <sstream>
 
 #include "util/logging.h"
 
@@ -104,6 +105,32 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
   }
   pool.resize(k);
   return pool;
+}
+
+std::string Rng::SaveState() const {
+  // <random> engines and distributions define stream operators whose
+  // output round-trips exactly (values are emitted as integers / hex
+  // floats per the standard's requirements). The normal distribution is
+  // stateful (it caches the spare Box-Muller deviate), so it must be
+  // saved alongside the engine for bit-identical resumption.
+  std::ostringstream out;
+  out << engine_ << ' ' << unit_ << ' ' << normal_;
+  return out.str();
+}
+
+Status Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 engine;
+  std::uniform_real_distribution<double> unit;
+  std::normal_distribution<double> normal;
+  in >> engine >> unit >> normal;
+  if (in.fail()) {
+    return Status::InvalidArgument("malformed Rng state string");
+  }
+  engine_ = engine;
+  unit_ = unit;
+  normal_ = normal;
+  return Status::OK();
 }
 
 Rng Rng::Fork() {

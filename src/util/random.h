@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "util/status.h"
 
 namespace fedshap {
 
@@ -71,6 +74,17 @@ class Rng {
   /// function of this generator's current state, so forking is itself
   /// deterministic.
   Rng Fork();
+
+  /// Serializes the complete generator state (engine plus distribution
+  /// carry, e.g. the Box-Muller spare of the normal distribution) to a
+  /// portable text form. A generator restored with LoadState produces the
+  /// exact same stream this one would have — the basis of resumable
+  /// sampling sweeps.
+  std::string SaveState() const;
+
+  /// Restores a state captured by SaveState. Fails with InvalidArgument
+  /// on malformed input, leaving the generator untouched.
+  Status LoadState(const std::string& state);
 
   /// Underlying engine, for interoperating with <random> distributions.
   std::mt19937_64& engine() { return engine_; }

@@ -1,0 +1,155 @@
+#ifndef FEDSHAP_UTIL_SERIALIZATION_H_
+#define FEDSHAP_UTIL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace fedshap {
+
+/// \file
+/// Versioned binary serialization primitives shared by every on-disk
+/// artifact of the library (the persistent UtilityStore, resumable-sweep
+/// snapshots). The design goals are the ones persistence forces on us:
+///
+///  - **Self-describing frames.** Every file is `magic + version +
+///    crc32(payload) + payload`, so a reader can reject foreign files,
+///    newer formats, and bit rot before parsing a single field.
+///  - **Compactness.** Non-negative integers are LEB128 varints; a small
+///    coalition costs a handful of bytes, not a fixed-width word.
+///  - **Exactness.** Doubles round-trip bit-for-bit (IEEE-754 bits in
+///    little-endian order), which resumable estimators rely on for
+///    "resumed run == uninterrupted run" equivalence.
+///  - **Crash safety.** WriteFileAtomic writes a temp file in the target
+///    directory and renames it into place; a crash leaves either the old
+///    file or the new one, never a torn hybrid.
+
+/// Append-only encoder producing a byte string.
+///
+/// All multi-byte fixed-width values are written little-endian regardless
+/// of host order, so files transfer between machines.
+class ByteWriter {
+ public:
+  /// Appends a single byte.
+  void PutU8(uint8_t value);
+  /// Appends a fixed-width 32-bit value (little-endian).
+  void PutU32(uint32_t value);
+  /// Appends a fixed-width 64-bit value (little-endian).
+  void PutU64(uint64_t value);
+  /// Appends an unsigned LEB128 varint (1 byte for values < 128).
+  void PutVarint(uint64_t value);
+  /// Appends the IEEE-754 bits of `value`; round-trips exactly, NaNs and
+  /// signed zeros included.
+  void PutDouble(double value);
+  /// Appends a varint length followed by the raw bytes.
+  void PutString(std::string_view value);
+
+  /// The bytes written so far.
+  const std::string& bytes() const { return bytes_; }
+  /// Number of bytes written so far.
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked decoder over a byte string.
+///
+/// Every getter returns OutOfRange instead of reading past the end, so a
+/// truncated file surfaces as a clean error rather than undefined
+/// behavior. The reader does not own the data; the underlying buffer must
+/// outlive it.
+class ByteReader {
+ public:
+  /// Wraps `data` without copying it.
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  /// Reads a single byte.
+  Result<uint8_t> GetU8();
+  /// Reads a fixed-width little-endian 32-bit value.
+  Result<uint32_t> GetU32();
+  /// Reads a fixed-width little-endian 64-bit value.
+  Result<uint64_t> GetU64();
+  /// Reads an unsigned LEB128 varint; rejects encodings longer than 10
+  /// bytes (the maximum for 64 bits).
+  Result<uint64_t> GetVarint();
+  /// Reads a double written by ByteWriter::PutDouble.
+  Result<double> GetDouble();
+  /// Reads a varint length followed by that many raw bytes.
+  Result<std::string> GetString();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  /// True once every byte has been consumed.
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Incremental 64-bit content hasher (FNV-1a core) used for the
+/// content-addressing fingerprints of the UtilityStore and for
+/// configuration hashes of resumable sweeps. Not cryptographic: it guards
+/// against accidental mixups (wrong dataset, changed config), not
+/// adversaries.
+class Hasher64 {
+ public:
+  /// Mixes a 64-bit value.
+  Hasher64& MixU64(uint64_t value);
+  /// Mixes a 32-bit value.
+  Hasher64& MixU32(uint32_t value) { return MixU64(value); }
+  /// Mixes the IEEE-754 bits of a double (distinguishes -0.0 from 0.0).
+  Hasher64& MixDouble(double value);
+  /// Mixes raw bytes.
+  Hasher64& MixBytes(const void* data, size_t size);
+  /// Mixes a length-prefixed string (so "ab","c" != "a","bc").
+  Hasher64& MixString(std::string_view value);
+
+  /// The current digest. Mixing after reading digest() is allowed.
+  uint64_t digest() const { return state_; }
+
+ private:
+  uint64_t state_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+/// Wraps `payload` in a self-describing frame:
+///
+///   [magic u32][version u32][crc32(payload) u32][payload bytes]
+///
+/// `magic` identifies the artifact kind (e.g. the utility store vs. a
+/// sweep snapshot); `version` its format revision.
+std::string EncodeFramed(uint32_t magic, uint32_t version,
+                         std::string_view payload);
+
+/// Validates and strips the frame produced by EncodeFramed. Fails with
+/// InvalidArgument on a wrong magic, FailedPrecondition on a version
+/// newer than `max_version`, and with a "corrupted" InvalidArgument when
+/// the checksum does not match (truncation, bit flips). On success
+/// `*version_out` (when non-null) receives the stored version and the
+/// returned view aliases `frame`'s payload bytes.
+Result<std::string_view> DecodeFramed(uint32_t magic, uint32_t max_version,
+                                      std::string_view frame,
+                                      uint32_t* version_out = nullptr);
+
+/// Writes `contents` to `path` crash-safely: the bytes go to a temporary
+/// file in the same directory (same filesystem, so the final step is a
+/// plain rename) which is fsync'd and renamed over `path`. Concurrent
+/// writers of the same path are serialized by a per-process-unique temp
+/// name; a crash at any point leaves either the previous file or the new
+/// one intact. A crash *between* write and rename can orphan the
+/// `<path>.tmp.<pid>` file — it is inert (no loader ever reads it, the
+/// next successful write of the same pid reuses it) and safe to delete.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Reads an entire file. NotFound when the file does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_SERIALIZATION_H_

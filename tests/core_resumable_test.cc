@@ -1,0 +1,327 @@
+/// Tests for core/resumable.h: snapshot/restore equivalence (a resumed
+/// sweep is bit-identical to an uninterrupted one), agreement with the
+/// one-shot algorithms, snapshot validation (wrong algorithm / config /
+/// corruption), and file-based checkpoint round-trips.
+
+#include "core/resumable.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "test_util.h"
+
+namespace fedshap {
+namespace {
+
+using testing_util::MonotoneTable;
+using testing_util::PaperTableOne;
+using testing_util::RandomTable;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "fedshap_resume_" + name;
+}
+
+/// Runs `make()`'s sweep start to finish in one process.
+ValuationResult RunUninterrupted(
+    const UtilityFunction& fn,
+    const std::function<std::unique_ptr<ResumableEstimator>()>& make) {
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  std::unique_ptr<ResumableEstimator> sweep = make();
+  Result<ValuationResult> result = sweep->Run(session);
+  FEDSHAP_CHECK_OK(result.status());
+  return std::move(result).value();
+}
+
+/// Runs the sweep in chunks of `chunk` units, snapshotting after every
+/// step and handing the snapshot to a *fresh* estimator + cache each
+/// time — the worst-case resume (no warm cache at all, only the
+/// serialized state survives).
+ValuationResult RunWithSnapshotsEveryStep(
+    const UtilityFunction& fn,
+    const std::function<std::unique_ptr<ResumableEstimator>()>& make,
+    int chunk) {
+  std::string snapshot;
+  {
+    std::unique_ptr<ResumableEstimator> sweep = make();
+    Result<std::string> first = sweep->Snapshot();
+    FEDSHAP_CHECK_OK(first.status());
+    snapshot = std::move(first).value();
+  }
+  while (true) {
+    std::unique_ptr<ResumableEstimator> sweep = make();
+    FEDSHAP_CHECK_OK(sweep->Restore(snapshot));
+    if (sweep->done()) {
+      UtilityCache cache(&fn);
+      UtilitySession session(&cache);
+      Result<ValuationResult> result = sweep->Finish(session);
+      FEDSHAP_CHECK_OK(result.status());
+      return std::move(result).value();
+    }
+    UtilityCache cache(&fn);
+    UtilitySession session(&cache);
+    FEDSHAP_CHECK_OK(sweep->Step(session, chunk));
+    Result<std::string> next = sweep->Snapshot();
+    FEDSHAP_CHECK_OK(next.status());
+    snapshot = std::move(next).value();
+  }
+}
+
+void ExpectBitIdentical(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // EXPECT_EQ, not NEAR: resumption must not perturb a single bit.
+    EXPECT_EQ(a[i], b[i]) << "client " << i;
+  }
+}
+
+TEST(IpssSweepTest, MatchesOneShotIpss) {
+  TableUtility fn = MonotoneTable(6);
+  IpssConfig config;
+  config.total_rounds = 24;
+  config.seed = 3;
+
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  Result<ValuationResult> one_shot = IpssShapley(session, config);
+  ASSERT_TRUE(one_shot.ok());
+
+  ValuationResult sweep = RunUninterrupted(fn, [&] {
+    return std::make_unique<IpssSweep>(6, config);
+  });
+  ExpectBitIdentical(one_shot->values, sweep.values);
+  EXPECT_EQ(sweep.num_trainings, one_shot->num_trainings);
+}
+
+TEST(IpssSweepTest, ResumedBitIdenticalToUninterrupted) {
+  TableUtility fn = RandomTable(7, 11);
+  IpssConfig config;
+  config.total_rounds = 40;
+  config.seed = 9;
+  const auto make = [&] { return std::make_unique<IpssSweep>(7, config); };
+  ValuationResult uninterrupted = RunUninterrupted(fn, make);
+  for (int chunk : {1, 3, 7}) {
+    ValuationResult resumed = RunWithSnapshotsEveryStep(fn, make, chunk);
+    ExpectBitIdentical(uninterrupted.values, resumed.values);
+  }
+}
+
+TEST(StratifiedSweepTest, MatchesOneShotForBothSchemes) {
+  TableUtility fn = RandomTable(6, 21);
+  for (SvScheme scheme :
+       {SvScheme::kMarginal, SvScheme::kComplementary}) {
+    StratifiedConfig config;
+    config.scheme = scheme;
+    config.total_rounds = 30;
+    config.seed = 5;
+
+    UtilityCache cache(&fn);
+    UtilitySession session(&cache);
+    Result<ValuationResult> one_shot =
+        StratifiedSamplingShapley(session, config);
+    ASSERT_TRUE(one_shot.ok());
+
+    ValuationResult sweep = RunUninterrupted(fn, [&] {
+      return std::make_unique<StratifiedSweep>(6, config);
+    });
+    ExpectBitIdentical(one_shot->values, sweep.values);
+  }
+}
+
+TEST(StratifiedSweepTest, ResumedBitIdenticalToUninterrupted) {
+  TableUtility fn = MonotoneTable(6);
+  StratifiedConfig config;
+  config.total_rounds = 25;
+  config.seed = 13;
+  const auto make = [&] {
+    return std::make_unique<StratifiedSweep>(6, config);
+  };
+  ValuationResult uninterrupted = RunUninterrupted(fn, make);
+  ValuationResult resumed = RunWithSnapshotsEveryStep(fn, make, 4);
+  ExpectBitIdentical(uninterrupted.values, resumed.values);
+}
+
+TEST(ExactSweepTest, MatchesExactShapleyMcAndCc) {
+  TableUtility fn = PaperTableOne();
+  {
+    UtilityCache cache(&fn);
+    UtilitySession session(&cache);
+    Result<ValuationResult> exact = ExactShapleyMc(session);
+    ASSERT_TRUE(exact.ok());
+    ValuationResult sweep = RunUninterrupted(fn, [&] {
+      return std::make_unique<ExactSweep>(3, SvScheme::kMarginal);
+    });
+    ExpectBitIdentical(exact->values, sweep.values);
+    EXPECT_EQ(sweep.num_trainings, 8u);
+  }
+  {
+    UtilityCache cache(&fn);
+    UtilitySession session(&cache);
+    Result<ValuationResult> exact = ExactShapleyCc(session);
+    ASSERT_TRUE(exact.ok());
+    ValuationResult sweep = RunUninterrupted(fn, [&] {
+      return std::make_unique<ExactSweep>(3, SvScheme::kComplementary);
+    });
+    ExpectBitIdentical(exact->values, sweep.values);
+  }
+}
+
+TEST(ExactSweepTest, ResumedBitIdenticalToUninterrupted) {
+  TableUtility fn = RandomTable(5, 31);
+  const auto make = [&] {
+    return std::make_unique<ExactSweep>(5, SvScheme::kMarginal);
+  };
+  ValuationResult uninterrupted = RunUninterrupted(fn, make);
+  ValuationResult resumed = RunWithSnapshotsEveryStep(fn, make, 5);
+  ExpectBitIdentical(uninterrupted.values, resumed.values);
+}
+
+TEST(PermutationMcSweepTest, ResumedBitIdenticalAcrossRngBoundary) {
+  // The permutation sampler's RNG lives across steps: resuming from a
+  // snapshot must continue the identical permutation stream, which only
+  // works if the serialized RNG state (engine + distribution carry)
+  // round-trips exactly.
+  TableUtility fn = RandomTable(6, 41);
+  PermutationMcConfig config;
+  config.permutations = 30;
+  config.seed = 17;
+  const auto make = [&] {
+    return std::make_unique<PermutationMcSweep>(6, config);
+  };
+  ValuationResult uninterrupted = RunUninterrupted(fn, make);
+  for (int chunk : {1, 4, 13}) {
+    ValuationResult resumed = RunWithSnapshotsEveryStep(fn, make, chunk);
+    ExpectBitIdentical(uninterrupted.values, resumed.values);
+  }
+}
+
+TEST(PermutationMcSweepTest, ConvergesTowardExactSv) {
+  TableUtility fn = PaperTableOne();
+  PermutationMcConfig config;
+  config.permutations = 4000;
+  config.seed = 23;
+  ValuationResult result = RunUninterrupted(fn, [&] {
+    return std::make_unique<PermutationMcSweep>(3, config);
+  });
+  // Exact SV of Table I is (0.22, 0.32, 0.32).
+  EXPECT_NEAR(result.values[0], 0.22, 0.02);
+  EXPECT_NEAR(result.values[1], 0.32, 0.02);
+  EXPECT_NEAR(result.values[2], 0.32, 0.02);
+}
+
+TEST(SnapshotValidationTest, WrongAlgorithmRejected) {
+  IpssConfig ipss_config;
+  ipss_config.total_rounds = 10;
+  IpssSweep ipss(4, ipss_config);
+  Result<std::string> snapshot = ipss.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+
+  StratifiedConfig strat_config;
+  StratifiedSweep stratified(4, strat_config);
+  EXPECT_EQ(stratified.Restore(*snapshot).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotValidationTest, ConfigMismatchRejected) {
+  IpssConfig config;
+  config.total_rounds = 16;
+  config.seed = 1;
+  IpssSweep original(5, config);
+  Result<std::string> snapshot = original.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+
+  config.seed = 2;  // different sampling stream
+  IpssSweep different_seed(5, config);
+  EXPECT_EQ(different_seed.Restore(*snapshot).code(),
+            StatusCode::kFailedPrecondition);
+
+  config.seed = 1;
+  IpssSweep different_n(6, config);
+  EXPECT_EQ(different_n.Restore(*snapshot).code(),
+            StatusCode::kFailedPrecondition);
+
+  PermutationMcConfig perm_a;
+  perm_a.seed = 1;
+  PermutationMcSweep perm(4, perm_a);
+  Result<std::string> perm_snapshot = perm.Snapshot();
+  ASSERT_TRUE(perm_snapshot.ok());
+  perm_a.seed = 99;
+  PermutationMcSweep other(4, perm_a);
+  EXPECT_EQ(other.Restore(*perm_snapshot).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotValidationTest, CorruptedSnapshotRejected) {
+  TableUtility fn = MonotoneTable(5);
+  IpssConfig config;
+  config.total_rounds = 12;
+  IpssSweep sweep(5, config);
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  ASSERT_TRUE(sweep.Step(session, 6).ok());
+  Result<std::string> snapshot = sweep.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+
+  std::string corrupted = *snapshot;
+  corrupted[corrupted.size() - 3] ^= 0x40;
+  IpssSweep target(5, config);
+  EXPECT_FALSE(target.Restore(corrupted).ok());
+  EXPECT_FALSE(target.Restore("not a snapshot").ok());
+  // The failed restores left the target untouched and usable.
+  EXPECT_EQ(target.completed_units(), 0u);
+  EXPECT_TRUE(target.Restore(*snapshot).ok());
+  EXPECT_EQ(target.completed_units(), 6u);
+}
+
+TEST(SnapshotFileTest, SaveLoadRoundTripAndMissingFile) {
+  const std::string path = TempPath("checkpoint.bin");
+  std::remove(path.c_str());
+  TableUtility fn = MonotoneTable(5);
+  PermutationMcConfig config;
+  config.permutations = 10;
+  PermutationMcSweep sweep(5, config);
+
+  EXPECT_EQ(LoadSnapshot(sweep, path).code(), StatusCode::kNotFound);
+
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  ASSERT_TRUE(sweep.Step(session, 4).ok());
+  ASSERT_TRUE(SaveSnapshot(sweep, path).ok());
+
+  PermutationMcSweep restored(5, config);
+  ASSERT_TRUE(LoadSnapshot(restored, path).ok());
+  EXPECT_EQ(restored.completed_units(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepLifecycleTest, InvalidConfigSurfacesOnUse) {
+  IpssConfig config;
+  config.total_rounds = 0;
+  IpssSweep sweep(4, config);
+  TableUtility fn = MonotoneTable(4);
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  EXPECT_FALSE(sweep.done());
+  EXPECT_EQ(sweep.Step(session, 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(sweep.Snapshot().ok());
+}
+
+TEST(SweepLifecycleTest, FinishBeforeDoneFails) {
+  TableUtility fn = MonotoneTable(5);
+  IpssConfig config;
+  config.total_rounds = 12;
+  IpssSweep sweep(5, config);
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  ASSERT_TRUE(sweep.Step(session, 2).ok());
+  EXPECT_EQ(sweep.Finish(session).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace fedshap

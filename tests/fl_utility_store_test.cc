@@ -1,0 +1,269 @@
+/// Tests for fl/utility_store.h: open/flush/reopen round-trips (empty and
+/// large stores), fingerprint mismatch rejection, corruption rejection,
+/// coalition codec edge cases, and the UtilityCache write-through /
+/// preload integration.
+
+#include "fl/utility_store.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace fedshap {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "fedshap_store_" + name;
+}
+
+/// Counts underlying evaluations to verify cross-process reuse.
+class CountingUtility : public UtilityFunction {
+ public:
+  explicit CountingUtility(int n) : n_(n) {}
+  int num_clients() const override { return n_; }
+  Result<double> Evaluate(const Coalition& coalition) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<double>(coalition.Count()) * 0.125;
+  }
+  int calls() const { return calls_.load(); }
+
+ private:
+  int n_;
+  mutable std::atomic<int> calls_{0};
+};
+
+TEST(CoalitionCodecTest, RoundTripsEdgeCoalitions) {
+  const std::vector<Coalition> cases = {
+      Coalition(), Coalition::Of({0}), Coalition::Of({255}),
+      Coalition::Of({0, 1, 2, 63, 64, 127, 128, 255}),
+      Coalition::Full(100)};
+  ByteWriter writer;
+  for (const Coalition& c : cases) PutCoalition(writer, c);
+  ByteReader reader(writer.bytes());
+  for (const Coalition& c : cases) {
+    Result<Coalition> read = GetCoalition(reader);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(*read, c);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(CoalitionCodecTest, RejectsOutOfRangeMembers) {
+  ByteWriter writer;
+  writer.PutVarint(1);
+  writer.PutVarint(256);  // member index 256 >= kMaxClients
+  ByteReader reader(writer.bytes());
+  EXPECT_FALSE(GetCoalition(reader).ok());
+}
+
+TEST(UtilityStoreTest, OpensEmptyWhenFileMissing) {
+  const std::string path = TempPath("missing.fsus");
+  std::remove(path.c_str());
+  Result<std::unique_ptr<UtilityStore>> store =
+      UtilityStore::Open(path, 42);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->size(), 0u);
+  EXPECT_EQ((*store)->loaded_entries(), 0u);
+  EXPECT_FALSE((*store)->dirty());
+  // Nothing flushed yet: the file still does not exist.
+  EXPECT_TRUE((*store)->Flush().ok());
+  EXPECT_FALSE(ReadFileToString(path).ok());
+}
+
+TEST(UtilityStoreTest, PutFlushReopenRoundTrip) {
+  const std::string path = TempPath("roundtrip.fsus");
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, 7);
+    ASSERT_TRUE(store.ok());
+    (*store)->Put(Coalition::Of({0, 2}), {0.75, 1.5});
+    (*store)->Put(Coalition(), {0.1, 0.0});
+    EXPECT_TRUE((*store)->dirty());
+    ASSERT_TRUE((*store)->Flush().ok());
+    EXPECT_FALSE((*store)->dirty());
+  }
+  Result<std::unique_ptr<UtilityStore>> reopened =
+      UtilityStore::Open(path, 7);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 2u);
+  EXPECT_EQ((*reopened)->loaded_entries(), 2u);
+  UtilityRecord record;
+  ASSERT_TRUE((*reopened)->Lookup(Coalition::Of({0, 2}), &record));
+  EXPECT_DOUBLE_EQ(record.utility, 0.75);
+  EXPECT_DOUBLE_EQ(record.cost_seconds, 1.5);
+  ASSERT_TRUE((*reopened)->Lookup(Coalition(), &record));
+  EXPECT_DOUBLE_EQ(record.utility, 0.1);
+  EXPECT_FALSE((*reopened)->Lookup(Coalition::Of({1}), nullptr));
+  std::remove(path.c_str());
+}
+
+TEST(UtilityStoreTest, LargeStoreRoundTrip) {
+  const std::string path = TempPath("large.fsus");
+  std::remove(path.c_str());
+  Rng rng(99);
+  std::vector<std::pair<Coalition, UtilityRecord>> entries;
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, 1);
+    ASSERT_TRUE(store.ok());
+    for (int j = 0; j < 5000; ++j) {
+      Coalition c;
+      for (int i = 0; i < 200; ++i) {
+        if (rng.Bernoulli(0.3)) c.Add(i);
+      }
+      UtilityRecord record{rng.Uniform(-1.0, 1.0), rng.Uniform()};
+      (*store)->Put(c, record);
+      entries.emplace_back(c, record);
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  Result<std::unique_ptr<UtilityStore>> reopened =
+      UtilityStore::Open(path, 1);
+  ASSERT_TRUE(reopened.ok());
+  for (const auto& [coalition, record] : entries) {
+    UtilityRecord read;
+    ASSERT_TRUE((*reopened)->Lookup(coalition, &read));
+    EXPECT_DOUBLE_EQ(read.utility, record.utility);
+    EXPECT_DOUBLE_EQ(read.cost_seconds, record.cost_seconds);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(UtilityStoreTest, FingerprintMismatchRejected) {
+  const std::string path = TempPath("fingerprint.fsus");
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, 1111);
+    ASSERT_TRUE(store.ok());
+    (*store)->Put(Coalition::Of({0}), {0.5, 0.1});
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  Result<std::unique_ptr<UtilityStore>> wrong =
+      UtilityStore::Open(path, 2222);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(UtilityStoreTest, CorruptedAndTruncatedFilesRejected) {
+  const std::string path = TempPath("corrupt.fsus");
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, 5);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 10; ++i) {
+      (*store)->Put(Coalition::Of({i}), {0.1 * i, 0.0});
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  Result<std::string> contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+
+  // Flip one payload byte: checksum must catch it.
+  std::string corrupted = *contents;
+  corrupted[corrupted.size() / 2] ^= 0x20;
+  ASSERT_TRUE(WriteFileAtomic(path, corrupted).ok());
+  EXPECT_EQ(UtilityStore::Open(path, 5).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Truncate mid-entry (a torn write that bypassed the atomic rename).
+  ASSERT_TRUE(
+      WriteFileAtomic(path, contents->substr(0, contents->size() - 7))
+          .ok());
+  EXPECT_FALSE(UtilityStore::Open(path, 5).ok());
+
+  // Not a store file at all.
+  ASSERT_TRUE(WriteFileAtomic(path, "definitely not a store").ok());
+  EXPECT_FALSE(UtilityStore::Open(path, 5).ok());
+  std::remove(path.c_str());
+}
+
+TEST(UtilityStoreTest, StemPathEncodesFingerprint) {
+  EXPECT_EQ(UtilityStore::StemPath("/tmp/x", 0xabcULL),
+            "/tmp/x.0000000000000abc.fsus");
+  EXPECT_NE(UtilityStore::StemPath("/tmp/x", 1),
+            UtilityStore::StemPath("/tmp/x", 2));
+}
+
+TEST(UtilityCacheStoreTest, WriteThroughAndCrossProcessReuse) {
+  const std::string path = TempPath("integration.fsus");
+  std::remove(path.c_str());
+  CountingUtility fn(6);
+  const uint64_t fingerprint = fn.Fingerprint();
+
+  // "Process 1": computes five utilities, each flushed as it lands.
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, fingerprint);
+    ASSERT_TRUE(store.ok());
+    UtilityCache cache(&fn);
+    cache.AttachStore(store->get(), /*flush_every=*/1);
+    UtilitySession session(&cache);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(session.Evaluate(Coalition::Of({i})).ok());
+    }
+    EXPECT_EQ(fn.calls(), 5);
+    EXPECT_FALSE((*store)->dirty());  // flush_every=1 persisted everything
+  }
+
+  // "Process 2": a fresh cache preloads the store; repeated coalitions
+  // cost no new trainings and are charged their recorded costs.
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, fingerprint);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ((*store)->loaded_entries(), 5u);
+    UtilityCache cache(&fn);
+    cache.AttachStore(store->get());
+    EXPECT_EQ(cache.preloaded(), 5u);
+    EXPECT_EQ(cache.size(), 5u);
+    UtilitySession session(&cache);
+    for (int i = 0; i < 5; ++i) {
+      Result<double> u = session.Evaluate(Coalition::Of({i}));
+      ASSERT_TRUE(u.ok());
+      EXPECT_DOUBLE_EQ(*u, 0.125);
+    }
+    EXPECT_EQ(fn.calls(), 5);  // no re-training across "processes"
+    EXPECT_EQ(cache.hits(), 5u);
+    EXPECT_EQ(cache.misses(), 0u);
+    // A genuinely new coalition still computes and persists.
+    ASSERT_TRUE(session.Evaluate(Coalition::Of({0, 1})).ok());
+    EXPECT_EQ(fn.calls(), 6);
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, fingerprint);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ((*store)->loaded_entries(), 6u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(UtilityFingerprintTest, DistinguishesWorkloads) {
+  LinearRegressionUtility::Params params;
+  LinearRegressionUtility a(params);
+  LinearRegressionUtility same(params);
+  params.samples_per_client += 1;
+  LinearRegressionUtility different(params);
+  EXPECT_EQ(a.Fingerprint(), same.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), different.Fingerprint());
+
+  TableUtility table_a = testing_util::PaperTableOne();
+  TableUtility table_b = testing_util::RandomTable(3, 1);
+  EXPECT_NE(table_a.Fingerprint(), table_b.Fingerprint());
+  EXPECT_EQ(table_a.Fingerprint(),
+            testing_util::PaperTableOne().Fingerprint());
+}
+
+}  // namespace
+}  // namespace fedshap

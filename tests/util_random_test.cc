@@ -177,6 +177,31 @@ TEST(RngTest, ForkIsDeterministic) {
   }
 }
 
+TEST(RngTest, SaveLoadStateResumesIdenticalStream) {
+  Rng rng(67);
+  // Burn mixed draws, including a Gaussian so the normal distribution's
+  // Box-Muller spare is live in the saved state.
+  for (int i = 0; i < 7; ++i) {
+    rng.Uniform();
+    rng.Gaussian();
+  }
+  const std::string state = rng.SaveState();
+  Rng restored(0);
+  ASSERT_TRUE(restored.LoadState(state).ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(restored.Uniform(), rng.Uniform());
+    EXPECT_EQ(restored.Gaussian(), rng.Gaussian());
+    EXPECT_EQ(restored.UniformInt(uint64_t{1000}),
+              rng.UniformInt(uint64_t{1000}));
+  }
+}
+
+TEST(RngTest, LoadStateRejectsGarbage) {
+  Rng rng(71);
+  EXPECT_FALSE(rng.LoadState("not an rng state").ok());
+  EXPECT_FALSE(rng.LoadState("").ok());
+}
+
 TEST(RngTest, ShuffleKeepsMultiset) {
   Rng rng(61);
   std::vector<int> items = {5, 5, 1, 2, 9};

@@ -1,0 +1,187 @@
+/// Tests for util/serialization.h: byte-codec round-trips (fixed-width,
+/// varint, double, string), CRC behavior, framed encode/decode error
+/// paths, the content hasher, and atomic file IO.
+
+#include "util/serialization.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedshap {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "fedshap_ser_" + name;
+}
+
+TEST(ByteCodecTest, FixedWidthRoundTrip) {
+  ByteWriter writer;
+  writer.PutU8(0xab);
+  writer.PutU32(0xdeadbeefu);
+  writer.PutU64(0x0123456789abcdefULL);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.GetU8().value(), 0xab);
+  EXPECT_EQ(reader.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(reader.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteCodecTest, VarintRoundTripEdgeValues) {
+  const std::vector<uint64_t> values = {
+      0,    1,    127,  128,   129,   16383, 16384,
+      1ULL << 32, (1ULL << 56) - 1, std::numeric_limits<uint64_t>::max()};
+  ByteWriter writer;
+  for (uint64_t v : values) writer.PutVarint(v);
+  ByteReader reader(writer.bytes());
+  for (uint64_t v : values) {
+    Result<uint64_t> read = reader.GetVarint();
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(*read, v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteCodecTest, VarintIsCompactForSmallValues) {
+  ByteWriter writer;
+  writer.PutVarint(5);
+  EXPECT_EQ(writer.size(), 1u);
+  writer.PutVarint(300);
+  EXPECT_EQ(writer.size(), 3u);  // 1 + 2
+}
+
+TEST(ByteCodecTest, DoubleRoundTripIsExact) {
+  const std::vector<double> values = {
+      0.0, -0.0, 1.0, -1.5, 1e-300, -1e300, M_PI,
+      std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min()};
+  ByteWriter writer;
+  for (double v : values) writer.PutDouble(v);
+  writer.PutDouble(std::nan(""));
+  ByteReader reader(writer.bytes());
+  for (double v : values) {
+    Result<double> read = reader.GetDouble();
+    ASSERT_TRUE(read.ok());
+    // Bit-exact, including the sign of zero.
+    EXPECT_EQ(std::signbit(*read), std::signbit(v));
+    EXPECT_EQ(*read, v);
+  }
+  Result<double> read_nan = reader.GetDouble();
+  ASSERT_TRUE(read_nan.ok());
+  EXPECT_TRUE(std::isnan(*read_nan));
+}
+
+TEST(ByteCodecTest, StringRoundTripIncludingEmbeddedNul) {
+  ByteWriter writer;
+  writer.PutString("");
+  writer.PutString(std::string("a\0b", 3));
+  writer.PutString(std::string(100000, 'x'));
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.GetString().value(), "");
+  EXPECT_EQ(reader.GetString().value(), std::string("a\0b", 3));
+  EXPECT_EQ(reader.GetString().value(), std::string(100000, 'x'));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteCodecTest, TruncatedReadsFailCleanly) {
+  ByteWriter writer;
+  writer.PutU32(7);
+  ByteReader reader(writer.bytes());
+  EXPECT_FALSE(reader.GetU64().ok());  // only 4 bytes available
+
+  ByteWriter partial_string;
+  partial_string.PutVarint(100);  // length prefix without the body
+  ByteReader sreader(partial_string.bytes());
+  Result<std::string> read = sreader.GetString();
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ByteCodecTest, OverlongVarintRejected) {
+  // 11 continuation bytes cannot be a valid 64-bit varint.
+  std::string bad(11, static_cast<char>(0x80));
+  ByteReader reader(bad);
+  EXPECT_FALSE(reader.GetVarint().ok());
+}
+
+TEST(Crc32Test, KnownVectorAndSensitivity) {
+  // The classic check value of CRC-32/IEEE.
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("fedshap"), Crc32("fedshaq"));
+}
+
+TEST(Hasher64Test, DistinguishesOrderAndBoundaries) {
+  const uint64_t a = Hasher64().MixString("ab").MixString("c").digest();
+  const uint64_t b = Hasher64().MixString("a").MixString("bc").digest();
+  EXPECT_NE(a, b);
+  const uint64_t x = Hasher64().MixU64(1).MixU64(2).digest();
+  const uint64_t y = Hasher64().MixU64(2).MixU64(1).digest();
+  EXPECT_NE(x, y);
+  EXPECT_NE(Hasher64().MixDouble(0.0).digest(),
+            Hasher64().MixDouble(-0.0).digest());
+  // Deterministic across instances.
+  EXPECT_EQ(Hasher64().MixString("same").digest(),
+            Hasher64().MixString("same").digest());
+}
+
+TEST(FramedTest, RoundTripAndVersionOut) {
+  const std::string frame = EncodeFramed(0x1234u, 3, "payload bytes");
+  uint32_t version = 0;
+  Result<std::string_view> payload = DecodeFramed(0x1234u, 5, frame,
+                                                  &version);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "payload bytes");
+  EXPECT_EQ(version, 3u);
+}
+
+TEST(FramedTest, RejectsWrongMagicNewerVersionAndCorruption) {
+  const std::string frame = EncodeFramed(0x1234u, 2, "payload");
+  EXPECT_EQ(DecodeFramed(0x9999u, 2, frame).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeFramed(0x1234u, 1, frame).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  std::string corrupted = frame;
+  corrupted.back() ^= 0x01;
+  EXPECT_EQ(DecodeFramed(0x1234u, 2, corrupted).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::string truncated = frame.substr(0, frame.size() - 2);
+  EXPECT_FALSE(DecodeFramed(0x1234u, 2, truncated).ok());
+  EXPECT_FALSE(DecodeFramed(0x1234u, 2, "").ok());
+}
+
+TEST(AtomicFileTest, WriteReadRoundTrip) {
+  const std::string path = TempPath("roundtrip.bin");
+  const std::string contents("binary\0data\xff", 12);
+  ASSERT_TRUE(WriteFileAtomic(path, contents).ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, contents);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, OverwriteReplacesAtomically) {
+  const std::string path = TempPath("overwrite.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, std::string(1000, 'a')).ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "short").ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "short");  // no stale tail from the longer old file
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, MissingFileIsNotFound) {
+  Result<std::string> read =
+      ReadFileToString(TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace fedshap
