@@ -1,0 +1,239 @@
+/// Microbenchmarks (google-benchmark) for the ML substrate's batched
+/// kernels and the models' gradient paths. Every utility query of the
+/// valuation pipeline is a full FL training, so these per-step costs are
+/// the floor under all Table IV/V wall-clock numbers.
+///
+/// The *_PerExample / *_Batched pairs compare the historical scalar
+/// reference path against the blocked-kernel path at the same batch
+/// size; items/s is examples per second, so the batched:per-example
+/// ratio is the per-training speedup. CI runs this binary once with a
+/// tiny --benchmark_min_time as a smoke test.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "data/synthetic.h"
+#include "ml/cnn.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+#include "ml/matrix.h"
+#include "ml/mlp.h"
+#include "ml/sgd.h"
+#include "util/random.h"
+
+namespace fedshap {
+namespace {
+
+constexpr int kBatch = 32;
+
+std::vector<float> RandomBuffer(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> buf(n);
+  for (float& v : buf) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Raw kernels
+
+/// Naive dot-product GEMM (the shape of the old per-example loops):
+/// reduction inner loop, which the compiler cannot vectorize without
+/// -ffast-math. The baseline the blocked kernel is measured against.
+void NaiveMatMul(const float* a, size_t m, size_t k, const float* b,
+                 size_t n, float* c) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void BM_MatMulNaive(benchmark::State& state) {
+  const size_t m = kBatch, k = 64, n = 64;
+  std::vector<float> a = RandomBuffer(m * k, 1), b = RandomBuffer(k * n, 2);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    NaiveMatMul(a.data(), m, k, b.data(), n, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+}
+BENCHMARK(BM_MatMulNaive);
+
+void BM_MatMulBlocked(benchmark::State& state) {
+  const size_t m = kBatch, k = 64, n = 64;
+  std::vector<float> a = RandomBuffer(m * k, 1), b = RandomBuffer(k * n, 2);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    MatMul(a.data(), m, k, b.data(), n, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+}
+BENCHMARK(BM_MatMulBlocked);
+
+void BM_AddOuterBatch(benchmark::State& state) {
+  const size_t batch = kBatch, rows = 16, cols = 64;
+  std::vector<float> a = RandomBuffer(batch * rows, 3);
+  std::vector<float> b = RandomBuffer(batch * cols, 4);
+  std::vector<float> acc(rows * cols, 0.0f);
+  for (auto _ : state) {
+    AddOuterBatch(acc.data(), rows, cols, 1.0f, a.data(), b.data(), batch);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * rows * cols);
+}
+BENCHMARK(BM_AddOuterBatch);
+
+void BM_SgdStepFused(benchmark::State& state) {
+  std::vector<float> p = RandomBuffer(4096, 5), g = RandomBuffer(4096, 6);
+  for (auto _ : state) {
+    SgdStep(p.data(), g.data(), p.size(), 0.01f, 1e-4f);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.size());
+}
+BENCHMARK(BM_SgdStepFused);
+
+// ---------------------------------------------------------------------------
+// Model gradient paths: per-example reference vs batched kernels. The
+// shapes match the Table IV/V scenarios (8x8 digits, MLP hidden 16,
+// 10 classes; CNN with 4 filters).
+
+template <typename ModelT, typename MakeModel, typename MakeData>
+void GradientBench(benchmark::State& state, MakeModel make_model,
+                   MakeData make_data, bool batched) {
+  Rng rng(7);
+  Dataset data = make_data(rng);
+  ModelT model = make_model(data);
+  model.InitializeParameters(rng);
+  std::vector<size_t> batch;
+  for (size_t i = 0; i < kBatch; ++i) batch.push_back(i % data.size());
+  std::vector<float> grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        batched ? model.ComputeGradientBatched(data, batch, grad)
+                : model.ComputeGradient(data, batch, grad));
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+
+Dataset MakeBlobData(Rng& rng) {
+  Result<Dataset> data = GenerateBlobs(10, 64, 4.0, 256, rng);
+  return std::move(data).value();
+}
+
+Dataset MakeDigitData(Rng& rng) {
+  DigitsConfig config;
+  config.image_size = 8;
+  Result<FederatedSource> source = GenerateDigits(config, 256, rng);
+  return std::move(source).value().data;
+}
+
+Dataset MakeRegressionData(Rng& rng) {
+  Result<Dataset> data = Dataset::Create(32, 0);
+  Dataset out = std::move(data).value();
+  std::vector<float> row(32);
+  for (int i = 0; i < 256; ++i) {
+    for (float& v : row) v = static_cast<float>(rng.Gaussian());
+    out.Append(row, static_cast<float>(rng.Gaussian()));
+  }
+  return out;
+}
+
+void BM_MlpGradient_PerExample(benchmark::State& state) {
+  GradientBench<Mlp>(
+      state, [](const Dataset&) { return Mlp(64, 16, 10); }, MakeBlobData,
+      /*batched=*/false);
+}
+BENCHMARK(BM_MlpGradient_PerExample);
+
+void BM_MlpGradient_Batched(benchmark::State& state) {
+  GradientBench<Mlp>(
+      state, [](const Dataset&) { return Mlp(64, 16, 10); }, MakeBlobData,
+      /*batched=*/true);
+}
+BENCHMARK(BM_MlpGradient_Batched);
+
+void BM_LogRegGradient_PerExample(benchmark::State& state) {
+  GradientBench<LogisticRegression>(
+      state, [](const Dataset&) { return LogisticRegression(64, 10); },
+      MakeBlobData, /*batched=*/false);
+}
+BENCHMARK(BM_LogRegGradient_PerExample);
+
+void BM_LogRegGradient_Batched(benchmark::State& state) {
+  GradientBench<LogisticRegression>(
+      state, [](const Dataset&) { return LogisticRegression(64, 10); },
+      MakeBlobData, /*batched=*/true);
+}
+BENCHMARK(BM_LogRegGradient_Batched);
+
+void BM_CnnGradient_PerExample(benchmark::State& state) {
+  GradientBench<Cnn>(
+      state, [](const Dataset&) { return Cnn(8, 4, 10); }, MakeDigitData,
+      /*batched=*/false);
+}
+BENCHMARK(BM_CnnGradient_PerExample);
+
+void BM_CnnGradient_Batched(benchmark::State& state) {
+  GradientBench<Cnn>(
+      state, [](const Dataset&) { return Cnn(8, 4, 10); }, MakeDigitData,
+      /*batched=*/true);
+}
+BENCHMARK(BM_CnnGradient_Batched);
+
+void BM_LinRegGradient_PerExample(benchmark::State& state) {
+  GradientBench<LinearRegression>(
+      state, [](const Dataset&) { return LinearRegression(32); },
+      MakeRegressionData, /*batched=*/false);
+}
+BENCHMARK(BM_LinRegGradient_PerExample);
+
+void BM_LinRegGradient_Batched(benchmark::State& state) {
+  GradientBench<LinearRegression>(
+      state, [](const Dataset&) { return LinearRegression(32); },
+      MakeRegressionData, /*batched=*/true);
+}
+BENCHMARK(BM_LinRegGradient_Batched);
+
+// ---------------------------------------------------------------------------
+// Whole local trainings (what one FL client does per round): epochs of
+// shuffled minibatch SGD end to end, both gradient modes.
+
+void TrainSgdBench(benchmark::State& state, GradientMode mode) {
+  Rng rng(11);
+  Dataset data = MakeBlobData(rng);
+  Mlp prototype(64, 16, 10);
+  prototype.InitializeParameters(rng);
+  const std::vector<float> init = prototype.GetParameters();
+  SgdConfig config;
+  config.epochs = 1;
+  config.batch_size = kBatch;
+  config.gradient_mode = mode;
+  for (auto _ : state) {
+    Mlp model = prototype;
+    benchmark::DoNotOptimize(model.SetParameters(init));
+    Rng train_rng(42);
+    benchmark::DoNotOptimize(TrainSgd(model, data, config, train_rng));
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+
+void BM_TrainSgdEpoch_PerExample(benchmark::State& state) {
+  TrainSgdBench(state, GradientMode::kPerExample);
+}
+BENCHMARK(BM_TrainSgdEpoch_PerExample);
+
+void BM_TrainSgdEpoch_Batched(benchmark::State& state) {
+  TrainSgdBench(state, GradientMode::kBatched);
+}
+BENCHMARK(BM_TrainSgdEpoch_Batched);
+
+}  // namespace
+}  // namespace fedshap
+
+BENCHMARK_MAIN();

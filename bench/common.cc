@@ -33,6 +33,9 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
   if (const char* env = std::getenv("FEDSHAP_BENCH_THREADS")) {
     options.threads = std::atoi(env);
   }
+  if (const char* env = std::getenv("FEDSHAP_BENCH_BATCH_SIZE")) {
+    options.batch_size = std::atoi(env);
+  }
   if (const char* env = std::getenv("FEDSHAP_BENCH_CACHE_FILE")) {
     options.cache_file = env;
   }
@@ -46,6 +49,8 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.scale = 0.4;
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--batch-size=", 0) == 0) {
+      options.batch_size = std::atoi(arg.c_str() + 13);
     } else if (arg.rfind("--cache-file=", 0) == 0) {
       options.cache_file = arg.substr(13);
     } else if (arg == "--resume") {
@@ -55,6 +60,7 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
   if (options.scale <= 0.0) options.scale = 1.0;
   if (options.threads == 0) options.threads = ThreadPool::DefaultThreads();
   if (options.threads < 1) options.threads = 1;
+  if (options.batch_size < 0) options.batch_size = 0;
   return options;
 }
 
@@ -67,10 +73,15 @@ void PrintRunHeader(const char* title, const BenchOptions& options,
                     bool runner_backed) {
   std::printf("=== %s ===\n", title);
   if (runner_backed) {
+    char batch[16] = "default";
+    if (options.batch_size > 0) {
+      std::snprintf(batch, sizeof(batch), "%d", options.batch_size);
+    }
     std::printf(
-        "config: scale=%.2f seed=%llu threads=%d cache=%s resume=%s\n\n",
+        "config: scale=%.2f seed=%llu threads=%d batch-size=%s cache=%s "
+        "resume=%s\n\n",
         options.scale, static_cast<unsigned long long>(options.seed),
-        options.threads,
+        options.threads, batch,
         options.cache_file.empty() ? "(none)" : options.cache_file.c_str(),
         options.resume ? "yes" : "no");
   } else {
@@ -124,25 +135,27 @@ std::unique_ptr<Model> MakePrototype(ModelKind kind, int features,
   return model;
 }
 
-FedAvgConfig MakeFedAvgConfig(ModelKind kind, uint64_t seed) {
+FedAvgConfig MakeFedAvgConfig(ModelKind kind, uint64_t seed,
+                              int batch_size_override) {
   FedAvgConfig config;
   config.rounds = 5;
   config.local.epochs = 2;
   config.local.batch_size = 16;
   config.local.learning_rate = kind == ModelKind::kCnn ? 0.15 : 0.25;
   config.seed = seed;
+  if (batch_size_override > 0) config.local.batch_size = batch_size_override;
   return config;
 }
 
 Scenario AssembleFedAvg(std::vector<Dataset> clients, Dataset test,
                         ModelKind kind, int classes, uint64_t seed,
-                        std::string description) {
+                        int batch_size_override, std::string description) {
   const int features = test.num_features();
   std::unique_ptr<Model> prototype =
       MakePrototype(kind, features, classes, seed + 17);
   Result<std::unique_ptr<FedAvgUtility>> utility = FedAvgUtility::Create(
       std::move(clients), std::move(test), *prototype,
-      MakeFedAvgConfig(kind, seed));
+      MakeFedAvgConfig(kind, seed, batch_size_override));
   FEDSHAP_CHECK_OK(utility.status());
   Scenario scenario;
   scenario.n = static_cast<int>((*utility)->num_clients());
@@ -188,7 +201,7 @@ Scenario MakeFemnistScenario(int n, ModelKind kind,
   Result<std::vector<Dataset>> clients = PartitionByGroup(train, n, rng);
   FEDSHAP_CHECK_OK(clients.status());
   return AssembleFedAvg(std::move(clients).value(), std::move(test), kind,
-                        kDigitClasses, options.seed,
+                        kDigitClasses, options.seed, options.batch_size,
                         "FEMNIST-like digits, by-writer, n=" +
                             std::to_string(n) + ", " + ModelKindName(kind));
 }
@@ -237,7 +250,7 @@ Scenario MakeAdultScenario(int n, ModelKind kind,
     return scenario;
   }
   return AssembleFedAvg(std::move(clients).value(), std::move(test), kind,
-                        2, options.seed + 1, description);
+                        2, options.seed + 1, options.batch_size, description);
 }
 
 Scenario MakeSyntheticScenario(PartitionScheme scheme, int n, ModelKind kind,
@@ -271,7 +284,7 @@ Scenario MakeSyntheticScenario(PartitionScheme scheme, int n, ModelKind kind,
   Result<std::vector<Dataset>> clients = PartitionDataset(train, part, rng);
   FEDSHAP_CHECK_OK(clients.status());
   return AssembleFedAvg(std::move(clients).value(), std::move(test), kind,
-                        kDigitClasses, options.seed + 2,
+                        kDigitClasses, options.seed + 2, options.batch_size,
                         std::string(PartitionSchemeName(scheme)) + ", n=" +
                             std::to_string(n) + ", " + ModelKindName(kind));
 }
@@ -335,6 +348,7 @@ ScalabilityScenario MakeScalabilityScenario(int n,
   config.local.batch_size = 16;
   config.local.learning_rate = 0.3;
   config.seed = options.seed + 5;
+  if (options.batch_size > 0) config.local.batch_size = options.batch_size;
   Result<std::unique_ptr<FedAvgUtility>> utility = FedAvgUtility::Create(
       std::move(all), std::move(test), prototype, config);
   FEDSHAP_CHECK_OK(utility.status());

@@ -28,6 +28,12 @@ namespace bench {
 ///   --threads=<int>   worker threads for coalition-batch evaluation; also
 ///                     readable from FEDSHAP_BENCH_THREADS. 0 = all
 ///                     hardware threads. Default 1 (sequential).
+///   --batch-size=<int>  minibatch size of every FedAvg local-SGD epoch;
+///                     also readable from FEDSHAP_BENCH_BATCH_SIZE.
+///                     0 (default) keeps each scenario's own value. Part
+///                     of the workload fingerprint: different batch sizes
+///                     are different workloads and use different store
+///                     files.
 ///   --cache-file=<stem>  persist utility evaluations: each workload the
 ///                     binary runs writes `<stem>.<fingerprint>.fsus`
 ///                     (content-addressed, crash-safe; also readable from
@@ -42,6 +48,7 @@ struct BenchOptions {
   double scale = 1.0;
   uint64_t seed = 2025;
   int threads = 1;
+  int batch_size = 0;  // 0 = scenario default
   std::string cache_file;
   bool resume = false;
 

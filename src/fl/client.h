@@ -29,6 +29,11 @@ class FlClient {
   /// the updated local parameters. `model` is a scratch model of the right
   /// architecture (its parameters are overwritten). A client with no data
   /// returns the global parameters unchanged.
+  ///
+  /// The local-epoch loop executes each shuffled minibatch through the
+  /// model's batched kernel path by default (`config.gradient_mode`);
+  /// batch order is drawn from `rng`, so a seeded run is deterministic
+  /// under either gradient mode.
   Result<std::vector<float>> LocalUpdate(
       const std::vector<float>& global_params, Model& model,
       const SgdConfig& config, Rng& rng) const;

@@ -57,7 +57,9 @@ Result<double> FedAvgUtility::Evaluate(const Coalition& coalition) const {
     case UtilityMetric::kAccuracy:
       return EvaluateAccuracy(*model, test_data_);
     case UtilityMetric::kNegativeLoss:
-      return -model->Loss(test_data_);
+      // Evaluate with the same gradient path that trained: kPerExample
+      // workloads stay reference-path end to end.
+      return -model->Loss(test_data_, config_.local.gradient_mode);
   }
   return Status::Internal("unknown utility metric");
 }
@@ -70,7 +72,7 @@ Result<double> FedAvgUtility::EvaluateParameters(
     case UtilityMetric::kAccuracy:
       return EvaluateAccuracy(*model, test_data_);
     case UtilityMetric::kNegativeLoss:
-      return -model->Loss(test_data_);
+      return -model->Loss(test_data_, config_.local.gradient_mode);
   }
   return Status::Internal("unknown utility metric");
 }
@@ -89,7 +91,12 @@ uint64_t FedAvgUtility::Fingerprint() const {
   hasher.MixU64(static_cast<uint64_t>(config_.rounds));
   hasher.MixU64(config_.seed);
   hasher.MixU64(static_cast<uint64_t>(config_.local.epochs));
+  // The batch configuration is part of the workload identity: batch size
+  // changes the gradient averaging, and the execution path (batched
+  // kernels vs per-example reference) changes float association, so
+  // either difference must address a different store.
   hasher.MixU64(static_cast<uint64_t>(config_.local.batch_size));
+  hasher.MixU64(static_cast<uint64_t>(config_.local.gradient_mode));
   hasher.MixDouble(config_.local.learning_rate);
   hasher.MixDouble(config_.local.momentum);
   hasher.MixDouble(config_.local.weight_decay);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ml/logistic_regression.h"  // SoftmaxInPlace
+#include "ml/matrix.h"
 #include "util/logging.h"
 
 namespace fedshap {
@@ -178,6 +179,154 @@ double Cnn::ComputeGradient(const Dataset& data,
   const float inv = 1.0f / static_cast<float>(batch.size());
   for (float& g : grad) g *= inv;
   return total_loss / static_cast<double>(batch.size());
+}
+
+double Cnn::ComputeGradientBatched(const Dataset& data,
+                                   const std::vector<size_t>& batch,
+                                   std::vector<float>& grad) const {
+  grad.assign(params_.size(), 0.0f);
+  if (batch.empty()) return 0.0;
+  FEDSHAP_CHECK(data.num_features() == side_ * side_);
+  const size_t bsz = batch.size();
+  const int cs = conv_side();
+  const int ps = pool_side();
+  const size_t ca = conv_area();
+  const size_t pa = pool_area();
+  const size_t flat = flat_size();
+  const size_t classes = static_cast<size_t>(num_classes_);
+  const size_t filters = static_cast<size_t>(filters_);
+  const size_t feat = static_cast<size_t>(side_) * side_;
+  const float inv = 1.0f / static_cast<float>(bsz);
+
+  static thread_local std::vector<float> xb, col, col_t, conv, pooled, wdt,
+      probs, dpooled, dconv;
+  static thread_local std::vector<int> pool_argmax;
+  GatherRows(data, batch, xb);
+
+  // im2col: one row of 9 patch pixels per (example, conv position),
+  // plus its transpose. The whole batch's 3x3 convolution then becomes
+  // one (filters x 9) * (9 x bsz*ca) product whose inner loops run over
+  // all bsz*ca conv positions at once — with only `filters` output rows,
+  // the row-major orientation would leave the saxpy width at `filters`.
+  const size_t n_conv = bsz * ca;
+  col.resize(n_conv * 9);
+  for (size_t i = 0; i < bsz; ++i) {
+    const float* x = xb.data() + i * feat;
+    float* example_rows = col.data() + i * ca * 9;
+    for (int r = 0; r < cs; ++r) {
+      for (int c = 0; c < cs; ++c) {
+        float* row = example_rows + (static_cast<size_t>(r) * cs + c) * 9;
+        for (int dr = 0; dr < 3; ++dr) {
+          const float* src = x + (r + dr) * side_ + c;
+          row[dr * 3 + 0] = src[0];
+          row[dr * 3 + 1] = src[1];
+          row[dr * 3 + 2] = src[2];
+        }
+      }
+    }
+  }
+  col_t.resize(9 * n_conv);
+  Transpose(col.data(), n_conv, 9, col_t.data());
+
+  // conv: filter-major (filters x bsz*ca) with each filter's maps laid
+  // out exactly like the per-example path's conv_act, then fused
+  // per-filter bias + ReLU.
+  conv.resize(filters * n_conv);
+  MatMul(params_.data() + ConvW(), filters, 9, col_t.data(), n_conv,
+         conv.data());
+  const float* conv_b = params_.data() + ConvB();
+  for (size_t f = 0; f < filters; ++f) {
+    float* map = conv.data() + f * n_conv;
+    const float bias = conv_b[f];
+    for (size_t p = 0; p < n_conv; ++p) {
+      const float v = map[p] + bias;
+      map[p] = v > 0.0f ? v : 0.0f;
+    }
+  }
+
+  // 2x2/2 max pooling into the per-example flatten order the dense head
+  // expects ([filter][pool position]), remembering each window's argmax
+  // with the same strictly-greater tie-breaking as the reference path.
+  pooled.resize(bsz * flat);
+  pool_argmax.resize(bsz * flat);
+  for (size_t i = 0; i < bsz; ++i) {
+    float* pooled_i = pooled.data() + i * flat;
+    int* argmax_i = pool_argmax.data() + i * flat;
+    for (size_t f = 0; f < filters; ++f) {
+      const float* map = conv.data() + f * n_conv + i * ca;
+      for (int pr = 0; pr < ps; ++pr) {
+        for (int pc = 0; pc < ps; ++pc) {
+          float best = -1.0f;
+          int best_idx = (2 * pr) * cs + 2 * pc;
+          for (int dr = 0; dr < 2; ++dr) {
+            for (int dc = 0; dc < 2; ++dc) {
+              const int idx = (2 * pr + dr) * cs + (2 * pc + dc);
+              if (map[idx] > best) {
+                best = map[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          pooled_i[f * pa + pr * ps + pc] = best;
+          argmax_i[f * pa + pr * ps + pc] = best_idx;
+        }
+      }
+    }
+  }
+
+  // Dense head: probs = softmax(pooled * Wd^T + bd).
+  wdt.resize(flat * classes);
+  Transpose(params_.data() + DenseW(), classes, flat, wdt.data());
+  probs.resize(bsz * classes);
+  MatMul(pooled.data(), bsz, flat, wdt.data(), classes, probs.data());
+  AddBiasRows(probs.data(), bsz, classes, params_.data() + DenseB());
+  SoftmaxRows(probs.data(), bsz, classes);
+
+  double total_loss = 0.0;
+  for (size_t i = 0; i < bsz; ++i) {
+    const int label = data.ClassLabel(batch[i]);
+    float* row = probs.data() + i * classes;
+    total_loss += -std::log(std::max(row[label], 1e-12f));
+    row[label] -= 1.0f;
+  }
+
+  // Dense gradients, then backprop onto the pooled activations.
+  AddOuterBatch(grad.data() + DenseW(), classes, flat, inv, probs.data(),
+                pooled.data(), bsz);
+  ColumnSums(probs.data(), bsz, classes, grad.data() + DenseB());
+  dpooled.resize(bsz * flat);
+  MatMul(probs.data(), bsz, classes, params_.data() + DenseW(), flat,
+         dpooled.data());
+
+  // Route each pooled gradient to its window's argmax (windows are
+  // disjoint, so each conv position receives at most one), gated by the
+  // ReLU. dconv is mostly zeros; AddOuterBatch skips the zero rows.
+  // dconv stays (bsz*ca x filters), the orientation the rank-k gradient
+  // update below consumes directly.
+  dconv.assign(n_conv * filters, 0.0f);
+  for (size_t i = 0; i < bsz; ++i) {
+    const float* dpooled_i = dpooled.data() + i * flat;
+    const int* argmax_i = pool_argmax.data() + i * flat;
+    float* dconv_i = dconv.data() + i * ca * filters;
+    for (size_t f = 0; f < filters; ++f) {
+      const float* map = conv.data() + f * n_conv + i * ca;
+      for (size_t p = 0; p < pa; ++p) {
+        const float dact = dpooled_i[f * pa + p];
+        if (dact == 0.0f) continue;
+        const size_t conv_idx = static_cast<size_t>(argmax_i[f * pa + p]);
+        if (map[conv_idx] <= 0.0f) continue;  // ReLU gate
+        dconv_i[conv_idx * filters + f] = dact;
+      }
+    }
+  }
+
+  // Conv gradients: gW = dconv^T * im2col, gb = column sums of dconv.
+  AddOuterBatch(grad.data() + ConvW(), filters, 9, inv, dconv.data(),
+                col.data(), bsz * ca);
+  ColumnSums(dconv.data(), bsz * ca, filters, grad.data() + ConvB());
+  for (size_t c = 0; c < classes; ++c) grad[DenseB() + c] *= inv;
+  for (size_t f = 0; f < filters; ++f) grad[ConvB() + f] *= inv;
+  return total_loss / static_cast<double>(bsz);
 }
 
 void Cnn::Predict(const float* features, std::vector<float>& output) const {

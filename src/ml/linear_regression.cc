@@ -64,6 +64,44 @@ double LinearRegression::ComputeGradient(const Dataset& data,
   return total_loss / static_cast<double>(batch.size());
 }
 
+double LinearRegression::ComputeGradientBatched(
+    const Dataset& data, const std::vector<size_t>& batch,
+    std::vector<float>& grad) const {
+  grad.assign(weights_.size(), 0.0f);
+  if (batch.empty()) return 0.0;
+  const size_t bsz = batch.size();
+  const size_t dim = static_cast<size_t>(dim_);
+  const float inv = 1.0f / static_cast<float>(bsz);
+
+  static thread_local std::vector<float> xb, err;
+  GatherRows(data, batch, xb);
+
+  // Per-row predictions over the gathered batch, then the averaged error
+  // vector (scaling before the reduction keeps the gradient GEMM below
+  // alpha-free).
+  err.resize(bsz);
+  const float bias = weights_[dim_];
+  double total_loss = 0.0;
+  float bias_grad = 0.0f;
+  for (size_t i = 0; i < bsz; ++i) {
+    const float* row = xb.data() + i * dim;
+    float acc = 0.0f;
+    for (size_t d = 0; d < dim; ++d) acc += weights_[d] * row[d];
+    const double e =
+        static_cast<double>(acc) + bias - data.Target(batch[i]);
+    total_loss += 0.5 * e * e;
+    err[i] = static_cast<float>(e) * inv;
+    bias_grad += err[i];
+  }
+
+  // grad_w = (err/bsz)^T as a 1 x bsz row times X (bsz x dim): a single
+  // saxpy-form GEMM row, so the inner loop runs over the full feature
+  // width.
+  MatMul(err.data(), 1, bsz, xb.data(), dim, grad.data());
+  grad[dim_] = bias_grad;
+  return total_loss / static_cast<double>(bsz);
+}
+
 void LinearRegression::Predict(const float* features,
                                std::vector<float>& output) const {
   double pred = weights_[dim_];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/matrix.h"
 #include "util/logging.h"
 
 namespace fedshap {
@@ -94,6 +95,47 @@ double LogisticRegression::ComputeGradient(const Dataset& data,
   const float inv = 1.0f / static_cast<float>(batch.size());
   for (float& g : grad) g *= inv;
   return total_loss / static_cast<double>(batch.size());
+}
+
+double LogisticRegression::ComputeGradientBatched(
+    const Dataset& data, const std::vector<size_t>& batch,
+    std::vector<float>& grad) const {
+  grad.assign(params_.size(), 0.0f);
+  if (batch.empty()) return 0.0;
+  const size_t bsz = batch.size();
+  const size_t dim = static_cast<size_t>(dim_);
+  const size_t classes = static_cast<size_t>(num_classes_);
+  const size_t weight_count = classes * dim;
+  const float inv = 1.0f / static_cast<float>(bsz);
+
+  static thread_local std::vector<float> xb, wt, probs;
+  GatherRows(data, batch, xb);
+
+  // Logits = X * W^T + b, computed as X * transpose(W) so the product
+  // runs in saxpy (vectorizable) form, then softmax over each row.
+  wt.resize(dim * classes);
+  Transpose(params_.data(), classes, dim, wt.data());
+  probs.resize(bsz * classes);
+  MatMul(xb.data(), bsz, dim, wt.data(), classes, probs.data());
+  AddBiasRows(probs.data(), bsz, classes, params_.data() + weight_count);
+  SoftmaxRows(probs.data(), bsz, classes);
+
+  // Loss, then turn probs into the logit deltas in place.
+  double total_loss = 0.0;
+  for (size_t i = 0; i < bsz; ++i) {
+    const int label = data.ClassLabel(batch[i]);
+    float* row = probs.data() + i * classes;
+    total_loss += -std::log(std::max(row[label], 1e-12f));
+    row[label] -= 1.0f;
+  }
+
+  // grad_W = delta^T * X / bsz (the averaging rides along as alpha),
+  // grad_b = column sums of delta, averaged after.
+  AddOuterBatch(grad.data(), classes, dim, inv, probs.data(), xb.data(),
+                bsz);
+  ColumnSums(probs.data(), bsz, classes, grad.data() + weight_count);
+  for (size_t c = 0; c < classes; ++c) grad[weight_count + c] *= inv;
+  return total_loss / static_cast<double>(bsz);
 }
 
 void LogisticRegression::Predict(const float* features,

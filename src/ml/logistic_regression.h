@@ -24,6 +24,9 @@ class LogisticRegression : public Model {
   double ComputeGradient(const Dataset& data,
                          const std::vector<size_t>& batch,
                          std::vector<float>& grad) const override;
+  double ComputeGradientBatched(const Dataset& data,
+                                const std::vector<size_t>& batch,
+                                std::vector<float>& grad) const override;
   void Predict(const float* features,
                std::vector<float>& output) const override;
   int NumOutputs() const override { return num_classes_; }

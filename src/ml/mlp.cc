@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ml/logistic_regression.h"  // SoftmaxInPlace
+#include "ml/matrix.h"
 #include "util/logging.h"
 
 namespace fedshap {
@@ -117,6 +118,67 @@ double Mlp::ComputeGradient(const Dataset& data,
   const float inv = 1.0f / static_cast<float>(batch.size());
   for (float& g : grad) g *= inv;
   return total_loss / static_cast<double>(batch.size());
+}
+
+double Mlp::ComputeGradientBatched(const Dataset& data,
+                                   const std::vector<size_t>& batch,
+                                   std::vector<float>& grad) const {
+  grad.assign(params_.size(), 0.0f);
+  if (batch.empty()) return 0.0;
+  const size_t bsz = batch.size();
+  const size_t dim = static_cast<size_t>(dim_);
+  const size_t hidden = static_cast<size_t>(hidden_);
+  const size_t classes = static_cast<size_t>(num_classes_);
+  const float inv = 1.0f / static_cast<float>(bsz);
+
+  // Per-thread scratch: gradient steps run once per minibatch, so these
+  // amortize to zero allocations per epoch.
+  static thread_local std::vector<float> xb, w1t, h, w2t, probs, dh;
+  GatherRows(data, batch, xb);
+
+  // Hidden layer: H = relu(X * W1^T + b1). W1 is transposed once per
+  // batch so the product runs in saxpy form; the cost amortizes over the
+  // batch rows.
+  w1t.resize(dim * hidden);
+  Transpose(params_.data() + W1(), hidden, dim, w1t.data());
+  h.resize(bsz * hidden);
+  MatMul(xb.data(), bsz, dim, w1t.data(), hidden, h.data());
+  AddBiasReluRows(h.data(), bsz, hidden, params_.data() + B1());
+
+  // Output layer: probs = softmax(H * W2^T + b2).
+  w2t.resize(hidden * classes);
+  Transpose(params_.data() + W2(), classes, hidden, w2t.data());
+  probs.resize(bsz * classes);
+  MatMul(h.data(), bsz, hidden, w2t.data(), classes, probs.data());
+  AddBiasRows(probs.data(), bsz, classes, params_.data() + B2());
+  SoftmaxRows(probs.data(), bsz, classes);
+
+  // Loss; probs becomes the logit deltas (p_c - 1[c == label]) in place,
+  // pre-scaled by 1/bsz so every downstream gradient product comes out
+  // averaged with no separate scaling pass.
+  double total_loss = 0.0;
+  for (size_t i = 0; i < bsz; ++i) {
+    const int label = data.ClassLabel(batch[i]);
+    float* row = probs.data() + i * classes;
+    total_loss += -std::log(std::max(row[label], 1e-12f));
+    row[label] -= 1.0f;
+  }
+  for (size_t i = 0; i < bsz * classes; ++i) probs[i] *= inv;
+
+  // Output-layer gradients: gW2 = delta^T * H, gb2 = column sums.
+  AddOuterBatch(grad.data() + W2(), classes, hidden, 1.0f, probs.data(),
+                h.data(), bsz);
+  ColumnSums(probs.data(), bsz, classes, grad.data() + B2());
+
+  // Backprop into the hidden layer: dH = delta * W2, gated by the ReLU.
+  dh.resize(bsz * hidden);
+  MatMul(probs.data(), bsz, classes, params_.data() + W2(), hidden,
+         dh.data());
+  ReluMaskBackward(dh.data(), h.data(), bsz * hidden);
+  // gW1 = dH^T * X (dH is already 1/bsz-scaled through the deltas).
+  MatTMat(dh.data(), bsz, hidden, xb.data(), dim, grad.data() + W1());
+  ColumnSums(dh.data(), bsz, hidden, grad.data() + B1());
+  return total_loss / static_cast<double>(bsz);
 }
 
 void Mlp::Predict(const float* features, std::vector<float>& output) const {

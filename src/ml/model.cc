@@ -1,16 +1,45 @@
 #include "ml/model.h"
 
+#include <cstring>
 #include <numeric>
 
 #include "util/logging.h"
 
 namespace fedshap {
 
-double Model::Loss(const Dataset& data) const {
-  std::vector<size_t> all(data.size());
-  std::iota(all.begin(), all.end(), 0);
+void GatherRows(const Dataset& data, const std::vector<size_t>& batch,
+                std::vector<float>& out) {
+  const size_t dim = static_cast<size_t>(data.num_features());
+  out.resize(batch.size() * dim);
+  float* dst = out.data();
+  for (size_t idx : batch) {
+    std::memcpy(dst, data.Row(idx), dim * sizeof(float));
+    dst += dim;
+  }
+}
+
+double Model::Loss(const Dataset& data, GradientMode mode) const {
+  if (data.empty()) return 0.0;
+  // Loss evaluation sits on the utility hot path (the kNegativeLoss
+  // metric runs it once per trained coalition), so it goes through the
+  // gradient paths in chunks: big enough to amortize the batched
+  // kernels, small enough that per-thread scratch never scales with the
+  // test-set size.
+  constexpr size_t kChunk = 256;
+  std::vector<size_t> rows;
   std::vector<float> unused_grad;
-  return ComputeGradient(data, all, unused_grad);
+  double total = 0.0;
+  for (size_t start = 0; start < data.size(); start += kChunk) {
+    const size_t end = std::min(data.size(), start + kChunk);
+    rows.resize(end - start);
+    std::iota(rows.begin(), rows.end(), start);
+    const double avg =
+        mode == GradientMode::kBatched
+            ? ComputeGradientBatched(data, rows, unused_grad)
+            : ComputeGradient(data, rows, unused_grad);
+    total += avg * static_cast<double>(rows.size());
+  }
+  return total / static_cast<double>(data.size());
 }
 
 std::vector<float> NumericalGradient(Model& model, const Dataset& data,

@@ -19,6 +19,22 @@ namespace fedshap {
 /// local SGD), prediction (for utility evaluation) and cloning (to train an
 /// independent model per coalition from the same initialization).
 ///
+/// Which gradient execution path to drive (TrainSgd steps and Loss
+/// evaluation). Both paths consume inputs in the same order and average
+/// the same per-batch loss, so a seeded run is deterministic under
+/// either; they differ only in floating-point association (see the
+/// tolerance contract in ml/matrix.h).
+enum class GradientMode {
+  /// Whole-minibatch execution through the blocked kernels of
+  /// ml/matrix.h (Model::ComputeGradientBatched). The fast path and the
+  /// default.
+  kBatched,
+  /// The historical one-example-at-a-time reference path
+  /// (Model::ComputeGradient). Kept selectable as the ground truth the
+  /// batched path is validated against.
+  kPerExample,
+};
+
 /// Parameters are exposed as one flat float vector; the layout is
 /// model-internal but stable for a given architecture, which is what FedAvg
 /// aggregation requires.
@@ -46,21 +62,50 @@ class Model {
   /// Computes the average loss over the given rows of `data` and
   /// accumulates d(avg loss)/d(params) into `grad` (which the callee
   /// resizes/zeroes). Returns the average loss.
+  ///
+  /// This is the *reference* gradient path: one example at a time,
+  /// scalar loops. It stays the ground truth that the batched path is
+  /// tested against.
   virtual double ComputeGradient(const Dataset& data,
                                  const std::vector<size_t>& batch,
                                  std::vector<float>& grad) const = 0;
+
+  /// Batched-kernel twin of ComputeGradient: same contract (average loss
+  /// returned, averaged gradient in `grad`), computed by gathering the
+  /// batch into a contiguous matrix and running the blocked kernels of
+  /// ml/matrix.h over the whole minibatch at once. Results match
+  /// ComputeGradient within the kernel tolerance contract documented in
+  /// ml/matrix.h (not bitwise: batched kernels reassociate sums).
+  ///
+  /// The default forwards to ComputeGradient so models without a batched
+  /// implementation keep working; the four trainable models override it.
+  virtual double ComputeGradientBatched(const Dataset& data,
+                                        const std::vector<size_t>& batch,
+                                        std::vector<float>& grad) const {
+    return ComputeGradient(data, batch, grad);
+  }
 
   /// Model output for a single example: per-class scores for classifiers
   /// (argmax = prediction), a single value for regressors.
   virtual void Predict(const float* features,
                        std::vector<float>& output) const = 0;
 
-  /// Average loss over an entire dataset (no gradient).
-  virtual double Loss(const Dataset& data) const;
+  /// Average loss over an entire dataset (no gradient returned). Runs in
+  /// bounded-size chunks through the selected gradient path, so the
+  /// kPerExample mode yields a fully reference-path value and the
+  /// batched mode's scratch stays O(chunk), not O(dataset).
+  virtual double Loss(const Dataset& data,
+                      GradientMode mode = GradientMode::kBatched) const;
 
   /// Number of model outputs (classes, or 1 for regression).
   virtual int NumOutputs() const = 0;
 };
+
+/// Copies the selected rows of `data` into one contiguous row-major
+/// batch x num_features() matrix (`out` is resized). The gather step every
+/// batched gradient path starts with.
+void GatherRows(const Dataset& data, const std::vector<size_t>& batch,
+                std::vector<float>& out);
 
 /// Numerically estimates d(loss)/d(params) by central differences; used by
 /// the gradient-check tests. O(NumParameters) loss evaluations — test-sized

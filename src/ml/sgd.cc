@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "ml/matrix.h"
 #include "util/logging.h"
 
 namespace fedshap {
@@ -34,6 +35,7 @@ Result<double> TrainSgd(Model& model, const Dataset& data,
   std::vector<size_t> batch;
   std::vector<float> grad;
 
+  const bool batched = config.gradient_mode == GradientMode::kBatched;
   double last_epoch_loss = 0.0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     rng.Shuffle(order);
@@ -44,26 +46,22 @@ Result<double> TrainSgd(Model& model, const Dataset& data,
       size_t end = std::min(order.size(),
                             start + static_cast<size_t>(config.batch_size));
       batch.assign(order.begin() + start, order.begin() + end);
-      epoch_loss += model.ComputeGradient(data, batch, grad);
+      epoch_loss += batched
+                        ? model.ComputeGradientBatched(data, batch, grad)
+                        : model.ComputeGradient(data, batch, grad);
       ++batches;
       if (config.proximal_mu > 0.0) {
-        const float mu = static_cast<float>(config.proximal_mu);
-        for (size_t p = 0; p < params.size(); ++p) {
-          grad[p] += mu * (params[p] - reference[p]);
-        }
+        AddProximal(grad.data(), params.data(), reference.data(),
+                    params.size(), static_cast<float>(config.proximal_mu));
       }
       const float lr = static_cast<float>(config.learning_rate);
       const float wd = static_cast<float>(config.weight_decay);
       if (config.momentum > 0.0) {
-        const float mu = static_cast<float>(config.momentum);
-        for (size_t p = 0; p < params.size(); ++p) {
-          velocity[p] = mu * velocity[p] + grad[p] + wd * params[p];
-          params[p] -= lr * velocity[p];
-        }
+        SgdMomentumStep(params.data(), velocity.data(), grad.data(),
+                        params.size(), lr,
+                        static_cast<float>(config.momentum), wd);
       } else {
-        for (size_t p = 0; p < params.size(); ++p) {
-          params[p] -= lr * (grad[p] + wd * params[p]);
-        }
+        SgdStep(params.data(), grad.data(), params.size(), lr, wd);
       }
       FEDSHAP_RETURN_NOT_OK(model.SetParameters(params));
     }

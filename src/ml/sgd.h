@@ -16,6 +16,10 @@ struct SgdConfig {
   double learning_rate = 0.1;
   double momentum = 0.0;
   double weight_decay = 0.0;
+  /// Gradient execution path; part of the workload identity (hashed into
+  /// utility fingerprints) because the two paths differ in float
+  /// association.
+  GradientMode gradient_mode = GradientMode::kBatched;
   /// FedProx proximal coefficient mu (Li et al., MLSys 2020): adds
   /// mu * (w - w_ref) to every gradient step, where w_ref is the model's
   /// parameters when TrainSgd starts (the global model, in FL terms).
@@ -27,6 +31,12 @@ struct SgdConfig {
 /// mutating `model` in place. Returns the average training loss of the last
 /// epoch. A no-op (returning 0) on an empty dataset — an FL client with no
 /// data contributes nothing, which is what the null-player axiom expects.
+///
+/// Batch order is drawn from `rng` identically under both gradient modes,
+/// and the weight update runs through the fused SGD kernels of
+/// ml/matrix.h; with `config.gradient_mode == kBatched` (the default) each
+/// minibatch's forward/backward additionally executes through the blocked
+/// batched kernels instead of one example at a time.
 Result<double> TrainSgd(Model& model, const Dataset& data,
                         const SgdConfig& config, Rng& rng);
 

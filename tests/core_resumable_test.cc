@@ -1,7 +1,10 @@
 /// Tests for core/resumable.h: snapshot/restore equivalence (a resumed
 /// sweep is bit-identical to an uninterrupted one), agreement with the
 /// one-shot algorithms, snapshot validation (wrong algorithm / config /
-/// corruption), and file-based checkpoint round-trips.
+/// corruption), and file-based checkpoint round-trips. Also the run-level
+/// determinism contract: same seed + same --threads/--batch-size means a
+/// bit-identical ValuationResult across repeated in-process runs, across
+/// thread counts, and across a store-warm resume.
 
 #include "core/resumable.h"
 
@@ -12,7 +15,12 @@
 #include <gtest/gtest.h>
 
 #include "core/exact.h"
+#include "core/ipss.h"
+#include "data/synthetic.h"
+#include "fl/utility_store.h"
+#include "ml/mlp.h"
 #include "test_util.h"
+#include "util/thread_pool.h"
 
 namespace fedshap {
 namespace {
@@ -309,6 +317,132 @@ TEST(SweepLifecycleTest, InvalidConfigSurfacesOnUse) {
   EXPECT_FALSE(sweep.done());
   EXPECT_EQ(sweep.Step(session, 1).code(), StatusCode::kInvalidArgument);
   EXPECT_FALSE(sweep.Snapshot().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Run-level determinism over a real batched-training FedAvg utility.
+
+/// A 5-client FedAvg MLP workload trained through the batched kernel
+/// path (the default gradient mode) with the given batch size.
+std::unique_ptr<FedAvgUtility> MakeDeterminismGame(int batch_size) {
+  Rng rng(2024);
+  Result<Dataset> pool = GenerateBlobs(3, 6, 3.0, 5 * 14 + 30, rng);
+  FEDSHAP_CHECK(pool.ok());
+  std::vector<Dataset> clients;
+  for (int c = 0; c < 5; ++c) {
+    std::vector<size_t> idx;
+    for (size_t i = c * 14; i < static_cast<size_t>(c + 1) * 14; ++i) {
+      idx.push_back(i);
+    }
+    clients.push_back(pool->Subset(idx));
+  }
+  std::vector<size_t> test_idx;
+  for (size_t i = 5 * 14; i < pool->size(); ++i) test_idx.push_back(i);
+  Dataset test = pool->Subset(test_idx);
+
+  Mlp prototype(6, 4, 3);
+  Rng init(77);
+  prototype.InitializeParameters(init);
+  FedAvgConfig config;
+  config.rounds = 2;
+  config.local.epochs = 1;
+  config.local.batch_size = batch_size;
+  config.local.learning_rate = 0.2;
+  config.seed = 4321;
+  Result<std::unique_ptr<FedAvgUtility>> fn = FedAvgUtility::Create(
+      std::move(clients), std::move(test), prototype, config,
+      UtilityMetric::kNegativeLoss);
+  FEDSHAP_CHECK(fn.ok());
+  return std::move(fn).value();
+}
+
+ValuationResult RunIpss(const UtilityFunction& fn, ThreadPool* pool,
+                        UtilityStore* store = nullptr) {
+  UtilityCache cache(&fn);
+  if (store != nullptr) cache.AttachStore(store, /*flush_every=*/1);
+  UtilitySession session(&cache, pool);
+  IpssConfig config;
+  config.total_rounds = 20;
+  config.seed = 99;
+  Result<ValuationResult> result = IpssShapley(session, config);
+  FEDSHAP_CHECK_OK(result.status());
+  return std::move(result).value();
+}
+
+TEST(DeterminismTest, SameSeedBitIdenticalAcrossInProcessRuns) {
+  std::unique_ptr<FedAvgUtility> fn = MakeDeterminismGame(8);
+  ValuationResult first = RunIpss(*fn, nullptr);
+  ValuationResult second = RunIpss(*fn, nullptr);
+  ExpectBitIdentical(first.values, second.values);
+  EXPECT_EQ(first.num_trainings, second.num_trainings);
+}
+
+TEST(DeterminismTest, SameSeedBitIdenticalAcrossThreadCounts) {
+  std::unique_ptr<FedAvgUtility> fn = MakeDeterminismGame(8);
+  ValuationResult sequential = RunIpss(*fn, nullptr);
+  ThreadPool pool(4);
+  ValuationResult threaded = RunIpss(*fn, &pool);
+  ExpectBitIdentical(sequential.values, threaded.values);
+  EXPECT_EQ(sequential.num_trainings, threaded.num_trainings);
+}
+
+TEST(DeterminismTest, SameSeedBitIdenticalAcrossStoreWarmResume) {
+  std::unique_ptr<FedAvgUtility> fn = MakeDeterminismGame(8);
+  const std::string stem = TempPath("determinism_store");
+  std::remove(UtilityStore::StemPath(stem, fn->Fingerprint()).c_str());
+
+  ValuationResult cold;
+  {
+    UtilityCache cache(fn.get());
+    Result<std::unique_ptr<UtilityStore>> store =
+        OpenAndAttachStore(stem, /*resume=*/false, *fn, cache);
+    ASSERT_TRUE(store.ok());
+    UtilitySession session(&cache);
+    IpssConfig config;
+    config.total_rounds = 20;
+    config.seed = 99;
+    Result<ValuationResult> result = IpssShapley(session, config);
+    ASSERT_TRUE(result.ok());
+    cold = std::move(result).value();
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  {
+    UtilityCache cache(fn.get());
+    Result<std::unique_ptr<UtilityStore>> store =
+        OpenAndAttachStore(stem, /*resume=*/true, *fn, cache);
+    ASSERT_TRUE(store.ok());
+    EXPECT_GT((*store)->loaded_entries(), 0u)
+        << "warm resume should preload persisted trainings";
+    UtilitySession session(&cache);
+    IpssConfig config;
+    config.total_rounds = 20;
+    config.seed = 99;
+    Result<ValuationResult> warm = IpssShapley(session, config);
+    ASSERT_TRUE(warm.ok());
+    ExpectBitIdentical(cold.values, warm->values);
+    EXPECT_EQ(cold.num_trainings, warm->num_trainings);
+  }
+  std::remove(UtilityStore::StemPath(stem, fn->Fingerprint()).c_str());
+}
+
+TEST(DeterminismTest, BatchConfigIsPartOfTheWorkloadFingerprint) {
+  // Different --batch-size (or gradient mode) means different training
+  // numerics, so the content-addressed store must treat them as
+  // different workloads.
+  std::unique_ptr<FedAvgUtility> batch8 = MakeDeterminismGame(8);
+  std::unique_ptr<FedAvgUtility> batch8_again = MakeDeterminismGame(8);
+  std::unique_ptr<FedAvgUtility> batch16 = MakeDeterminismGame(16);
+  EXPECT_EQ(batch8->Fingerprint(), batch8_again->Fingerprint());
+  EXPECT_NE(batch8->Fingerprint(), batch16->Fingerprint());
+
+  // And the two batch sizes genuinely are different workloads.
+  ValuationResult v8 = RunIpss(*batch8, nullptr);
+  ValuationResult v16 = RunIpss(*batch16, nullptr);
+  bool any_different = false;
+  for (size_t i = 0; i < v8.values.size(); ++i) {
+    if (v8.values[i] != v16.values[i]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
 }
 
 TEST(SweepLifecycleTest, FinishBeforeDoneFails) {

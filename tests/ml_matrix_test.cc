@@ -86,8 +86,21 @@ TEST(SolveLinearSystemTest, DetectsSingularity) {
 }
 
 TEST(SolveLinearSystemTest, ValidatesShape) {
-  EXPECT_FALSE(SolveLinearSystem({1, 2, 3}, {1, 2}, 2).ok());
+  // a not n*n (a "non-square" flat matrix) must be rejected, not solved.
+  Result<std::vector<double>> bad_a = SolveLinearSystem({1, 2, 3}, {1, 2}, 2);
+  ASSERT_FALSE(bad_a.ok());
+  EXPECT_EQ(bad_a.status().code(), StatusCode::kInvalidArgument);
+  // a larger than n*n is just as wrong as smaller.
+  EXPECT_FALSE(SolveLinearSystem({1, 2, 3, 4, 5}, {1, 2}, 2).ok());
+  // b must have exactly n entries.
+  Result<std::vector<double>> bad_b =
+      SolveLinearSystem({2, 1, 1, 3}, {5, 10, 15}, 2);
+  ASSERT_FALSE(bad_b.ok());
+  EXPECT_EQ(bad_b.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(SolveLinearSystem({2, 1, 1, 3}, {5}, 2).ok());
+  // Non-positive dimensions are invalid regardless of buffer sizes.
   EXPECT_FALSE(SolveLinearSystem({1}, {1}, 0).ok());
+  EXPECT_FALSE(SolveLinearSystem({}, {}, -3).ok());
 }
 
 TEST(SolveLinearSystemTest, LargerRandomSystemRoundTrips) {
