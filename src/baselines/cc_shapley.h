@@ -14,6 +14,7 @@ struct CcShapleyConfig {
   /// paper observes CC-Shapley to be among the slowest sampling baselines
   /// at equal round budgets.
   int rounds = 32;
+  /// Seed of the sampling randomness.
   uint64_t seed = 1;
 };
 

@@ -11,6 +11,7 @@ namespace fedshap {
 struct ExtendedGtbConfig {
   /// Number of group-testing samples (subsets drawn).
   int samples = 32;
+  /// Seed of the sampling randomness.
   uint64_t seed = 1;
 };
 

@@ -17,6 +17,7 @@ struct ExtendedTmcConfig {
   /// of U(N), the remaining marginal contributions of the permutation are
   /// treated as zero (no further trainings).
   double truncation_tolerance = 0.01;
+  /// Seed of the sampling randomness.
   uint64_t seed = 1;
 };
 

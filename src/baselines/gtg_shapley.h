@@ -20,6 +20,7 @@ struct GtgShapleyConfig {
   /// Early convergence: stop a round's sampling when the max change of the
   /// running averages falls below this for two consecutive permutations.
   double convergence_tolerance = 1e-4;
+  /// Seed of the sampling randomness.
   uint64_t seed = 1;
 };
 

@@ -21,6 +21,7 @@ Result<ValuationResult> ExactBanzhaf(UtilitySession& session);
 struct BanzhafConfig {
   /// Number of uniformly sampled coalitions.
   int samples = 64;
+  /// Seed of the coalition sampling.
   uint64_t seed = 1;
 };
 

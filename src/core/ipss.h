@@ -74,6 +74,7 @@ struct AdaptiveIpssConfig {
   /// Stop when the relative l2 distance between two consecutive estimates
   /// falls below this.
   double tolerance = 0.05;
+  /// Seed of the balanced sampling at every budget.
   uint64_t seed = 1;
 };
 

@@ -11,7 +11,9 @@ namespace fedshap {
 
 /// One algorithm's contribution to a valuation report.
 struct ReportEntry {
+  /// Display name of the algorithm.
   std::string name;
+  /// The run's values and cost accounting.
   ValuationResult result;
   /// Exact entries anchor the error column ("-" instead of a number).
   bool exact = false;
@@ -27,9 +29,12 @@ class ValuationReport {
   ValuationReport(std::string title, std::vector<double> exact_values)
       : title_(std::move(title)), exact_(std::move(exact_values)) {}
 
+  /// Appends one algorithm's entry.
   void Add(ReportEntry entry) { entries_.push_back(std::move(entry)); }
 
+  /// Number of entries added so far.
   size_t size() const { return entries_.size(); }
+  /// The entries, in insertion order.
   const std::vector<ReportEntry>& entries() const { return entries_; }
 
   /// Human-readable rendering with aligned columns: per-client values,

@@ -65,6 +65,50 @@ Status LoadSnapshot(ResumableEstimator& estimator, const std::string& path) {
   return estimator.Restore(snapshot);
 }
 
+namespace {
+/// Frame tag of persisted ValuationResults ("FSVR" little-endian).
+constexpr uint32_t kResultMagic = 0x52565346u;
+constexpr uint32_t kResultVersion = 1;
+}  // namespace
+
+std::string EncodeValuationResult(const ValuationResult& result) {
+  ByteWriter payload;
+  payload.PutVarint(result.values.size());
+  for (double value : result.values) payload.PutDouble(value);
+  payload.PutVarint(result.num_evaluations);
+  payload.PutVarint(result.num_trainings);
+  payload.PutVarint(result.num_fresh_trainings);
+  payload.PutDouble(result.charged_seconds);
+  payload.PutDouble(result.wall_seconds);
+  return EncodeFramed(kResultMagic, kResultVersion, payload.bytes());
+}
+
+Result<ValuationResult> DecodeValuationResult(std::string_view encoded) {
+  FEDSHAP_ASSIGN_OR_RETURN(std::string_view payload,
+                           DecodeFramed(kResultMagic, kResultVersion,
+                                        encoded));
+  ByteReader reader(payload);
+  ValuationResult result;
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  result.values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FEDSHAP_ASSIGN_OR_RETURN(double value, reader.GetDouble());
+    result.values.push_back(value);
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t evaluations, reader.GetVarint());
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t trainings, reader.GetVarint());
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t fresh, reader.GetVarint());
+  result.num_evaluations = evaluations;
+  result.num_trainings = trainings;
+  result.num_fresh_trainings = fresh;
+  FEDSHAP_ASSIGN_OR_RETURN(result.charged_seconds, reader.GetDouble());
+  FEDSHAP_ASSIGN_OR_RETURN(result.wall_seconds, reader.GetDouble());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after ValuationResult");
+  }
+  return result;
+}
+
 // ---------------------------------------------------------------------------
 // CoalitionPlanSweep
 

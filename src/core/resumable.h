@@ -91,6 +91,17 @@ Status SaveSnapshot(const ResumableEstimator& estimator,
 /// the file does not exist (callers typically start fresh then).
 Status LoadSnapshot(ResumableEstimator& estimator, const std::string& path);
 
+/// Serializes a finished ValuationResult as a framed, checksummed byte
+/// string — the durable form of a *completed* valuation (the valuation
+/// service persists every finished job's result this way, so a restarted
+/// service serves completed jobs without recomputing anything). Doubles
+/// round-trip bit-for-bit.
+std::string EncodeValuationResult(const ValuationResult& result);
+
+/// Decodes a string produced by EncodeValuationResult. Fails with
+/// InvalidArgument on corrupt or foreign input.
+Result<ValuationResult> DecodeValuationResult(std::string_view encoded);
+
 /// Base for sweeps whose evaluation plan — the exact coalition sequence
 /// to evaluate — is a deterministic function of the configuration (the
 /// sampling RNG is consumed entirely while planning). State is then just

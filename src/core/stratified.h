@@ -12,10 +12,11 @@ namespace fedshap {
 
 /// Which equivalent Shapley expression the framework plugs in (Sec. II-B).
 enum class SvScheme {
-  kMarginal,        // MC-SV (Def. 3): pair S with S \ {i}
-  kComplementary,   // CC-SV (Def. 5): pair S with N \ S
+  kMarginal,       ///< MC-SV (Def. 3): pair S with S \ {i}.
+  kComplementary,  ///< CC-SV (Def. 5): pair S with N \ S.
 };
 
+/// Stable display name of a scheme ("MC" / "CC").
 const char* SvSchemeName(SvScheme scheme);
 
 /// How Alg. 1 handles a sampled coalition whose paired combination (S\{i}
@@ -34,7 +35,9 @@ enum class PairPolicy {
 
 /// Configuration of Alg. 1 (unified stratified sampling framework).
 struct StratifiedConfig {
+  /// Which Shapley expression to estimate.
   SvScheme scheme = SvScheme::kMarginal;
+  /// How unsampled pairs are handled.
   PairPolicy pair_policy = PairPolicy::kRequireSampled;
   /// Total sampling rounds gamma. Split across strata k = 1..n as evenly as
   /// possible (clipped to each stratum's population C(n, k)) unless
@@ -82,10 +85,12 @@ Result<std::vector<double>> StratifiedEstimateFromDraws(
 
 /// Configuration of the per-client stratified estimator.
 struct PerClientStratifiedConfig {
+  /// Which Shapley expression to estimate.
   SvScheme scheme = SvScheme::kMarginal;
   /// Samples drawn per (client, stratum) pair: the m_{i,k} of Alg. 1 with
   /// equal allocation. Every client gets every stratum — no coverage gaps.
   int samples_per_stratum = 2;
+  /// Seed of the sampling randomness.
   uint64_t seed = 1;
 };
 

@@ -18,6 +18,13 @@ struct ValuationResult {
   /// Distinct coalitions evaluated (= FL trainings a standalone run would
   /// perform; the within-run memoization any sane implementation has).
   size_t num_trainings = 0;
+  /// Of `num_trainings`, the coalitions this run actually trained itself
+  /// (cache misses computed on this run's behalf). The remainder was
+  /// reused — from earlier runs in the process, concurrent runs sharing
+  /// the cache, or a persistent store. Equals `num_trainings` for an
+  /// isolated cold run; the gap is the valuation service's cross-job
+  /// dedup metric.
+  size_t num_fresh_trainings = 0;
   /// Modeled cost: sum of the recorded train+evaluate seconds of every
   /// distinct coalition this run asked for, plus any directly measured
   /// algorithm-side work. This is the "Time" column of the paper-style
@@ -36,6 +43,7 @@ inline ValuationResult FinishValuation(std::vector<double> values,
   result.values = std::move(values);
   result.num_evaluations = session.num_evaluations();
   result.num_trainings = session.num_distinct();
+  result.num_fresh_trainings = session.num_fresh_trainings();
   result.charged_seconds = session.charged_seconds();
   result.wall_seconds = wall_seconds;
   return result;

@@ -21,11 +21,16 @@ class Dataset {
   /// denotes a regression target.
   static Result<Dataset> Create(int num_features, int num_classes);
 
+  /// Creates an empty 0-feature dataset (assign a real one over it).
   Dataset() = default;
 
+  /// Feature dimension of every row.
   int num_features() const { return num_features_; }
+  /// Number of classes (0 for regression targets).
   int num_classes() const { return num_classes_; }
+  /// Number of rows.
   size_t size() const { return labels_.size(); }
+  /// True when the dataset has no rows.
   bool empty() const { return labels_.empty(); }
 
   /// Pre-allocates storage for `rows` additional rows.
@@ -33,17 +38,21 @@ class Dataset {
 
   /// Appends one example. `features` must contain num_features() values.
   void Append(const float* features, float target);
+  /// Appends one example from a vector of num_features() values.
   void Append(const std::vector<float>& features, float target);
 
   /// Pointer to row i's feature vector (num_features() floats).
   const float* Row(size_t i) const {
     return features_.data() + i * static_cast<size_t>(num_features_);
   }
+  /// Mutable pointer to row i's feature vector (num_features() floats).
   float* MutableRow(size_t i) {
     return features_.data() + i * static_cast<size_t>(num_features_);
   }
 
+  /// Target value of row i (class id as float, or regression value).
   float Target(size_t i) const { return labels_[i]; }
+  /// Overwrites the target value of row i.
   void SetTarget(size_t i, float target) { labels_[i] = target; }
 
   /// Class id of row i; only valid for classification datasets.
@@ -51,6 +60,7 @@ class Dataset {
 
   /// Contiguous feature storage (size() * num_features() floats).
   const std::vector<float>& features() const { return features_; }
+  /// Contiguous target storage (size() floats).
   const std::vector<float>& targets() const { return labels_; }
 
   /// New dataset holding the selected rows (copies data).
@@ -74,6 +84,7 @@ class Dataset {
   /// Per-class row counts (classification only).
   std::vector<size_t> ClassHistogram() const;
 
+  /// One-line human-readable summary (schema + row count).
   std::string DebugString() const;
 
   /// 64-bit content fingerprint over the schema and every feature/target

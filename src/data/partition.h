@@ -30,7 +30,9 @@ enum class PartitionScheme {
 
 /// Parameters for PartitionDataset.
 struct PartitionConfig {
+  /// Which of the synthetic setups to apply.
   PartitionScheme scheme = PartitionScheme::kSameSizeSameDist;
+  /// Number of client shards n.
   int num_clients = 10;
   /// For kSameSizeDiffDist: fraction of a client's data drawn from its
   /// dominant label (the rest is uniform over all labels).

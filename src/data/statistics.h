@@ -13,16 +13,21 @@ namespace fedshap {
 /// examples to explain *why* a client's data value is high or low, and by
 /// federation-level heterogeneity diagnostics.
 struct DatasetSummary {
+  /// Number of rows in the shard.
   size_t rows = 0;
+  /// Feature dimension.
   int num_features = 0;
-  int num_classes = 0;  // 0 for regression
-  /// Per-feature mean and standard deviation.
+  /// Number of classes (0 for regression).
+  int num_classes = 0;
+  /// Per-feature mean.
   std::vector<double> feature_mean;
+  /// Per-feature standard deviation.
   std::vector<double> feature_stddev;
   /// Classification only: per-class counts and the Shannon entropy of the
   /// label distribution in bits (log2). Uniform labels over C classes give
   /// log2(C); a single-class shard gives 0.
   std::vector<size_t> class_counts;
+  /// Shannon entropy of the label distribution in bits.
   double label_entropy_bits = 0.0;
 };
 

@@ -12,10 +12,12 @@ namespace fedshap {
 /// A generated dataset plus per-row group ids used by "natural" federated
 /// partitions (FEMNIST partitions by writer, Adult by occupation).
 struct FederatedSource {
+  /// The generated rows.
   Dataset data;
   /// group_ids[i] in [0, num_groups) identifies which writer / occupation
   /// produced row i.
   std::vector<int> group_ids;
+  /// Number of distinct groups.
   int num_groups = 0;
 };
 
@@ -28,6 +30,7 @@ struct FederatedSource {
 struct DigitsConfig {
   /// Images are image_size x image_size single-channel, flattened row-major.
   int image_size = 8;
+  /// Number of digit classes.
   int num_classes = 10;
   /// Per-pixel Gaussian observation noise.
   double pixel_noise = 0.25;
@@ -52,26 +55,33 @@ Result<FederatedSource> GenerateDigits(const DigitsConfig& config,
 /// target is a noisy nonlinear function of a latent income propensity. Rows
 /// carry an occupation id used for the natural partition.
 struct TabularConfig {
+  /// Number of distinct occupations (the natural partition's groups).
   int num_occupations = 12;
   /// Label noise: probability of flipping the income label.
   double label_noise = 0.02;
+  /// Seed of the fixed schema-level randomness (feature encodings).
   uint64_t schema_seed = 97;
 };
 
 /// Number of features produced by GenerateTabular (fixed schema).
 constexpr int kTabularFeatures = 14;
 
+/// Generates `num_samples` census-style rows with occupation group ids.
 Result<FederatedSource> GenerateTabular(const TabularConfig& config,
                                         size_t num_samples, Rng& rng);
 
 /// Configuration for the linear-regression generator used by the theory
 /// benches (Donahue & Kleinberg model: x ~ N(0, I), y = w.x + eps).
 struct RegressionConfig {
+  /// Feature dimension d.
   int dim = 10;
+  /// Standard deviation of the additive label noise eps.
   double noise_stddev = 1.0;
+  /// Seed of the fixed true weight vector w.
   uint64_t weight_seed = 7;
 };
 
+/// Generates `num_samples` rows of the linear-regression problem.
 Result<Dataset> GenerateRegression(const RegressionConfig& config,
                                    size_t num_samples, Rng& rng);
 

@@ -19,10 +19,14 @@ namespace fedshap {
 /// parameters, run local epochs, return updated parameters.
 class FlClient {
  public:
+  /// Creates client `id` owning `data`.
   FlClient(int id, Dataset data) : id_(id), data_(std::move(data)) {}
 
+  /// The client's index in the federation (0-based).
   int id() const { return id_; }
+  /// Number of local training rows |D_i|.
   size_t num_samples() const { return data_.size(); }
+  /// The client's local dataset D_i.
   const Dataset& data() const { return data_; }
 
   /// Runs `config` epochs of SGD starting from `global_params` and returns

@@ -27,8 +27,11 @@ class ReconstructionContext {
   static Result<std::unique_ptr<ReconstructionContext>> Create(
       const FedAvgUtility& utility);
 
+  /// Number of FL clients n of the underlying utility.
   int num_clients() const { return utility_->num_clients(); }
+  /// Number of recorded FedAvg rounds.
   int num_rounds() const { return log_.num_rounds(); }
+  /// The recorded grand-coalition training log.
   const TrainingLog& log() const { return log_; }
 
   /// Wall-clock cost of the single grand-coalition training.

@@ -15,9 +15,11 @@ namespace fedshap {
 /// re-aggregate these recorded deltas to *reconstruct* the model a coalition
 /// S would have produced, avoiding extra FL trainings.
 struct RoundRecord {
+  /// Global parameters the round started from.
   std::vector<float> global_before;
   /// One delta per participating client, aligned with `client_ids`.
   std::vector<std::vector<float>> client_deltas;
+  /// Ids of the clients that participated this round.
   std::vector<int> client_ids;
   /// Aggregation weights (local dataset sizes).
   std::vector<double> client_weights;
@@ -25,10 +27,14 @@ struct RoundRecord {
 
 /// Complete record of one FedAvg training run.
 struct TrainingLog {
+  /// The shared initialization every coalition trains from.
   std::vector<float> initial_params;
+  /// Parameters after the final round.
   std::vector<float> final_params;
+  /// Per-round observations, in round order.
   std::vector<RoundRecord> rounds;
 
+  /// Number of recorded rounds.
   int num_rounds() const { return static_cast<int>(rounds.size()); }
 };
 

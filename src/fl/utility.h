@@ -45,8 +45,8 @@ class UtilityFunction {
 
 /// Which model-quality metric U(.) reports.
 enum class UtilityMetric {
-  kAccuracy,        // test accuracy (the paper's default)
-  kNegativeLoss,    // minus average test loss
+  kAccuracy,      ///< Test accuracy (the paper's default).
+  kNegativeLoss,  ///< Minus average test loss.
 };
 
 /// The real thing: U(S) trains a FedAvg model on the members of S from a
@@ -66,10 +66,15 @@ class FedAvgUtility : public UtilityFunction {
   Result<double> Evaluate(const Coalition& coalition) const override;
   uint64_t Fingerprint() const override;
 
+  /// The i-th FL client (its dataset included).
   const FlClient& client(int i) const { return clients_[i]; }
+  /// The shared test set every coalition's model is scored on.
   const Dataset& test_data() const { return test_data_; }
+  /// The architecture + shared initialization every training starts from.
   const Model& prototype() const { return *prototype_; }
+  /// The FedAvg training configuration.
   const FedAvgConfig& config() const { return config_; }
+  /// Which model-quality metric U(.) reports.
   UtilityMetric metric() const { return metric_; }
 
   /// Evaluates an arbitrary parameter vector of the prototype architecture
@@ -99,6 +104,7 @@ class FedAvgUtility : public UtilityFunction {
 /// baselines are not applicable to this utility, as in the paper.
 class GbdtUtility : public UtilityFunction {
  public:
+  /// Builds the utility over the given client shards and test set.
   static Result<std::unique_ptr<GbdtUtility>> Create(
       std::vector<Dataset> client_data, Dataset test_data,
       const GbdtConfig& config);
@@ -170,15 +176,17 @@ class TableUtility : public UtilityFunction {
 /// repeated-run variance studies.
 class LinearRegressionUtility : public UtilityFunction {
  public:
+  /// The closed-form model's parameters (symbols per Lemma 1 / Eq. 8-10).
   struct Params {
-    int num_clients = 10;
-    int samples_per_client = 50;   // t
-    int feature_dim = 5;           // d = |x|
-    double noise_mean = 1.0;       // mu_e
-    double initial_mse = 10.0;     // m0
-    double noise_scale = 0.0;      // sigma (per-sample); 0 = deterministic
+    int num_clients = 10;          ///< n.
+    int samples_per_client = 50;   ///< t.
+    int feature_dim = 5;           ///< d = |x|.
+    double noise_mean = 1.0;       ///< mu_e.
+    double initial_mse = 10.0;     ///< m0.
+    double noise_scale = 0.0;      ///< sigma (per-sample); 0 = deterministic.
   };
 
+  /// Creates the utility with a fixed default noise seed; see Reseed.
   explicit LinearRegressionUtility(const Params& params)
       : params_(params), noise_seed_(0x5eedf00dULL) {}
 

@@ -12,7 +12,9 @@ UtilityCache::UtilityCache(const UtilityFunction* fn) : fn_(fn) {
   FEDSHAP_CHECK(fn != nullptr);
 }
 
-Result<UtilityRecord> UtilityCache::Get(const Coalition& coalition) {
+Result<UtilityRecord> UtilityCache::Get(const Coalition& coalition,
+                                        bool* fresh) {
+  if (fresh != nullptr) *fresh = false;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     auto it = entries_.find(coalition);
@@ -35,6 +37,7 @@ Result<UtilityRecord> UtilityCache::Get(const Coalition& coalition) {
   // A failed evaluation counts as neither hit nor miss; a waiter finding
   // no entry retakes the in-flight slot and retries the computation.
   if (!utility.ok()) return utility.status();
+  if (fresh != nullptr) *fresh = true;
   UtilityRecord record{utility.value(), cost_seconds};
   entries_.emplace(coalition, record);
   ++misses_;
@@ -85,18 +88,27 @@ void UtilityCache::AttachStore(UtilityStore* store, size_t flush_every) {
 }
 
 Status UtilityCache::Prefetch(const std::vector<Coalition>& coalitions,
-                              ThreadPool* pool) {
+                              ThreadPool* pool,
+                              std::vector<uint8_t>* fresh) {
+  if (fresh != nullptr) fresh->assign(coalitions.size(), 0);
   if (pool == nullptr || pool->num_threads() <= 1) {
-    for (const Coalition& c : coalitions) {
-      FEDSHAP_ASSIGN_OR_RETURN(UtilityRecord unused, Get(c));
+    for (size_t i = 0; i < coalitions.size(); ++i) {
+      bool computed = false;
+      FEDSHAP_ASSIGN_OR_RETURN(UtilityRecord unused,
+                               Get(coalitions[i], &computed));
       (void)unused;
+      if (fresh != nullptr) (*fresh)[i] = computed ? 1 : 0;
     }
     return Status::OK();
   }
   std::atomic<bool> failed{false};
   pool->ParallelFor(static_cast<int>(coalitions.size()), [&](int i) {
-    Result<UtilityRecord> r = Get(coalitions[i]);
+    bool computed = false;
+    Result<UtilityRecord> r = Get(coalitions[i], &computed);
     if (!r.ok()) failed.store(true, std::memory_order_relaxed);
+    // Each iteration writes only its own slot, so no synchronization is
+    // needed beyond ParallelFor's completion barrier.
+    if (fresh != nullptr) (*fresh)[i] = computed ? 1 : 0;
   });
   if (failed.load()) {
     return Status::Internal("a prefetched utility evaluation failed");
@@ -145,16 +157,28 @@ double UtilityCache::recorded_cost_seconds() const {
 }
 
 Result<double> UtilitySession::Evaluate(const Coalition& coalition) {
-  FEDSHAP_ASSIGN_OR_RETURN(UtilityRecord record, cache_->Get(coalition));
+  return EvaluateInternal(coalition, /*prefetched_fresh=*/false);
+}
+
+Result<double> UtilitySession::EvaluateInternal(const Coalition& coalition,
+                                                bool prefetched_fresh) {
+  bool computed = false;
+  FEDSHAP_ASSIGN_OR_RETURN(UtilityRecord record,
+                           cache_->Get(coalition, &computed));
   ++num_evaluations_;
   if (seen_.insert(coalition).second) {
     charged_seconds_ += record.cost_seconds;
+    // A training counts as this session's own when this evaluation
+    // computed it, or when the batch prefetch below computed it on this
+    // session's behalf before the sequential accounting pass ran.
+    if (computed || prefetched_fresh) ++fresh_trainings_;
   }
   return record.utility;
 }
 
 Result<std::vector<double>> UtilitySession::EvaluateBatch(
     const std::vector<Coalition>& coalitions) {
+  std::vector<uint8_t> fresh;
   if (pool_ != nullptr && pool_->num_threads() > 1 &&
       coalitions.size() > 1) {
     // Fan the misses out over the pool. A failure here is deliberately
@@ -163,12 +187,15 @@ Result<std::vector<double>> UtilitySession::EvaluateBatch(
     // the *session* accounting are deterministic. (Cache-level stats may
     // still record trainings the pool completed past the failing
     // coalition before the error surfaced.)
-    (void)cache_->Prefetch(coalitions, pool_);
+    (void)cache_->Prefetch(coalitions, pool_, &fresh);
   }
   std::vector<double> values;
   values.reserve(coalitions.size());
-  for (const Coalition& coalition : coalitions) {
-    FEDSHAP_ASSIGN_OR_RETURN(double utility, Evaluate(coalition));
+  for (size_t i = 0; i < coalitions.size(); ++i) {
+    const bool prefetched_fresh = i < fresh.size() && fresh[i] != 0;
+    FEDSHAP_ASSIGN_OR_RETURN(double utility,
+                             EvaluateInternal(coalitions[i],
+                                              prefetched_fresh));
     values.push_back(utility);
   }
   return values;

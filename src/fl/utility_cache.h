@@ -53,12 +53,22 @@ class UtilityCache {
   int num_clients() const { return fn_->num_clients(); }
 
   /// Returns the record for `coalition`, computing and memoizing on miss.
-  Result<UtilityRecord> Get(const Coalition& coalition);
+  /// When `fresh` is non-null, `*fresh` is set to true iff *this call*
+  /// performed the training (a miss this caller computed), false on any
+  /// kind of hit — including waiting out another thread's in-flight
+  /// computation of the same coalition. Callers that share one cache
+  /// across several logical runs (the valuation service) use this to
+  /// attribute each training to exactly one run.
+  Result<UtilityRecord> Get(const Coalition& coalition, bool* fresh = nullptr);
 
   /// Evaluates all `coalitions` (cache misses in parallel on `pool` when
   /// provided). Useful for the exhaustive phases of IPSS / exact SV.
+  /// When `fresh` is non-null it is resized to `coalitions.size()` and
+  /// `(*fresh)[i]` records whether evaluating `coalitions[i]` trained a
+  /// new model here (same semantics as Get's `fresh`).
   Status Prefetch(const std::vector<Coalition>& coalitions,
-                  ThreadPool* pool = nullptr);
+                  ThreadPool* pool = nullptr,
+                  std::vector<uint8_t>* fresh = nullptr);
 
   /// Attaches a persistent store as the cache's cross-process backing:
   ///
@@ -150,15 +160,27 @@ class UtilitySession {
   /// Distinct coalitions this run needed (= FL trainings a standalone
   /// run would have performed).
   size_t num_distinct() const { return seen_.size(); }
+  /// Distinct coalitions this run actually trained itself: evaluations
+  /// that missed the shared cache and were computed on this session's
+  /// behalf. `num_distinct() - num_fresh_trainings()` is therefore the
+  /// number of trainings this run *reused* — from earlier runs in the
+  /// process, from concurrent runs sharing the cache, or from an attached
+  /// store. The valuation service reports this as its cross-job dedup
+  /// metric.
+  size_t num_fresh_trainings() const { return fresh_trainings_; }
   /// Sum of the recorded training costs of the distinct coalitions, each
   /// charged exactly once.
   double charged_seconds() const { return charged_seconds_; }
 
  private:
+  Result<double> EvaluateInternal(const Coalition& coalition,
+                                  bool prefetched_fresh);
+
   UtilityCache* cache_;
   ThreadPool* pool_;
   std::unordered_set<Coalition, CoalitionHash> seen_;
   size_t num_evaluations_ = 0;
+  size_t fresh_trainings_ = 0;
   double charged_seconds_ = 0.0;
 };
 

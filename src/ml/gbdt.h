@@ -10,8 +10,11 @@ namespace fedshap {
 
 /// Hyper-parameters for the gradient-boosted decision tree learner.
 struct GbdtConfig {
+  /// Boosting rounds (trees in the ensemble).
   int num_trees = 20;
+  /// Maximum tree depth.
   int max_depth = 3;
+  /// Shrinkage applied to each tree's contribution (XGBoost's eta).
   double learning_rate = 0.3;
   /// L2 regularization on leaf weights (XGBoost's lambda).
   double reg_lambda = 1.0;
@@ -30,6 +33,7 @@ struct GbdtConfig {
 /// the paper notes.
 class Gbdt {
  public:
+  /// Creates an unfit booster with the given hyper-parameters.
   explicit Gbdt(const GbdtConfig& config) : config_(config) {}
 
   /// Trains on a binary classification dataset (labels in {0, 1}).
@@ -45,7 +49,9 @@ class Gbdt {
   /// Classification accuracy at the 0.5 probability threshold.
   double EvaluateAccuracy(const Dataset& data) const;
 
+  /// Trees fit so far (0 before Fit).
   int num_trees() const { return static_cast<int>(trees_.size()); }
+  /// The hyper-parameters the booster was created with.
   const GbdtConfig& config() const { return config_; }
 
  private:

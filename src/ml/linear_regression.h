@@ -16,6 +16,7 @@ namespace fedshap {
 /// the simplest gradient-trainable model for tests.
 class LinearRegression : public Model {
  public:
+  /// Builds an uninitialized model over `dim` features.
   explicit LinearRegression(int dim);
 
   std::unique_ptr<Model> Clone() const override;
@@ -38,6 +39,7 @@ class LinearRegression : public Model {
   /// `l2` for numerical stability). Replaces the current parameters.
   Status FitClosedForm(const Dataset& data, double l2 = 1e-8);
 
+  /// Feature dimension.
   int dim() const { return dim_; }
 
  private:

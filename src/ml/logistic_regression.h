@@ -13,6 +13,7 @@ namespace fedshap {
 /// Parameters: a classes x dim weight matrix followed by per-class biases.
 class LogisticRegression : public Model {
  public:
+  /// Builds an uninitialized dim -> num_classes classifier.
   LogisticRegression(int dim, int num_classes);
 
   std::unique_ptr<Model> Clone() const override;

@@ -43,6 +43,7 @@ namespace fedshap {
 /// perform the reference arithmetic per element in the same order and
 /// must match the scalar path to float rounding (4 ulp).
 inline constexpr float kKernelAbsTol = 1e-4f;
+/// Relative term of the kernel tolerance contract (see kKernelAbsTol).
 inline constexpr float kKernelRelTol = 1e-3f;
 
 /// Minimal dense row-major float matrix used by the hand-rolled models.
@@ -50,22 +51,33 @@ inline constexpr float kKernelRelTol = 1e-3f;
 /// needs (mat-vec, rank-1 update, small dense solve).
 class Matrix {
  public:
+  /// An empty 0 x 0 matrix.
   Matrix() = default;
+  /// A zero-initialized rows x cols matrix.
   Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
                                      data_(rows * cols, 0.0f) {}
 
+  /// Number of rows.
   size_t rows() const { return rows_; }
+  /// Number of columns.
   size_t cols() const { return cols_; }
 
+  /// Mutable element access (row r, column c).
   float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  /// Element access (row r, column c).
   float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 
+  /// Mutable pointer to the start of row r.
   float* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  /// Pointer to the start of row r.
   const float* RowPtr(size_t r) const { return data_.data() + r * cols_; }
 
+  /// Mutable flat row-major storage.
   std::vector<float>& data() { return data_; }
+  /// Flat row-major storage.
   const std::vector<float>& data() const { return data_; }
 
+  /// Sets every element to `value`.
   void Fill(float value);
 
  private:

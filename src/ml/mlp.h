@@ -14,6 +14,7 @@ namespace fedshap {
 /// evaluation, sized for fast CPU training.
 class Mlp : public Model {
  public:
+  /// Builds an uninitialized dim -> hidden -> num_classes network.
   Mlp(int dim, int hidden, int num_classes);
 
   std::unique_ptr<Model> Clone() const override;
@@ -32,6 +33,7 @@ class Mlp : public Model {
                std::vector<float>& output) const override;
   int NumOutputs() const override { return num_classes_; }
 
+  /// Hidden-layer width.
   int hidden() const { return hidden_; }
 
  private:

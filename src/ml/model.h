@@ -48,6 +48,7 @@ class Model {
   /// Architecture name for logs, e.g. "mlp(64-32-10)".
   virtual std::string Name() const = 0;
 
+  /// Length of the flat parameter vector.
   virtual size_t NumParameters() const = 0;
 
   /// Copy of the flat parameter vector.

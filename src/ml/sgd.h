@@ -11,10 +11,15 @@ namespace fedshap {
 /// Minibatch SGD hyper-parameters shared by local FL training and
 /// centralized baselines.
 struct SgdConfig {
+  /// Passes over the data.
   int epochs = 1;
+  /// Examples per minibatch.
   int batch_size = 32;
+  /// Step size.
   double learning_rate = 0.1;
+  /// Classical momentum coefficient (0 = plain SGD).
   double momentum = 0.0;
+  /// L2 regularization coefficient.
   double weight_decay = 0.0;
   /// Gradient execution path; part of the workload identity (hashed into
   /// utility fingerprints) because the two paths differ in float

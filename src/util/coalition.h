@@ -17,7 +17,9 @@ namespace fedshap {
 /// copy and hash, suitable as a key in the utility cache.
 class Coalition {
  public:
+  /// Largest supported client index + 1.
   static constexpr int kMaxClients = 256;
+  /// 64-bit words backing the bitset.
   static constexpr int kWords = kMaxClients / 64;
 
   /// Constructs the empty coalition.
@@ -25,30 +27,37 @@ class Coalition {
 
   /// Builds a coalition from explicit client indices.
   static Coalition Of(std::initializer_list<int> clients);
+  /// Builds a coalition from a vector of client indices.
   static Coalition FromIndices(const std::vector<int>& clients);
 
   /// The grand coalition {0, 1, ..., n-1}.
   static Coalition Full(int n);
 
-  /// Membership tests and mutation. Indices must lie in [0, kMaxClients).
+  /// Membership test. Indices must lie in [0, kMaxClients).
   bool Contains(int client) const {
     return (words_[Word(client)] >> Bit(client)) & 1ULL;
   }
+  /// Inserts `client`. Indices must lie in [0, kMaxClients).
   void Add(int client) { words_[Word(client)] |= Mask(client); }
+  /// Erases `client`. Indices must lie in [0, kMaxClients).
   void Remove(int client) { words_[Word(client)] &= ~Mask(client); }
 
-  /// Copy of this coalition with `client` inserted / erased.
+  /// Copy of this coalition with `client` inserted.
   Coalition With(int client) const;
+  /// Copy of this coalition with `client` erased.
   Coalition Without(int client) const;
 
   /// Number of members |S|.
   int Count() const;
 
+  /// True when the coalition has no members.
   bool Empty() const;
 
-  /// Set algebra.
+  /// Set union S u other.
   Coalition Union(const Coalition& other) const;
+  /// Set intersection S n other.
   Coalition Intersect(const Coalition& other) const;
+  /// Set difference S \ other.
   Coalition Minus(const Coalition& other) const;
 
   /// Complement with respect to the grand coalition of `n` clients: N \ S.
@@ -66,9 +75,11 @@ class Coalition {
   /// Compact display form, e.g. "{0,2,5}".
   std::string ToString() const;
 
+  /// Equal membership bits.
   bool operator==(const Coalition& other) const {
     return words_ == other.words_;
   }
+  /// Differing membership bits.
   bool operator!=(const Coalition& other) const { return !(*this == other); }
 
   /// Lexicographic order on the underlying words; provides a total order for

@@ -7,11 +7,17 @@
 namespace fedshap {
 
 /// Severity levels for the library logger.
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+enum class LogLevel {
+  kDebug = 0,    ///< Verbose diagnostics.
+  kInfo = 1,     ///< Normal progress messages.
+  kWarning = 2,  ///< Unexpected but recoverable conditions.
+  kError = 3,    ///< Failures worth surfacing even in quiet runs.
+};
 
-/// Minimum severity that is emitted; messages below it are dropped.
-/// Defaults to kInfo. Thread-safe.
+/// Sets the minimum severity that is emitted; messages below it are
+/// dropped. Defaults to kInfo. Thread-safe.
 void SetLogLevel(LogLevel level);
+/// The current minimum emitted severity.
 LogLevel GetLogLevel();
 
 namespace internal {
@@ -19,12 +25,15 @@ namespace internal {
 /// Stream-style log message that emits on destruction.
 class LogMessage {
  public:
+  /// Starts a message at `level`, tagged with its source location.
   LogMessage(LogLevel level, const char* file, int line);
+  /// Emits the accumulated message (if the level passes the filter).
   ~LogMessage();
 
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
+  /// The stream to append message text to.
   std::ostream& stream() { return stream_; }
 
  private:
@@ -35,12 +44,15 @@ class LogMessage {
 /// Log message that aborts the process on destruction; used by checks.
 class FatalLogMessage {
  public:
+  /// Starts the fatal diagnostic for a failed `condition`.
   FatalLogMessage(const char* file, int line, const char* condition);
+  /// Prints the diagnostic and aborts.
   [[noreturn]] ~FatalLogMessage();
 
   FatalLogMessage(const FatalLogMessage&) = delete;
   FatalLogMessage& operator=(const FatalLogMessage&) = delete;
 
+  /// The stream to append diagnostic text to.
   std::ostream& stream() { return stream_; }
 
  private:
@@ -49,6 +61,8 @@ class FatalLogMessage {
 
 }  // namespace internal
 
+/// Streams a log message at the given severity, e.g.
+/// `FEDSHAP_LOG(Warning) << "..."`.
 #define FEDSHAP_LOG(level)                                              \
   ::fedshap::internal::LogMessage(::fedshap::LogLevel::k##level,        \
                                   __FILE__, __LINE__)                   \
@@ -64,6 +78,7 @@ class FatalLogMessage {
                               __FILE__, __LINE__, #condition)             \
                               .stream())
 
+/// Aborts with the status text when `expr` yields a non-OK Status.
 #define FEDSHAP_CHECK_OK(expr)                                      \
   do {                                                              \
     ::fedshap::Status _st = (expr);                                 \
@@ -75,10 +90,11 @@ class FatalLogMessage {
     }                                                               \
   } while (0)
 
-/// Debug-only check; compiled out in NDEBUG builds.
 #ifdef NDEBUG
+/// Debug-only check; compiled out in NDEBUG builds.
 #define FEDSHAP_DCHECK(condition) static_cast<void>(0)
 #else
+/// Debug-only check; compiled out in NDEBUG builds.
 #define FEDSHAP_DCHECK(condition) FEDSHAP_CHECK(condition)
 #endif
 

@@ -18,6 +18,7 @@ namespace fedshap {
 /// that adding randomness in one component does not perturb another.
 class Rng {
  public:
+  /// Creates a generator with the given seed.
   explicit Rng(uint64_t seed) : engine_(seed) {}
 
   /// Uniform double in [0, 1).

@@ -12,14 +12,14 @@ namespace fedshap {
 /// status vocabulary (cf. Arrow / RocksDB): a small closed set of codes plus
 /// a human-readable message.
 enum class StatusCode {
-  kOk = 0,
-  kInvalidArgument,
-  kOutOfRange,
-  kFailedPrecondition,
-  kNotFound,
-  kAlreadyExists,
-  kInternal,
-  kNotImplemented,
+  kOk = 0,              ///< Success.
+  kInvalidArgument,     ///< Malformed input or configuration.
+  kOutOfRange,          ///< Index/read past a boundary (e.g. truncation).
+  kFailedPrecondition,  ///< State does not admit the operation.
+  kNotFound,            ///< Referenced entity does not exist.
+  kAlreadyExists,       ///< Entity with that identity already present.
+  kInternal,            ///< Invariant violation; a bug, not bad input.
+  kNotImplemented,      ///< Operation not supported by this build/type.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -34,39 +34,52 @@ class Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with an explicit code and message.
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
+  /// The success value.
   static Status OK() { return Status(); }
+  /// Shorthand for Status(StatusCode::kInvalidArgument, msg).
   static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
+  /// Shorthand for Status(StatusCode::kOutOfRange, msg).
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
+  /// Shorthand for Status(StatusCode::kFailedPrecondition, msg).
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  /// Shorthand for Status(StatusCode::kNotFound, msg).
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
+  /// Shorthand for Status(StatusCode::kAlreadyExists, msg).
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
+  /// Shorthand for Status(StatusCode::kInternal, msg).
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Shorthand for Status(StatusCode::kNotImplemented, msg).
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
 
+  /// True when the status carries no error.
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
   StatusCode code() const { return code_; }
+  /// The error message (empty for OK).
   const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// Equal code and message.
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
   }
@@ -98,6 +111,7 @@ class Result {
     }
   }
 
+  /// True when a value (not an error) is held.
   bool ok() const { return std::holds_alternative<T>(payload_); }
 
   /// Returns OK when a value is held, the stored error otherwise.
@@ -105,13 +119,20 @@ class Result {
     return ok() ? Status::OK() : std::get<Status>(payload_);
   }
 
+  /// The held value; requires ok().
   const T& value() const& { return std::get<T>(payload_); }
+  /// The held value; requires ok().
   T& value() & { return std::get<T>(payload_); }
+  /// Moves the held value out; requires ok().
   T&& value() && { return std::get<T>(std::move(payload_)); }
 
+  /// Dereference to the held value; requires ok().
   const T& operator*() const& { return value(); }
+  /// Dereference to the held value; requires ok().
   T& operator*() & { return value(); }
+  /// Member access on the held value; requires ok().
   const T* operator->() const { return &value(); }
+  /// Member access on the held value; requires ok().
   T* operator->() { return &value(); }
 
  private:
@@ -130,12 +151,15 @@ class Result {
   FEDSHAP_ASSIGN_OR_RETURN_IMPL(                   \
       FEDSHAP_STATUS_CONCAT(_result_, __LINE__), lhs, rexpr)
 
+/// Implementation detail of FEDSHAP_ASSIGN_OR_RETURN (unique temp name).
 #define FEDSHAP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
   auto tmp = (rexpr);                                  \
   if (!tmp.ok()) return tmp.status();                  \
   lhs = std::move(tmp).value()
 
+/// Token-pasting helper for FEDSHAP_ASSIGN_OR_RETURN.
 #define FEDSHAP_STATUS_CONCAT_INNER(a, b) a##b
+/// Token-pasting helper for FEDSHAP_ASSIGN_OR_RETURN.
 #define FEDSHAP_STATUS_CONCAT(a, b) FEDSHAP_STATUS_CONCAT_INNER(a, b)
 
 }  // namespace fedshap

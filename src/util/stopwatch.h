@@ -8,6 +8,7 @@ namespace fedshap {
 /// Monotonic wall-clock stopwatch for measuring training and valuation cost.
 class Stopwatch {
  public:
+  /// Starts timing immediately.
   Stopwatch() : start_(Clock::now()) {}
 
   /// Resets the reference point to now.

@@ -13,6 +13,7 @@ namespace fedshap {
 /// paper-style result tables.
 class ConsoleTable {
  public:
+  /// Creates a table with the given column headers.
   explicit ConsoleTable(std::vector<std::string> header);
 
   /// Appends a data row; must have as many cells as the header.
@@ -24,6 +25,7 @@ class ConsoleTable {
   /// Renders with ASCII separators.
   void Print(std::ostream& os) const;
 
+  /// Number of data rows added so far (separators included).
   size_t num_rows() const { return rows_.size(); }
 
  private:
@@ -49,6 +51,7 @@ class CsvWriter {
   /// Appends one row; must match the header width.
   Status WriteRow(const std::vector<std::string>& row);
 
+  /// The output file path.
   const std::string& path() const { return path_; }
 
  private:

@@ -21,6 +21,7 @@ class ThreadPool {
  public:
   /// Creates `num_threads` workers (values < 1 are clamped to 1).
   explicit ThreadPool(int num_threads);
+  /// Drains outstanding tasks and joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,6 +33,7 @@ class ThreadPool {
   /// Blocks until all submitted tasks have completed.
   void WaitIdle();
 
+  /// Number of worker threads.
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Runs fn(i) for i in [0, count), distributing across the pool, and

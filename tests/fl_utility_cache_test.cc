@@ -81,6 +81,61 @@ TEST(UtilityCacheTest, ClearResetsEverything) {
   EXPECT_EQ(fn.calls(), 2);  // recomputed after Clear
 }
 
+TEST(UtilityCacheTest, GetReportsWhoComputed) {
+  CountingUtility fn(5);
+  UtilityCache cache(&fn);
+  bool fresh = false;
+  ASSERT_TRUE(cache.Get(Coalition::Of({0, 1}), &fresh).ok());
+  EXPECT_TRUE(fresh);  // First asker trains.
+  ASSERT_TRUE(cache.Get(Coalition::Of({0, 1}), &fresh).ok());
+  EXPECT_FALSE(fresh);  // Hit.
+}
+
+TEST(UtilityCacheTest, SessionAttributesFreshTrainings) {
+  CountingUtility fn(5);
+  UtilityCache cache(&fn);
+  UtilitySession first(&cache);
+  ASSERT_TRUE(first.Evaluate(Coalition::Of({0})).ok());
+  ASSERT_TRUE(first.Evaluate(Coalition::Of({0, 1})).ok());
+  ASSERT_TRUE(first.Evaluate(Coalition::Of({0})).ok());  // Repeat.
+  EXPECT_EQ(first.num_distinct(), 2u);
+  EXPECT_EQ(first.num_fresh_trainings(), 2u);
+
+  // A second session over the same cache needs both coalitions but
+  // trains only the one the first session did not cover.
+  UtilitySession second(&cache);
+  ASSERT_TRUE(second.Evaluate(Coalition::Of({0})).ok());
+  ASSERT_TRUE(second.Evaluate(Coalition::Of({2})).ok());
+  EXPECT_EQ(second.num_distinct(), 2u);
+  EXPECT_EQ(second.num_fresh_trainings(), 1u);
+  EXPECT_EQ(fn.calls(), 3);
+}
+
+TEST(UtilityCacheTest, BatchFreshAccountingMatchesSequential) {
+  std::vector<Coalition> batch;
+  ForEachSubsetOfSize(7, 2, [&](const Coalition& c) { batch.push_back(c); });
+
+  CountingUtility sequential_fn(7);
+  UtilityCache sequential_cache(&sequential_fn);
+  UtilitySession sequential(&sequential_cache);
+  for (const Coalition& c : batch) {
+    ASSERT_TRUE(sequential.Evaluate(c).ok());
+  }
+
+  CountingUtility parallel_fn(7);
+  UtilityCache parallel_cache(&parallel_fn);
+  ThreadPool pool(4);
+  UtilitySession parallel(&parallel_cache, &pool);
+  ASSERT_TRUE(parallel.EvaluateBatch(batch).ok());
+
+  // The pool prefetch computes the misses, but they are still this
+  // session's own trainings — identical accounting to sequential.
+  EXPECT_EQ(parallel.num_fresh_trainings(),
+            sequential.num_fresh_trainings());
+  EXPECT_EQ(parallel.num_fresh_trainings(), batch.size());
+  EXPECT_EQ(parallel.num_distinct(), sequential.num_distinct());
+}
+
 TEST(UtilityCacheTest, PrefetchSequential) {
   CountingUtility fn(6);
   UtilityCache cache(&fn);

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the fedshap doc suite.
+
+Validates every local link in the given markdown files (or the repo's
+default doc set) so the documentation cannot silently rot:
+
+  - relative links must point at an existing file or directory;
+  - intra-document anchors (#section) must match a heading in the target;
+  - bare file mentions in link text are ignored — only [text](target)
+    and <target> autolinks are checked.
+
+External links (http/https/mailto) are intentionally NOT fetched: CI must
+stay deterministic and offline. They are pattern-checked for obvious
+breakage (whitespace, empty target) only.
+
+Usage: check_md_links.py [file.md ...]   (default: README.md docs/*.md)
+Exit code 0 when every link resolves, 1 otherwise.
+"""
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)]+)\)")
+IMAGE_RE = re.compile(r"\!\[(?P<text>[^\]]*)\]\((?P<target>[^)]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def anchor_of(title: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, strip punctuation."""
+    title = re.sub(r"[`*_]", "", title.strip().lower())
+    title = re.sub(r"[^\w\- ]", "", title)
+    return title.replace(" ", "-")
+
+
+def headings_in(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE_RE.sub("", f.read())
+    return {anchor_of(m.group("title")) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(path: str) -> list:
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    # Links inside code fences are sample syntax, not real links.
+    text = CODE_FENCE_RE.sub("", raw)
+    base = os.path.dirname(path) or "."
+
+    for match in list(LINK_RE.finditer(text)) + list(IMAGE_RE.finditer(text)):
+        target = match.group("target").strip()
+        if " " in target and not target.startswith("<"):
+            target = target.split(" ")[0]  # [text](url "title")
+        if not target:
+            errors.append(f"{path}: empty link target ({match.group(0)})")
+            continue
+        if re.match(r"^(https?|mailto):", target):
+            continue  # External: not fetched (offline CI).
+        if target.startswith("#"):
+            if anchor_of(target[1:]) not in headings_in(path):
+                errors.append(f"{path}: broken anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link {target} -> {resolved}")
+            continue
+        if anchor and os.path.isfile(resolved):
+            if anchor_of(anchor) not in headings_in(resolved):
+                errors.append(f"{path}: broken anchor {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    files = argv[1:]
+    if not files:
+        files = ["README.md"] + sorted(glob.glob("docs/*.md"))
+    missing = [f for f in files if not os.path.isfile(f)]
+    if missing:
+        print(f"check_md_links: no such file: {', '.join(missing)}")
+        return 1
+    all_errors = []
+    for path in files:
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error)
+    checked = len(files)
+    if all_errors:
+        print(f"check_md_links: {len(all_errors)} broken link(s) "
+              f"across {checked} file(s)")
+        return 1
+    print(f"check_md_links: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

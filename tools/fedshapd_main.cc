@@ -1,0 +1,271 @@
+/// fedshapd — the multi-tenant valuation job service, as a CLI.
+///
+/// Reads valuation jobs (one per line of key=value tokens, see
+/// docs/OPERATIONS.md), runs them concurrently over shared, deduplicated
+/// utility evaluations, and persists everything — job specs, estimator
+/// checkpoints, finished results, and the per-workload utility stores —
+/// under a state directory, so a killed fedshapd relaunches and resumes
+/// every in-flight job to a bit-identical result.
+///
+/// Usage:
+///   fedshapd --state-dir=DIR [--jobs=FILE|-] [--workers=N]
+///            [--status] [--cancel=NAME] [--purge=NAME]
+///            [--kill-after=N] [--print-values] [--quiet]
+///
+/// Default action: recover persisted jobs, submit the jobs of --jobs
+/// (if any), drain everything to a terminal state, print a summary.
+///
+///   --state-dir=DIR   durable service state ("" = memory-only session)
+///   --jobs=FILE       job file to submit ("-" = read stdin)
+///   --workers=N       concurrent job slices (default 2)
+///   --status          print the job table and exit (nothing runs)
+///   --cancel=NAME     cancel one job and exit
+///   --purge=NAME      remove one terminal job's state and exit
+///   --kill-after=N    crash simulation: halt after N slices, exit 17
+///   --print-values    print every finished job's values (%.17g)
+///   --quiet           suppress per-slice progress lines
+///
+/// Exit codes: 0 all jobs done, 1 some job failed (or usage/IO error on
+/// stderr), 17 halted by --kill-after with jobs still in flight.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job_spec.h"
+#include "service/valuation_service.h"
+#include "util/serialization.h"
+
+using namespace fedshap;
+
+namespace {
+
+struct CliOptions {
+  std::string state_dir;
+  std::string jobs_file;
+  std::string cancel_name;
+  std::string purge_name;
+  int workers = 2;
+  size_t kill_after = 0;
+  bool status_only = false;
+  bool print_values = false;
+  bool quiet = false;
+};
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--state-dir=", 0) == 0) {
+      options.state_dir = arg.substr(12);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs_file = arg.substr(7);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      options.workers = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--cancel=", 0) == 0) {
+      options.cancel_name = arg.substr(9);
+    } else if (arg.rfind("--purge=", 0) == 0) {
+      options.purge_name = arg.substr(8);
+    } else if (arg.rfind("--kill-after=", 0) == 0) {
+      options.kill_after = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg == "--status") {
+      options.status_only = true;
+    } else if (arg == "--print-values") {
+      options.print_values = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      std::fprintf(stderr, "fedshapd: unknown flag %s\n", arg.c_str());
+      std::exit(1);
+    }
+  }
+  if (options.workers < 1) options.workers = 1;
+  return options;
+}
+
+/// One status line per job: the table --status prints, and the shape the
+/// progress monitor reuses.
+void PrintJobLine(const JobStatus& status) {
+  std::printf("[job %s] %s estimator=%s scenario=%s n=%d %zu/%zu units",
+              status.name.c_str(), JobStateName(status.state),
+              EstimatorKindName(status.spec.estimator),
+              status.spec.scenario.kind.c_str(), status.spec.scenario.n,
+              status.completed_units, status.total_units);
+  if (status.state == JobState::kDone) {
+    const ValuationResult& r = status.result;
+    std::printf(" trainings=%zu fresh=%zu shared=%zu charged=%.3fs",
+                r.num_trainings, r.num_fresh_trainings,
+                r.num_trainings - r.num_fresh_trainings, r.charged_seconds);
+  } else if (status.state == JobState::kFailed) {
+    std::printf(" error=%s", status.error.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintValues(const JobStatus& status) {
+  std::printf("values %s", status.name.c_str());
+  for (double value : status.result.values) std::printf(" %.17g", value);
+  std::printf("\n");
+}
+
+int RunService(const CliOptions& options,
+               const std::vector<JobSpec>& new_jobs) {
+  ServiceConfig config;
+  config.workers = options.workers;
+  config.state_dir = options.state_dir;
+  config.max_slices = options.kill_after;
+  config.paused = true;
+  ValuationService service(config);
+
+  Status recovered = service.Recover();
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "fedshapd: recover: %s\n",
+                 recovered.ToString().c_str());
+    // Recovery errors are per-job; keep serving what did load.
+  }
+  const size_t recovered_jobs = service.ListJobs().size();
+  for (const JobSpec& spec : new_jobs) {
+    Status submitted = service.Submit(spec);
+    if (!submitted.ok()) {
+      // Rerunning the same command after a crash recovers the jobs and
+      // then re-submits the same job file: a name collision with an
+      // *identical* spec is that benign resume, not an error.
+      if (submitted.code() == StatusCode::kAlreadyExists) {
+        Result<JobStatus> existing = service.GetStatus(spec.name);
+        if (existing.ok() && existing->spec.ToLine() == spec.ToLine()) {
+          std::printf("[fedshapd] job %s already present (resuming)\n",
+                      spec.name.c_str());
+          continue;
+        }
+        std::fprintf(stderr,
+                     "fedshapd: submit %s: name is taken by a different "
+                     "job spec (purge it first)\n",
+                     spec.name.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "fedshapd: submit %s: %s\n", spec.name.c_str(),
+                   submitted.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("[fedshapd] state-dir=%s workers=%d recovered=%zu "
+              "submitted=%zu\n",
+              options.state_dir.empty() ? "(memory)"
+                                        : options.state_dir.c_str(),
+              options.workers, recovered_jobs, new_jobs.size());
+
+  if (options.status_only) {
+    for (const JobStatus& status : service.ListJobs()) {
+      PrintJobLine(status);
+    }
+    service.Stop();
+    return 0;
+  }
+
+  if (!options.cancel_name.empty() || !options.purge_name.empty()) {
+    Status acted = !options.cancel_name.empty()
+                       ? service.Cancel(options.cancel_name)
+                       : service.Purge(options.purge_name);
+    if (!acted.ok()) {
+      std::fprintf(stderr, "fedshapd: %s\n", acted.ToString().c_str());
+      service.Stop();
+      return 1;
+    }
+    std::printf("[fedshapd] %s %s\n",
+                !options.cancel_name.empty() ? "cancelled" : "purged",
+                (!options.cancel_name.empty() ? options.cancel_name
+                                              : options.purge_name)
+                    .c_str());
+    service.Stop();
+    return 0;
+  }
+
+  service.Resume();
+
+  // Progress monitor: poll the job table, print a line whenever a job's
+  // progress or terminal state changes, stop when nothing can change
+  // anymore (all terminal, or the service halted via --kill-after).
+  std::map<std::string, std::pair<bool, size_t>> printed;  // terminal, units
+  bool all_terminal = false;
+  for (;;) {
+    all_terminal = true;
+    for (const JobStatus& status : service.ListJobs()) {
+      const bool terminal = status.state == JobState::kDone ||
+                            status.state == JobState::kFailed ||
+                            status.state == JobState::kCancelled;
+      if (!terminal) all_terminal = false;
+      auto mark = std::make_pair(terminal, status.completed_units);
+      auto it = printed.find(status.name);
+      if (it != printed.end() && it->second == mark) continue;
+      printed[status.name] = mark;
+      if (!options.quiet || terminal) PrintJobLine(status);
+    }
+    if (all_terminal || service.halted()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  service.Stop();
+
+  // Final sweep: the halt may have landed between polls.
+  size_t failed = 0;
+  for (const JobStatus& status : service.ListJobs()) {
+    if (status.state == JobState::kFailed) ++failed;
+    if (status.state == JobState::kDone && options.print_values) {
+      PrintValues(status);
+    }
+  }
+
+  const ServiceStats stats = service.stats();
+  std::printf("[fedshapd] done=%zu failed=%zu cancelled=%zu slices=%zu "
+              "workloads=%zu trainings=%zu preloaded=%zu\n",
+              stats.jobs_done, stats.jobs_failed, stats.jobs_cancelled,
+              stats.slices_executed, stats.workloads,
+              stats.trainings_computed, stats.trainings_preloaded);
+
+  if (!all_terminal) {
+    std::printf("[fedshapd] halted with jobs in flight; rerun with the "
+                "same --state-dir to resume\n");
+    return 17;
+  }
+  return failed > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = ParseArgs(argc, argv);
+
+  std::vector<JobSpec> new_jobs;
+  if (!options.jobs_file.empty()) {
+    std::string contents;
+    if (options.jobs_file == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      contents = buffer.str();
+    } else {
+      Result<std::string> read = ReadFileToString(options.jobs_file);
+      if (!read.ok()) {
+        std::fprintf(stderr, "fedshapd: %s: %s\n",
+                     options.jobs_file.c_str(),
+                     read.status().ToString().c_str());
+        return 1;
+      }
+      contents = std::move(read).value();
+    }
+    Result<std::vector<JobSpec>> parsed = ParseJobFile(contents);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "fedshapd: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    new_jobs = std::move(parsed).value();
+  }
+
+  return RunService(options, new_jobs);
+}
