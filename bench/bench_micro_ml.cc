@@ -11,21 +11,33 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "common.h"
 #include "data/synthetic.h"
 #include "ml/cnn.h"
+#include "ml/kernel_backend.h"
 #include "ml/linear_regression.h"
 #include "ml/logistic_regression.h"
 #include "ml/matrix.h"
 #include "ml/mlp.h"
 #include "ml/sgd.h"
+#include "util/logging.h"
 #include "util/random.h"
 
 namespace fedshap {
 namespace {
 
 constexpr int kBatch = 32;
+
+/// The backend the process dispatched at startup (env override
+/// included); the per-backend benchmarks below pin other backends and
+/// restore this one so every non-backend benchmark runs dispatched.
+KernelBackend g_entry_backend = KernelBackend::kScalar;
 
 std::vector<float> RandomBuffer(size_t n, uint64_t seed) {
   Rng rng(seed);
@@ -74,6 +86,57 @@ void BM_MatMulBlocked(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m * k * n);
 }
 BENCHMARK(BM_MatMulBlocked);
+
+/// GEMM-bound cases per kernel backend: the same blocked MatMul body
+/// pinned to scalar / AVX2 / AVX-512, so the dispatched-vs-scalar
+/// speedup is measured directly (the acceptance number of the SIMD
+/// dispatch work). Registered dynamically for every backend this
+/// machine can execute; names look like "BM_MatMulBackend/avx2/64x256x256".
+void MatMulBackendCase(benchmark::State& state, KernelBackend backend,
+                       size_t m, size_t k, size_t n) {
+  if (!SetKernelBackend(backend).ok()) {
+    state.SkipWithError("backend unavailable");
+    return;
+  }
+  std::vector<float> a = RandomBuffer(m * k, 1), b = RandomBuffer(k * n, 2);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    MatMul(a.data(), m, k, b.data(), n, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+  FEDSHAP_CHECK(SetKernelBackend(g_entry_backend).ok());
+}
+
+/// The GEMM-bound shapes measured per backend; the speedup report below
+/// derives its benchmark names from this same table.
+struct GemmShape {
+  size_t m, k, n;
+};
+constexpr GemmShape kGemmShapes[] = {{kBatch, 64, 64}, {64, 256, 256}};
+
+std::string GemmShapeName(const GemmShape& shape) {
+  return std::to_string(shape.m) + "x" + std::to_string(shape.k) + "x" +
+         std::to_string(shape.n);
+}
+
+void RegisterBackendBenchmarks() {
+  for (KernelBackend backend :
+       {KernelBackend::kScalar, KernelBackend::kAvx2,
+        KernelBackend::kAvx512}) {
+    if (!KernelBackendAvailable(backend)) continue;
+    for (const GemmShape& shape : kGemmShapes) {
+      const std::string name =
+          "BM_MatMulBackend/" + std::string(KernelBackendName(backend)) +
+          "/" + GemmShapeName(shape);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [backend, shape](benchmark::State& state) {
+            MatMulBackendCase(state, backend, shape.m, shape.k, shape.n);
+          });
+    }
+  }
+}
 
 void BM_AddOuterBatch(benchmark::State& state) {
   const size_t batch = kBatch, rows = 16, cols = 64;
@@ -233,7 +296,135 @@ void BM_TrainSgdEpoch_Batched(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainSgdEpoch_Batched);
 
+// ---------------------------------------------------------------------------
+// Main: standard google-benchmark flags plus --json=<path> (see
+// bench/common.h), which archives every benchmark's timing and the
+// derived speedup pairs (Batched vs PerExample, each SIMD backend vs
+// scalar) as machine-readable records.
+
+/// Console reporter that additionally captures per-benchmark seconds
+/// per iteration, keyed by benchmark name.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      seconds_per_iteration_[run.benchmark_name()] =
+          run.real_accumulated_time / static_cast<double>(run.iterations);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::map<std::string, double>& seconds_per_iteration() const {
+    return seconds_per_iteration_;
+  }
+
+ private:
+  std::map<std::string, double> seconds_per_iteration_;
+};
+
+/// Speedup of `denominator_name` over `baseline_name` (how many times
+/// faster), or 0 when either is missing.
+double SpeedupOf(const std::map<std::string, double>& seconds,
+                 const std::string& baseline_name,
+                 const std::string& faster_name) {
+  auto base = seconds.find(baseline_name);
+  auto fast = seconds.find(faster_name);
+  if (base == seconds.end() || fast == seconds.end() ||
+      fast->second <= 0.0) {
+    return 0.0;
+  }
+  return base->second / fast->second;
+}
+
+int RunMicroMl(int argc, char** argv) {
+  // Peel --json off before google-benchmark sees the flags.
+  std::string json_path;
+  if (const char* env = std::getenv("FEDSHAP_BENCH_JSON")) json_path = env;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  g_entry_backend = SelectedKernelBackend();
+  std::printf("%s\n", KernelProvenanceString().c_str());
+  RegisterBackendBenchmarks();
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  const std::map<std::string, double>& seconds =
+      reporter.seconds_per_iteration();
+  bench::BenchJson json("micro_ml");
+  for (const auto& [name, secs] : seconds) {
+    json.Add(name).Metric("seconds_per_iteration", secs);
+  }
+
+  // Derived speedups: the numbers the README table and CI artifacts
+  // track. Backend cases compare against the scalar backend at the same
+  // shape; model cases compare Batched against PerExample.
+  std::printf("\nspeedups:\n");
+  for (const GemmShape& gemm_shape : kGemmShapes) {
+    const std::string shape = GemmShapeName(gemm_shape);
+    for (const char* backend : {"avx2", "avx512"}) {
+      const std::string base = "BM_MatMulBackend/scalar/" + shape;
+      const std::string fast = std::string("BM_MatMulBackend/") + backend +
+                               "/" + shape;
+      const double speedup = SpeedupOf(seconds, base, fast);
+      if (speedup <= 0.0) continue;
+      std::printf("  gemm %-11s %-7s vs scalar: %.2fx\n", shape.c_str(),
+                  backend, speedup);
+      json.Add("gemm_speedup")
+          .Label("case", shape)
+          .Label("backend", backend)
+          .Metric("speedup_vs_scalar", speedup);
+    }
+  }
+  const struct {
+    const char* label;
+    const char* baseline;
+    const char* faster;
+  } pairs[] = {
+      {"mlp_gradient", "BM_MlpGradient_PerExample", "BM_MlpGradient_Batched"},
+      {"logreg_gradient", "BM_LogRegGradient_PerExample",
+       "BM_LogRegGradient_Batched"},
+      {"cnn_gradient", "BM_CnnGradient_PerExample", "BM_CnnGradient_Batched"},
+      {"linreg_gradient", "BM_LinRegGradient_PerExample",
+       "BM_LinRegGradient_Batched"},
+      {"train_sgd_epoch", "BM_TrainSgdEpoch_PerExample",
+       "BM_TrainSgdEpoch_Batched"},
+      {"matmul_blocked", "BM_MatMulNaive", "BM_MatMulBlocked"},
+  };
+  for (const auto& pair : pairs) {
+    const double speedup = SpeedupOf(seconds, pair.baseline, pair.faster);
+    if (speedup <= 0.0) continue;
+    std::printf("  %-24s batched vs reference: %.2fx\n", pair.label,
+                speedup);
+    json.Add(pair.label).Metric("speedup_batched_vs_reference", speedup);
+  }
+
+  Status written = json.WriteTo(json_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "bench JSON write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  if (!json_path.empty()) {
+    std::printf("\n[json] wrote %s\n", json_path.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace
 }  // namespace fedshap
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return fedshap::RunMicroMl(argc, argv); }

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common.h"
+#include "ml/kernel_backend.h"
 #include "service/job_spec.h"
 #include "service/valuation_service.h"
 #include "util/stopwatch.h"
@@ -31,10 +33,14 @@ struct Options {
   int n = 6;
   std::string scenario = "digits";
   uint64_t seed = 2025;
+  std::string json;  // --json=<path> / FEDSHAP_BENCH_JSON: BenchJson output
 };
 
 Options ParseArgs(int argc, char** argv) {
   Options options;
+  if (const char* env = std::getenv("FEDSHAP_BENCH_JSON")) {
+    options.json = env;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
@@ -45,6 +51,8 @@ Options ParseArgs(int argc, char** argv) {
       options.scenario = arg.substr(11);
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json = arg.substr(7);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -100,9 +108,10 @@ int main(int argc, char** argv) {
   const Options options = ParseArgs(argc, argv);
   const std::vector<JobSpec> jobs = MakeJobs(options);
   std::printf("service throughput: %zu jobs over 2 overlapping %s "
-              "scenarios, n=%d, workers=%d\n\n",
+              "scenarios, n=%d, workers=%d\n",
               jobs.size(), options.scenario.c_str(), options.n,
               options.workers);
+  std::printf("%s\n\n", KernelProvenanceString().c_str());
 
   // (a) Isolated baseline: every job in its own single-worker service
   // with its own cache — what N independent main()s would do.
@@ -189,5 +198,34 @@ int main(int argc, char** argv) {
               shared_wall > 0 ? jobs.size() / shared_wall : 0.0);
   std::printf("  values identical to isolated:  %s\n",
               all_equal ? "yes" : "NO");
+
+  bench::BenchJson json("service_throughput");
+  json.Add("aggregate")
+      .Label("scenario", options.scenario)
+      .Metric("jobs", static_cast<double>(jobs.size()))
+      .Metric("workers", options.workers)
+      .Metric("trainings_isolated", static_cast<double>(isolated_trainings))
+      .Metric("trainings_shared",
+              static_cast<double>(stats.trainings_computed))
+      .Metric("dedup_factor",
+              stats.trainings_computed > 0
+                  ? static_cast<double>(isolated_trainings) /
+                        static_cast<double>(stats.trainings_computed)
+                  : 0.0)
+      .Metric("wall_isolated_seconds", isolated_wall)
+      .Metric("wall_shared_seconds", shared_wall)
+      .Metric("shared_speedup",
+              shared_wall > 0 ? isolated_wall / shared_wall : 0.0)
+      .Metric("jobs_per_second",
+              shared_wall > 0 ? jobs.size() / shared_wall : 0.0)
+      .Metric("values_identical", all_equal ? 1.0 : 0.0);
+  if (Status written = json.WriteTo(options.json); !written.ok()) {
+    std::fprintf(stderr, "bench JSON write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  if (!options.json.empty()) {
+    std::printf("[json] wrote %s\n", options.json.c_str());
+  }
   return all_equal ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "core/valuation_metrics.h"
 #include "data/synthetic.h"
 #include "ml/cnn.h"
+#include "ml/kernel_backend.h"
 #include "ml/logistic_regression.h"
 #include "ml/mlp.h"
 #include "util/logging.h"
@@ -39,6 +40,9 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
   if (const char* env = std::getenv("FEDSHAP_BENCH_CACHE_FILE")) {
     options.cache_file = env;
   }
+  if (const char* env = std::getenv("FEDSHAP_BENCH_JSON")) {
+    options.json = env;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
@@ -55,6 +59,8 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.cache_file = arg.substr(13);
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json = arg.substr(7);
     }
   }
   if (options.scale <= 0.0) options.scale = 1.0;
@@ -79,7 +85,7 @@ void PrintRunHeader(const char* title, const BenchOptions& options,
     }
     std::printf(
         "config: scale=%.2f seed=%llu threads=%d batch-size=%s cache=%s "
-        "resume=%s\n\n",
+        "resume=%s\n",
         options.scale, static_cast<unsigned long long>(options.seed),
         options.threads, batch,
         options.cache_file.empty() ? "(none)" : options.cache_file.c_str(),
@@ -87,9 +93,112 @@ void PrintRunHeader(const char* title, const BenchOptions& options,
   } else {
     std::printf(
         "config: scale=%.2f seed=%llu (closed-form utilities, reseeded "
-        "per run: --threads/--cache-file do not apply)\n\n",
+        "per run: --threads/--cache-file do not apply)\n",
         options.scale, static_cast<unsigned long long>(options.seed));
   }
+  // Hardware provenance: which kernel backend produced these numbers
+  // and how many compute slots the run could use.
+  std::printf("%s\n\n", KernelProvenanceString().c_str());
+}
+
+// ---------------------------------------------------------------------------
+// BenchJson
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // JSON has no inf/nan literals; null keeps consumers parsing.
+  if (std::isnan(value) || std::isinf(value)) return "null";
+  return buf;
+}
+
+}  // namespace
+
+BenchJson::Record& BenchJson::Record::Label(const std::string& key,
+                                            const std::string& value) {
+  labels_.emplace_back(key, value);
+  return *this;
+}
+
+BenchJson::Record& BenchJson::Record::Metric(const std::string& key,
+                                             double value) {
+  metrics_.emplace_back(key, value);
+  return *this;
+}
+
+BenchJson::Record& BenchJson::Add(const std::string& name) {
+  records_.emplace_back();
+  records_.back().name_ = name;
+  return records_.back();
+}
+
+Status BenchJson::WriteTo(const std::string& path) const {
+  if (path.empty()) return Status::OK();
+  std::string out;
+  out += "{\n  \"bench\": \"" + JsonEscape(bench_name_) + "\",\n";
+  out += "  \"provenance\": {\n";
+  out += "    \"kernel_backend\": \"" +
+         std::string(KernelBackendName(SelectedKernelBackend())) + "\",\n";
+  out += "    \"worker_budget\": " +
+         std::to_string(WorkerBudget::Global().total()) + ",\n";
+  out += "    \"hardware_threads\": " +
+         std::to_string(ThreadPool::DefaultThreads()) + "\n";
+  out += "  },\n  \"records\": [\n";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& record = records_[i];
+    out += "    {\"name\": \"" + JsonEscape(record.name_) + "\"";
+    for (const auto& [key, value] : record.labels_) {
+      out += ", \"" + JsonEscape(key) + "\": \"" + JsonEscape(value) + "\"";
+    }
+    for (const auto& [key, value] : record.metrics_) {
+      out += ", \"" + JsonEscape(key) + "\": " + JsonNumber(value);
+    }
+    out += i + 1 < records_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open bench JSON output: " + path);
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const int closed = std::fclose(f);
+  if (written != out.size() || closed != 0) {
+    return Status::Internal("short write to bench JSON output: " + path);
+  }
+  return Status::OK();
 }
 
 const char* ModelKindName(ModelKind kind) {

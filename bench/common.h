@@ -44,6 +44,11 @@ namespace bench {
 ///                     share trainings across processes. Charged-time
 ///                     accounting is unaffected (disk hits charge their
 ///                     recorded training cost).
+///   --json=<path>     additionally write machine-readable timing /
+///                     speedup records (BenchJson) to `path`; also
+///                     readable from FEDSHAP_BENCH_JSON. CI uses this to
+///                     archive BENCH_*.json artifacts per run so the
+///                     perf trajectory is tracked over time.
 struct BenchOptions {
   double scale = 1.0;
   uint64_t seed = 2025;
@@ -51,6 +56,7 @@ struct BenchOptions {
   int batch_size = 0;  // 0 = scenario default
   std::string cache_file;
   bool resume = false;
+  std::string json;  // empty = no JSON output
 
   static BenchOptions Parse(int argc, char** argv);
 
@@ -67,6 +73,54 @@ struct BenchOptions {
 /// instead of claiming them as effective.
 void PrintRunHeader(const char* title, const BenchOptions& options,
                     bool runner_backed = true);
+
+/// Machine-readable bench output: an append-only list of named records,
+/// each carrying string labels (case, backend, ...) and numeric metrics
+/// (seconds, speedups, ...), serialized as
+///
+///   {"bench": "<name>", "provenance": {backend, worker budget, ...},
+///    "records": [{"name": ..., <labels...>, <metrics...>}, ...]}
+///
+/// The provenance object is captured at write time from the live
+/// process (kernel backend, worker budget, hardware threads), so every
+/// archived number is attributable to the configuration that produced
+/// it.
+class BenchJson {
+ public:
+  /// One record under construction; returned by Add for fluent filling.
+  class Record {
+   public:
+    /// Adds a string label.
+    Record& Label(const std::string& key, const std::string& value);
+    /// Adds a numeric metric.
+    Record& Metric(const std::string& key, double value);
+
+   private:
+    friend class BenchJson;
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> labels_;
+    std::vector<std::pair<std::string, double>> metrics_;
+  };
+
+  /// `bench_name` identifies the producing binary in the output.
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Starts a new record. The reference stays valid until the next Add.
+  Record& Add(const std::string& name);
+
+  /// True when no records were added.
+  bool empty() const { return records_.empty(); }
+
+  /// Writes the collected records to `path` (overwriting). No-op
+  /// returning OK when `path` is empty, so call sites can pass
+  /// BenchOptions::json unconditionally.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
 
 /// FL model architectures used across the paper's evaluation.
 enum class ModelKind { kMlp, kCnn, kLogReg, kXgb };

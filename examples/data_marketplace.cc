@@ -17,10 +17,14 @@
 #include "data/synthetic.h"
 #include "fl/utility.h"
 #include "fl/utility_cache.h"
+#include "ml/kernel_backend.h"
 
 using namespace fedshap;
 
 int main() {
+  // Provenance: which kernel backend / worker budget produced this
+  // run (see ml/kernel_backend.h).
+  std::printf("%s\n", fedshap::KernelProvenanceString().c_str());
   const int n = 6;
   TabularConfig tabular;
   tabular.num_occupations = 18;

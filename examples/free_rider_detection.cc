@@ -17,10 +17,14 @@
 #include "fl/utility.h"
 #include "fl/utility_cache.h"
 #include "ml/mlp.h"
+#include "ml/kernel_backend.h"
 
 using namespace fedshap;
 
 int main() {
+  // Provenance: which kernel backend / worker budget produced this
+  // run (see ml/kernel_backend.h).
+  std::printf("%s\n", fedshap::KernelProvenanceString().c_str());
   const int n = 8;
   Rng rng(21);
   Result<Dataset> pool = GenerateBlobs(4, 8, 4.0, 1700, rng);

@@ -14,10 +14,14 @@
 #include "fl/utility.h"
 #include "fl/utility_cache.h"
 #include "ml/logistic_regression.h"
+#include "ml/kernel_backend.h"
 
 using namespace fedshap;
 
 int main() {
+  // Provenance: which kernel backend / worker budget produced this
+  // run (see ml/kernel_backend.h).
+  std::printf("%s\n", fedshap::KernelProvenanceString().c_str());
   // 1. Each hospital contributes writer-specific digit data; hospital 2
   //    has twice the data of hospital 0.
   DigitsConfig digits;

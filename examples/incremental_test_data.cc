@@ -18,6 +18,7 @@
 #include "fl/utility.h"
 #include "fl/utility_cache.h"
 #include "ml/logistic_regression.h"
+#include "ml/kernel_backend.h"
 
 using namespace fedshap;
 
@@ -40,6 +41,9 @@ Result<ValuationResult> ValueAgainst(const std::vector<Dataset>& providers,
 }  // namespace
 
 int main() {
+  // Provenance: which kernel backend / worker budget produced this
+  // run (see ml/kernel_backend.h).
+  std::printf("%s\n", fedshap::KernelProvenanceString().c_str());
   Rng rng(99);
   DigitsConfig digits;
   digits.image_size = 8;

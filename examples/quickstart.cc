@@ -13,10 +13,14 @@
 #include "core/valuation_metrics.h"
 #include "fl/utility.h"
 #include "fl/utility_cache.h"
+#include "ml/kernel_backend.h"
 
 using namespace fedshap;
 
 int main() {
+  // Provenance: which kernel backend / worker budget produced this
+  // run (see ml/kernel_backend.h).
+  std::printf("%s\n", fedshap::KernelProvenanceString().c_str());
   // U(S) for all 8 coalitions of {hospital0, hospital1, hospital2},
   // indexed by bitmask (paper Table I).
   Result<TableUtility> utility = TableUtility::FromValues(

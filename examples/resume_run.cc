@@ -26,6 +26,7 @@
 #include "ml/logistic_regression.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
+#include "ml/kernel_backend.h"
 
 using namespace fedshap;
 
@@ -154,6 +155,9 @@ std::unique_ptr<ResumableEstimator> MakeEstimator(const Options& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Provenance: which kernel backend / worker budget produced this
+  // run (see ml/kernel_backend.h).
+  std::printf("%s\n", fedshap::KernelProvenanceString().c_str());
   Options options = ParseOptions(argc, argv);
   std::printf("resume_run: algo=%s n=%d gamma=%d chunk=%d threads=%d\n",
               options.algo.c_str(), options.n, options.gamma,

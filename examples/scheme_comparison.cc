@@ -13,10 +13,14 @@
 #include "core/stratified.h"
 #include "fl/utility.h"
 #include "fl/utility_cache.h"
+#include "ml/kernel_backend.h"
 
 using namespace fedshap;
 
 int main() {
+  // Provenance: which kernel backend / worker budget produced this
+  // run (see ml/kernel_backend.h).
+  std::printf("%s\n", fedshap::KernelProvenanceString().c_str());
   LinearRegressionUtility::Params params;
   params.num_clients = 8;
   params.samples_per_client = 40;

@@ -30,6 +30,7 @@
 #include "fl/utility.h"
 #include "fl/utility_cache.h"
 #include "ml/logistic_regression.h"
+#include "ml/kernel_backend.h"
 
 using namespace fedshap;
 
@@ -74,6 +75,9 @@ CliOptions ParseArgs(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Provenance: which kernel backend / worker budget produced this
+  // run (see ml/kernel_backend.h).
+  std::printf("%s\n", fedshap::KernelProvenanceString().c_str());
   const CliOptions options = ParseArgs(argc, argv);
   if (options.n < 2 || options.n > 16) {
     std::fprintf(stderr, "--n must be in [2, 16]\n");

@@ -137,4 +137,45 @@ uint64_t Dataset::Fingerprint() const {
   return hasher.digest();
 }
 
+Result<DatasetView> DatasetView::Gather(
+    const std::vector<const Dataset*>& parts) {
+  DatasetView view;
+  size_t total = 0;
+  for (const Dataset* part : parts) {
+    if (part == nullptr || part->empty()) continue;
+    if (view.num_features_ == 0) {
+      view.num_features_ = part->num_features();
+      view.num_classes_ = part->num_classes();
+    } else if (part->num_features() != view.num_features_ ||
+               part->num_classes() != view.num_classes_) {
+      return Status::InvalidArgument(
+          "cannot gather datasets with different schemas");
+    }
+    total += part->size();
+  }
+  view.rows_.reserve(total);
+  view.targets_.reserve(total);
+  for (const Dataset* part : parts) {
+    if (part == nullptr || part->empty()) continue;
+    for (size_t i = 0; i < part->size(); ++i) {
+      view.rows_.push_back(part->Row(i));
+      view.targets_.push_back(part->Target(i));
+    }
+  }
+  return view;
+}
+
+DatasetView DatasetView::Of(const Dataset& data) {
+  Result<DatasetView> view = Gather({&data});
+  FEDSHAP_CHECK(view.ok());  // a single dataset cannot schema-conflict
+  return std::move(view).value();
+}
+
+int DatasetView::ClassLabel(size_t i) const {
+  FEDSHAP_CHECK(num_classes_ > 0);
+  int label = static_cast<int>(std::lround(targets_[i]));
+  FEDSHAP_DCHECK(label >= 0 && label < num_classes_);
+  return label;
+}
+
 }  // namespace fedshap

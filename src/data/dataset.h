@@ -104,6 +104,55 @@ class Dataset {
   std::vector<float> labels_;
 };
 
+/// A read-only, non-owning row view over one or more Datasets with a
+/// shared schema: the coalition dataset D_S = union of D_i *without*
+/// materializing it. Gathering builds one row-pointer (8 bytes) and one
+/// target (4 bytes) per row instead of copying `num_features` floats —
+/// this is how GbdtUtility assembles each evaluated coalition's training
+/// set, turning the former per-coalition Dataset::Merge copy into an
+/// index gather. Rows appear in part order then row order, exactly the
+/// order Dataset::Merge would have concatenated them, so consumers see
+/// bit-identical data.
+///
+/// The viewed datasets must outlive the view and must not be mutated
+/// (row pointers alias their storage).
+class DatasetView {
+ public:
+  /// An empty view (0 rows, regression schema).
+  DatasetView() = default;
+
+  /// Builds a view over `parts` (null/empty entries contribute nothing,
+  /// as in Dataset::Merge). Fails when non-empty parts disagree on
+  /// schema. All parts empty yields an empty view.
+  static Result<DatasetView> Gather(const std::vector<const Dataset*>& parts);
+
+  /// A view of one whole dataset.
+  static DatasetView Of(const Dataset& data);
+
+  /// Feature dimension of every row.
+  int num_features() const { return num_features_; }
+  /// Number of classes (0 for regression targets).
+  int num_classes() const { return num_classes_; }
+  /// Number of rows.
+  size_t size() const { return targets_.size(); }
+  /// True when the view has no rows.
+  bool empty() const { return targets_.empty(); }
+
+  /// Pointer to row i's feature vector (num_features() floats, living in
+  /// the viewed dataset).
+  const float* Row(size_t i) const { return rows_[i]; }
+  /// Target value of row i.
+  float Target(size_t i) const { return targets_[i]; }
+  /// Class id of row i; only valid for classification schemas.
+  int ClassLabel(size_t i) const;
+
+ private:
+  int num_features_ = 0;
+  int num_classes_ = 0;
+  std::vector<const float*> rows_;
+  std::vector<float> targets_;
+};
+
 }  // namespace fedshap
 
 #endif  // FEDSHAP_DATA_DATASET_H_

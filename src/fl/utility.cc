@@ -131,10 +131,14 @@ Result<double> GbdtUtility::Evaluate(const Coalition& coalition) const {
   for (int i = 0; i < num_clients(); ++i) {
     if (coalition.Contains(i)) parts.push_back(&client_data_[i]);
   }
-  FEDSHAP_ASSIGN_OR_RETURN(Dataset merged, Dataset::Merge(parts));
+  // Index/view gather, not a merge: D_S is one row pointer + target per
+  // member row, never a copy of the rows themselves. Row order matches
+  // what Dataset::Merge produced, so the fitted ensemble — and therefore
+  // every persisted utility — is unchanged.
+  FEDSHAP_ASSIGN_OR_RETURN(DatasetView gathered, DatasetView::Gather(parts));
   Gbdt booster(config_);
-  if (!merged.empty()) {
-    FEDSHAP_RETURN_NOT_OK(booster.Fit(merged));
+  if (!gathered.empty()) {
+    FEDSHAP_RETURN_NOT_OK(booster.Fit(gathered));
   }
   return booster.EvaluateAccuracy(test_data_);
 }

@@ -1,5 +1,6 @@
 #include "fl/utility_cache.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "fl/utility_store.h"
@@ -101,6 +102,13 @@ Status UtilityCache::Prefetch(const std::vector<Coalition>& coalitions,
     }
     return Status::OK();
   }
+  // Lease one budget slot per pool worker that will compute, so nested
+  // TrainFedAvg client fan-outs see the cores this batch already uses
+  // and degrade to sequential instead of oversubscribing (the lease is
+  // advisory: the pool's size itself is fixed by its creator).
+  WorkerBudget::Lease lease(
+      WorkerBudget::Global(),
+      std::min(pool->num_threads(), static_cast<int>(coalitions.size())));
   std::atomic<bool> failed{false};
   pool->ParallelFor(static_cast<int>(coalitions.size()), [&](int i) {
     bool computed = false;

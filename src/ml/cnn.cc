@@ -198,7 +198,7 @@ double Cnn::ComputeGradientBatched(const Dataset& data,
   const size_t feat = static_cast<size_t>(side_) * side_;
   const float inv = 1.0f / static_cast<float>(bsz);
 
-  static thread_local std::vector<float> xb, col, col_t, conv, pooled, wdt,
+  static thread_local AlignedFloats xb, col, col_t, conv, pooled, wdt,
       probs, dpooled, dconv;
   static thread_local std::vector<int> pool_argmax;
   GatherRows(data, batch, xb);

@@ -33,7 +33,8 @@ double Gbdt::Tree::Predict(const float* features) const {
   return nodes[idx].value;
 }
 
-int Gbdt::BuildNode(const Dataset& data, const std::vector<double>& grad,
+int Gbdt::BuildNode(const DatasetView& data,
+                    const std::vector<double>& grad,
                     const std::vector<double>& hess, std::vector<int>& rows,
                     int depth, Tree& tree) {
   double g_total = 0.0, h_total = 0.0;
@@ -128,9 +129,19 @@ Status Gbdt::Fit(const Dataset& data) {
     return Status::InvalidArgument(
         "Gbdt supports binary classification (num_classes == 2)");
   }
+  return Fit(DatasetView::Of(data));
+}
+
+Status Gbdt::Fit(const DatasetView& data) {
   if (data.empty()) {
+    // No rows: an empty ensemble (matches training on an empty
+    // coalition). An empty view carries no schema to validate.
     trees_.clear();
     return Status::OK();
+  }
+  if (data.num_classes() != 2) {
+    return Status::InvalidArgument(
+        "Gbdt supports binary classification (num_classes == 2)");
   }
   trees_.clear();
   trees_.reserve(config_.num_trees);

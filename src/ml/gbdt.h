@@ -40,6 +40,13 @@ class Gbdt {
   /// Replaces any previously fit ensemble.
   Status Fit(const Dataset& data);
 
+  /// Trains on a gathered view (same contract as Fit(Dataset)). This is
+  /// the coalition-evaluation path: GbdtUtility assembles D_S as a
+  /// row-pointer view over the member clients' shards instead of
+  /// copying every row per evaluated coalition. Fitting a view of a
+  /// dataset produces the identical ensemble to fitting the dataset.
+  Status Fit(const DatasetView& data);
+
   /// Raw additive score (log-odds).
   double PredictLogit(const float* features) const;
 
@@ -71,7 +78,7 @@ class Gbdt {
   };
 
   /// Recursively grows a tree over `rows`; returns the new node's index.
-  int BuildNode(const Dataset& data, const std::vector<double>& grad,
+  int BuildNode(const DatasetView& data, const std::vector<double>& grad,
                 const std::vector<double>& hess, std::vector<int>& rows,
                 int depth, Tree& tree);
 

@@ -73,7 +73,7 @@ double LinearRegression::ComputeGradientBatched(
   const size_t dim = static_cast<size_t>(dim_);
   const float inv = 1.0f / static_cast<float>(bsz);
 
-  static thread_local std::vector<float> xb, err;
+  static thread_local AlignedFloats xb, err;
   GatherRows(data, batch, xb);
 
   // Per-row predictions over the gathered batch, then the averaged error

@@ -108,7 +108,7 @@ double LogisticRegression::ComputeGradientBatched(
   const size_t weight_count = classes * dim;
   const float inv = 1.0f / static_cast<float>(bsz);
 
-  static thread_local std::vector<float> xb, wt, probs;
+  static thread_local AlignedFloats xb, wt, probs;
   GatherRows(data, batch, xb);
 
   // Logits = X * W^T + b, computed as X * transpose(W) so the product

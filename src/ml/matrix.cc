@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/kernel_dispatch.h"
 #include "util/logging.h"
 
 namespace fedshap {
@@ -39,7 +40,14 @@ void Rank1Update(Matrix& m, float alpha, const float* a, const float* b) {
 }
 
 // ---------------------------------------------------------------------------
-// Batched kernels
+// Batched kernels.
+//
+// The public functions below dispatch their hot bodies through the
+// backend table of ml/kernel_backend.h. The implementations in this
+// anonymous namespace are the *scalar* backend: portable blocked loops
+// the compiler autovectorizes at the build's baseline ISA, and the
+// reference the AVX2/AVX-512 tables (matrix_avx2.cc / matrix_avx512.cc)
+// are tested against.
 
 namespace {
 
@@ -53,7 +61,7 @@ constexpr size_t kKc = 256;
 /// output row pays for two rank-1 contributions). The inner j-loops are
 /// pure saxpy over contiguous rows — no reduction dependence — so they
 /// auto-vectorize without -ffast-math.
-inline void MatMulBody(const float* __restrict a, size_t m, size_t k,
+void MatMulBody(const float* __restrict a, size_t m, size_t k,
                        const float* __restrict b, size_t n,
                        float* __restrict c) {
   for (size_t k0 = 0; k0 < k; k0 += kKc) {
@@ -112,22 +120,9 @@ inline void MatMulBody(const float* __restrict a, size_t m, size_t k,
   }
 }
 
-}  // namespace
-
-void MatMulAcc(const float* __restrict a, size_t m, size_t k,
-               const float* __restrict b, size_t n, float* __restrict c) {
-  MatMulBody(a, m, k, b, n, c);
-}
-
-void MatMul(const float* __restrict a, size_t m, size_t k,
-            const float* __restrict b, size_t n, float* __restrict c) {
-  std::fill(c, c + m * n, 0.0f);
-  MatMulBody(a, m, k, b, n, c);
-}
-
-void AddOuterBatch(float* __restrict acc, size_t rows, size_t cols,
-                   float alpha, const float* __restrict a,
-                   const float* __restrict b, size_t batch) {
+void AddOuterBatchScalar(float* __restrict acc, size_t rows, size_t cols,
+                         float alpha, const float* __restrict a,
+                         const float* __restrict b, size_t batch) {
   // 2-step unroll of the batch (reduction) dimension: one traversal of
   // acc's row absorbs two outer products. Rows of `a` whose coefficients
   // are zero contribute nothing and are skipped, which makes the
@@ -158,17 +153,7 @@ void AddOuterBatch(float* __restrict acc, size_t rows, size_t cols,
   }
 }
 
-void MatTMat(const float* __restrict a, size_t m, size_t k,
-             const float* __restrict b, size_t n, float* __restrict c) {
-  // Transpose a once, then run the product as a plain GEMM: the 4-row
-  // micro-tile shares each b-row load across four output rows, which the
-  // outer-product formulation (AddOuterBatch) cannot.
-  static thread_local std::vector<float> at;
-  at.resize(k * m);
-  Transpose(a, m, k, at.data());
-  std::fill(c, c + k * n, 0.0f);
-  MatMulBody(at.data(), k, m, b, n, c);
-}
+}  // namespace
 
 void Transpose(const float* __restrict a, size_t rows, size_t cols,
                float* __restrict out) {
@@ -192,16 +177,18 @@ void Transpose(const float* __restrict a, size_t rows, size_t cols,
   }
 }
 
-void AddBiasRows(float* __restrict m, size_t rows, size_t cols,
-                 const float* __restrict bias) {
+namespace {
+
+void AddBiasRowsScalar(float* __restrict m, size_t rows, size_t cols,
+                       const float* __restrict bias) {
   for (size_t r = 0; r < rows; ++r) {
     float* row = m + r * cols;
     for (size_t c = 0; c < cols; ++c) row[c] += bias[c];
   }
 }
 
-void AddBiasReluRows(float* __restrict m, size_t rows, size_t cols,
-                     const float* __restrict bias) {
+void AddBiasReluRowsScalar(float* __restrict m, size_t rows, size_t cols,
+                           const float* __restrict bias) {
   for (size_t r = 0; r < rows; ++r) {
     float* row = m + r * cols;
     for (size_t c = 0; c < cols; ++c) {
@@ -211,14 +198,14 @@ void AddBiasReluRows(float* __restrict m, size_t rows, size_t cols,
   }
 }
 
-void ReluMaskBackward(float* __restrict delta, const float* __restrict act,
-                      size_t n) {
+void ReluMaskBackwardScalar(float* __restrict delta,
+                            const float* __restrict act, size_t n) {
   for (size_t i = 0; i < n; ++i) {
     if (act[i] <= 0.0f) delta[i] = 0.0f;
   }
 }
 
-void SoftmaxRows(float* m, size_t rows, size_t cols) {
+void SoftmaxRowsScalar(float* m, size_t rows, size_t cols) {
   for (size_t r = 0; r < rows; ++r) {
     float* row = m + r * cols;
     // Same arithmetic order as SoftmaxInPlace so equal logits produce
@@ -234,8 +221,8 @@ void SoftmaxRows(float* m, size_t rows, size_t cols) {
   }
 }
 
-void ColumnSums(const float* __restrict m, size_t rows, size_t cols,
-                float* __restrict out) {
+void ColumnSumsScalar(const float* __restrict m, size_t rows, size_t cols,
+                      float* __restrict out) {
   std::fill(out, out + cols, 0.0f);
   for (size_t r = 0; r < rows; ++r) {
     const float* row = m + r * cols;
@@ -243,23 +230,112 @@ void ColumnSums(const float* __restrict m, size_t rows, size_t cols,
   }
 }
 
-void SgdStep(float* __restrict p, const float* __restrict g, size_t n,
-             float lr, float wd) {
+void SgdStepScalar(float* __restrict p, const float* __restrict g,
+                   size_t n, float lr, float wd) {
   for (size_t i = 0; i < n; ++i) p[i] -= lr * (g[i] + wd * p[i]);
 }
 
-void SgdMomentumStep(float* __restrict p, float* __restrict v,
-                     const float* __restrict g, size_t n, float lr,
-                     float momentum, float wd) {
+void SgdMomentumStepScalar(float* __restrict p, float* __restrict v,
+                           const float* __restrict g, size_t n, float lr,
+                           float momentum, float wd) {
   for (size_t i = 0; i < n; ++i) {
     v[i] = momentum * v[i] + g[i] + wd * p[i];
     p[i] -= lr * v[i];
   }
 }
 
+void AddProximalScalar(float* __restrict g, const float* __restrict p,
+                       const float* __restrict ref, size_t n, float mu) {
+  for (size_t i = 0; i < n; ++i) g[i] += mu * (p[i] - ref[i]);
+}
+
+const internal::KernelTable kScalarTable = {
+    MatMulBody,          AddOuterBatchScalar, AddBiasRowsScalar,
+    AddBiasReluRowsScalar, ReluMaskBackwardScalar, SoftmaxRowsScalar,
+    ColumnSumsScalar,    SgdStepScalar,       SgdMomentumStepScalar,
+    AddProximalScalar,
+};
+
+}  // namespace
+
+namespace internal {
+
+const KernelTable& ScalarKernelTable() { return kScalarTable; }
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Public kernels: thin dispatchers through the active backend table.
+
+void MatMulAcc(const float* __restrict a, size_t m, size_t k,
+               const float* __restrict b, size_t n, float* __restrict c) {
+  internal::ActiveKernelTable().mat_mul_body(a, m, k, b, n, c);
+}
+
+void MatMul(const float* __restrict a, size_t m, size_t k,
+            const float* __restrict b, size_t n, float* __restrict c) {
+  std::fill(c, c + m * n, 0.0f);
+  internal::ActiveKernelTable().mat_mul_body(a, m, k, b, n, c);
+}
+
+void MatTMat(const float* __restrict a, size_t m, size_t k,
+             const float* __restrict b, size_t n, float* __restrict c) {
+  // Transpose a once, then run the product as a plain GEMM: the 4-row
+  // micro-tile shares each b-row load across four output rows, which the
+  // outer-product formulation (AddOuterBatch) cannot.
+  static thread_local AlignedFloats at;
+  at.resize(k * m);
+  Transpose(a, m, k, at.data());
+  std::fill(c, c + k * n, 0.0f);
+  internal::ActiveKernelTable().mat_mul_body(at.data(), k, m, b, n, c);
+}
+
+void AddOuterBatch(float* __restrict acc, size_t rows, size_t cols,
+                   float alpha, const float* __restrict a,
+                   const float* __restrict b, size_t batch) {
+  internal::ActiveKernelTable().add_outer_batch(acc, rows, cols, alpha, a,
+                                                b, batch);
+}
+
+void AddBiasRows(float* __restrict m, size_t rows, size_t cols,
+                 const float* __restrict bias) {
+  internal::ActiveKernelTable().add_bias_rows(m, rows, cols, bias);
+}
+
+void AddBiasReluRows(float* __restrict m, size_t rows, size_t cols,
+                     const float* __restrict bias) {
+  internal::ActiveKernelTable().add_bias_relu_rows(m, rows, cols, bias);
+}
+
+void ReluMaskBackward(float* __restrict delta, const float* __restrict act,
+                      size_t n) {
+  internal::ActiveKernelTable().relu_mask_backward(delta, act, n);
+}
+
+void SoftmaxRows(float* m, size_t rows, size_t cols) {
+  internal::ActiveKernelTable().softmax_rows(m, rows, cols);
+}
+
+void ColumnSums(const float* __restrict m, size_t rows, size_t cols,
+                float* __restrict out) {
+  internal::ActiveKernelTable().column_sums(m, rows, cols, out);
+}
+
+void SgdStep(float* __restrict p, const float* __restrict g, size_t n,
+             float lr, float wd) {
+  internal::ActiveKernelTable().sgd_step(p, g, n, lr, wd);
+}
+
+void SgdMomentumStep(float* __restrict p, float* __restrict v,
+                     const float* __restrict g, size_t n, float lr,
+                     float momentum, float wd) {
+  internal::ActiveKernelTable().sgd_momentum_step(p, v, g, n, lr, momentum,
+                                                  wd);
+}
+
 void AddProximal(float* __restrict g, const float* __restrict p,
                  const float* __restrict ref, size_t n, float mu) {
-  for (size_t i = 0; i < n; ++i) g[i] += mu * (p[i] - ref[i]);
+  internal::ActiveKernelTable().add_proximal(g, p, ref, n, mu);
 }
 
 Result<std::vector<double>> SolveLinearSystem(std::vector<double> a,

@@ -2,6 +2,7 @@
 #define FEDSHAP_ML_MATRIX_H_
 
 #include <cstddef>
+#include <new>
 #include <vector>
 
 #include "util/status.h"
@@ -24,16 +25,24 @@ namespace fedshap {
 ///
 /// The batched kernels are written as blocked saxpy-style loops (the
 /// inner loop walks contiguous output/right-operand rows with no
-/// reduction dependence), which GCC/Clang auto-vectorize at -O2/-O3
-/// without -ffast-math. This is where the per-training speedup of the
-/// valuation hot path comes from: every utility query is a full FL
-/// training, and these loops are its inner core.
+/// reduction dependence). Their hot bodies dispatch at runtime through
+/// the SIMD backend table of ml/kernel_backend.h: the portable scalar
+/// loops (compiler autovectorized at the build's baseline ISA) are the
+/// always-available reference, and explicit AVX2+FMA / AVX-512F
+/// implementations are bound when CPUID says the machine supports them.
+/// This is where the per-training speedup of the valuation hot path
+/// comes from: every utility query is a full FL training, and these
+/// loops are its inner core. Buffers need no particular alignment (the
+/// vector backends use unaligned loads), but `AlignedFloats` storage is
+/// 64-byte aligned so hot loads never split cache lines.
 ///
 /// **Tolerance contract.** Batched kernels reassociate floating-point
 /// sums relative to the per-example reference path (e.g. a bias is added
-/// after the product sum instead of seeding the accumulator), so results
-/// are equal only within tolerance, not bitwise. The contract, enforced
-/// by tests/ml_kernel_equivalence_test.cc on randomized shapes, is
+/// after the product sum instead of seeding the accumulator), and the
+/// SIMD backends additionally widen the saxpy loops and fuse
+/// multiply-adds, so results are equal only within tolerance, not
+/// bitwise. The contract, enforced by tests/ml_kernel_equivalence_test.cc
+/// on randomized shapes for every available kernel backend, is
 ///
 ///   |batched - reference| <= kKernelAbsTol + kKernelRelTol * |reference|
 ///
@@ -45,6 +54,46 @@ namespace fedshap {
 inline constexpr float kKernelAbsTol = 1e-4f;
 /// Relative term of the kernel tolerance contract (see kKernelAbsTol).
 inline constexpr float kKernelRelTol = 1e-3f;
+
+/// STL-compatible allocator returning 64-byte-aligned storage, so the
+/// SIMD backends' vector loads on matrix rows and scratch buffers never
+/// straddle a cache line. Used by `Matrix` and the models' thread-local
+/// scratch; plain std::vector buffers remain legal kernel operands (the
+/// backends use unaligned load instructions, which are penalty-free on
+/// aligned addresses).
+template <typename T>
+class AlignedAllocator {
+ public:
+  /// STL allocator element type.
+  using value_type = T;
+  /// Cache-line alignment of every allocation.
+  static constexpr std::align_val_t kAlignment{64};
+
+  /// Stateless default construction.
+  AlignedAllocator() = default;
+  /// Rebinding copy constructor required of STL allocators.
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  /// Allocates 64-byte-aligned storage for `n` elements.
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlignment));
+  }
+  /// Releases storage obtained from allocate().
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, kAlignment);
+  }
+
+  /// All instances are interchangeable.
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+/// 64-byte-aligned float buffer: the storage type of `Matrix` and of the
+/// batched gradient paths' scratch space.
+using AlignedFloats = std::vector<float, AlignedAllocator<float>>;
 
 /// Minimal dense row-major float matrix used by the hand-rolled models.
 /// Not a general linear-algebra library: only the kernels the ML substrate
@@ -72,10 +121,10 @@ class Matrix {
   /// Pointer to the start of row r.
   const float* RowPtr(size_t r) const { return data_.data() + r * cols_; }
 
-  /// Mutable flat row-major storage.
-  std::vector<float>& data() { return data_; }
-  /// Flat row-major storage.
-  const std::vector<float>& data() const { return data_; }
+  /// Mutable flat row-major storage (64-byte aligned).
+  AlignedFloats& data() { return data_; }
+  /// Flat row-major storage (64-byte aligned).
+  const AlignedFloats& data() const { return data_; }
 
   /// Sets every element to `value`.
   void Fill(float value);
@@ -83,7 +132,7 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<float> data_;
+  AlignedFloats data_;
 };
 
 /// out = M * x. `x` must have M.cols() entries; `out` is resized to M.rows().

@@ -1,0 +1,342 @@
+// AVX-512F kernel backend (see ml/kernel_backend.h for the dispatch and
+// determinism contract). Compiled with -mavx512f -ffp-contract=off and
+// only ever *executed* after kernel_backend.cc's CPUID check. Structure
+// mirrors matrix_avx2.cc at 16 lanes; the element-wise kernels use
+// separate mul/add intrinsics so they stay bit-identical to the scalar
+// backend, while the GEMM-shaped kernels use explicit FMA under the
+// tolerance contract of ml/matrix.h.
+
+#include "ml/kernel_dispatch.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedshap {
+namespace internal {
+namespace {
+
+/// Same k-panel height as the scalar backend.
+constexpr size_t kKc = 256;
+
+/// c += a * b (a: m x k, b: k x n, row-major): the 4-row x 2-k
+/// micro-tile with a 16-lane FMA j-loop.
+void MatMulBodyAvx512(const float* __restrict a, size_t m, size_t k,
+                      const float* __restrict b, size_t n,
+                      float* __restrict c) {
+  for (size_t k0 = 0; k0 < k; k0 += kKc) {
+    const size_t k1 = std::min(k, k0 + kKc);
+    size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = a + i * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      float* c0 = c + i * n;
+      float* c1 = c0 + n;
+      float* c2 = c1 + n;
+      float* c3 = c2 + n;
+      size_t kk = k0;
+      for (; kk + 2 <= k1; kk += 2) {
+        const float* b0 = b + kk * n;
+        const float* b1 = b0 + n;
+        const __m512 f00 = _mm512_set1_ps(a0[kk]);
+        const __m512 f01 = _mm512_set1_ps(a0[kk + 1]);
+        const __m512 f10 = _mm512_set1_ps(a1[kk]);
+        const __m512 f11 = _mm512_set1_ps(a1[kk + 1]);
+        const __m512 f20 = _mm512_set1_ps(a2[kk]);
+        const __m512 f21 = _mm512_set1_ps(a2[kk + 1]);
+        const __m512 f30 = _mm512_set1_ps(a3[kk]);
+        const __m512 f31 = _mm512_set1_ps(a3[kk + 1]);
+        size_t j = 0;
+        for (; j + 16 <= n; j += 16) {
+          const __m512 v0 = _mm512_loadu_ps(b0 + j);
+          const __m512 v1 = _mm512_loadu_ps(b1 + j);
+          __m512 r0 = _mm512_loadu_ps(c0 + j);
+          __m512 r1 = _mm512_loadu_ps(c1 + j);
+          __m512 r2 = _mm512_loadu_ps(c2 + j);
+          __m512 r3 = _mm512_loadu_ps(c3 + j);
+          r0 = _mm512_fmadd_ps(f00, v0, _mm512_fmadd_ps(f01, v1, r0));
+          r1 = _mm512_fmadd_ps(f10, v0, _mm512_fmadd_ps(f11, v1, r1));
+          r2 = _mm512_fmadd_ps(f20, v0, _mm512_fmadd_ps(f21, v1, r2));
+          r3 = _mm512_fmadd_ps(f30, v0, _mm512_fmadd_ps(f31, v1, r3));
+          _mm512_storeu_ps(c0 + j, r0);
+          _mm512_storeu_ps(c1 + j, r1);
+          _mm512_storeu_ps(c2 + j, r2);
+          _mm512_storeu_ps(c3 + j, r3);
+        }
+        for (; j < n; ++j) {
+          const float v0 = b0[j];
+          const float v1 = b1[j];
+          c0[j] += a0[kk] * v0 + a0[kk + 1] * v1;
+          c1[j] += a1[kk] * v0 + a1[kk + 1] * v1;
+          c2[j] += a2[kk] * v0 + a2[kk + 1] * v1;
+          c3[j] += a3[kk] * v0 + a3[kk + 1] * v1;
+        }
+      }
+      for (; kk < k1; ++kk) {
+        const float* brow = b + kk * n;
+        const __m512 f0 = _mm512_set1_ps(a0[kk]);
+        const __m512 f1 = _mm512_set1_ps(a1[kk]);
+        const __m512 f2 = _mm512_set1_ps(a2[kk]);
+        const __m512 f3 = _mm512_set1_ps(a3[kk]);
+        size_t j = 0;
+        for (; j + 16 <= n; j += 16) {
+          const __m512 bv = _mm512_loadu_ps(brow + j);
+          _mm512_storeu_ps(
+              c0 + j, _mm512_fmadd_ps(f0, bv, _mm512_loadu_ps(c0 + j)));
+          _mm512_storeu_ps(
+              c1 + j, _mm512_fmadd_ps(f1, bv, _mm512_loadu_ps(c1 + j)));
+          _mm512_storeu_ps(
+              c2 + j, _mm512_fmadd_ps(f2, bv, _mm512_loadu_ps(c2 + j)));
+          _mm512_storeu_ps(
+              c3 + j, _mm512_fmadd_ps(f3, bv, _mm512_loadu_ps(c3 + j)));
+        }
+        for (; j < n; ++j) {
+          const float bv = brow[j];
+          c0[j] += a0[kk] * bv;
+          c1[j] += a1[kk] * bv;
+          c2[j] += a2[kk] * bv;
+          c3[j] += a3[kk] * bv;
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (size_t kk = k0; kk < k1; ++kk) {
+        const float* brow = b + kk * n;
+        const __m512 f = _mm512_set1_ps(arow[kk]);
+        size_t j = 0;
+        for (; j + 16 <= n; j += 16) {
+          _mm512_storeu_ps(
+              crow + j,
+              _mm512_fmadd_ps(f, _mm512_loadu_ps(brow + j),
+                              _mm512_loadu_ps(crow + j)));
+        }
+        for (; j < n; ++j) crow[j] += arow[kk] * brow[j];
+      }
+    }
+  }
+}
+
+void AddOuterBatchAvx512(float* __restrict acc, size_t rows, size_t cols,
+                         float alpha, const float* __restrict a,
+                         const float* __restrict b, size_t batch) {
+  size_t s = 0;
+  for (; s + 2 <= batch; s += 2) {
+    const float* a0 = a + s * rows;
+    const float* a1 = a0 + rows;
+    const float* b0 = b + s * cols;
+    const float* b1 = b0 + cols;
+    for (size_t r = 0; r < rows; ++r) {
+      const float f0 = alpha * a0[r];
+      const float f1 = alpha * a1[r];
+      if (f0 == 0.0f && f1 == 0.0f) continue;
+      float* crow = acc + r * cols;
+      const __m512 vf0 = _mm512_set1_ps(f0);
+      const __m512 vf1 = _mm512_set1_ps(f1);
+      size_t c = 0;
+      for (; c + 16 <= cols; c += 16) {
+        __m512 v = _mm512_loadu_ps(crow + c);
+        v = _mm512_fmadd_ps(vf0, _mm512_loadu_ps(b0 + c), v);
+        v = _mm512_fmadd_ps(vf1, _mm512_loadu_ps(b1 + c), v);
+        _mm512_storeu_ps(crow + c, v);
+      }
+      for (; c < cols; ++c) crow[c] += f0 * b0[c] + f1 * b1[c];
+    }
+  }
+  for (; s < batch; ++s) {
+    const float* arow = a + s * rows;
+    const float* brow = b + s * cols;
+    for (size_t r = 0; r < rows; ++r) {
+      const float f = alpha * arow[r];
+      if (f == 0.0f) continue;
+      float* crow = acc + r * cols;
+      const __m512 vf = _mm512_set1_ps(f);
+      size_t c = 0;
+      for (; c + 16 <= cols; c += 16) {
+        _mm512_storeu_ps(
+            crow + c, _mm512_fmadd_ps(vf, _mm512_loadu_ps(brow + c),
+                                      _mm512_loadu_ps(crow + c)));
+      }
+      for (; c < cols; ++c) crow[c] += f * brow[c];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise kernels: separate mul/add, scalar arithmetic order —
+// bit-identical to the scalar backend.
+
+void AddBiasRowsAvx512(float* __restrict m, size_t rows, size_t cols,
+                       const float* __restrict bias) {
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = m + r * cols;
+    size_t c = 0;
+    for (; c + 16 <= cols; c += 16) {
+      _mm512_storeu_ps(row + c, _mm512_add_ps(_mm512_loadu_ps(row + c),
+                                              _mm512_loadu_ps(bias + c)));
+    }
+    for (; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+void AddBiasReluRowsAvx512(float* __restrict m, size_t rows, size_t cols,
+                           const float* __restrict bias) {
+  const __m512 zero = _mm512_setzero_ps();
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = m + r * cols;
+    size_t c = 0;
+    for (; c + 16 <= cols; c += 16) {
+      const __m512 v = _mm512_add_ps(_mm512_loadu_ps(row + c),
+                                     _mm512_loadu_ps(bias + c));
+      _mm512_storeu_ps(row + c, _mm512_max_ps(v, zero));
+    }
+    for (; c < cols; ++c) {
+      const float v = row[c] + bias[c];
+      row[c] = v > 0.0f ? v : 0.0f;
+    }
+  }
+}
+
+void ReluMaskBackwardAvx512(float* __restrict delta,
+                            const float* __restrict act, size_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // Zero delta where act <= 0; an unordered act keeps its delta, like
+    // the scalar `if (act <= 0)`.
+    const __mmask16 le = _mm512_cmp_ps_mask(_mm512_loadu_ps(act + i), zero,
+                                            _CMP_LE_OQ);
+    _mm512_storeu_ps(delta + i,
+                     _mm512_mask_mov_ps(_mm512_loadu_ps(delta + i), le,
+                                        zero));
+  }
+  for (; i < n; ++i) {
+    if (act[i] <= 0.0f) delta[i] = 0.0f;
+  }
+}
+
+void SoftmaxRowsAvx512(float* m, size_t rows, size_t cols) {
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = m + r * cols;
+    float max_logit = row[0];
+    size_t c = 1;
+    if (cols >= 17) {
+      __m512 vmax = _mm512_loadu_ps(row);
+      c = 16;
+      for (; c + 16 <= cols; c += 16) {
+        vmax = _mm512_max_ps(vmax, _mm512_loadu_ps(row + c));
+      }
+      // Max is order-independent, so the reduced value matches the
+      // scalar backend bit for bit.
+      max_logit = _mm512_reduce_max_ps(vmax);
+    }
+    for (; c < cols; ++c) max_logit = std::max(max_logit, row[c]);
+    float total = 0.0f;
+    for (size_t cc = 0; cc < cols; ++cc) {
+      row[cc] = std::exp(row[cc] - max_logit);
+      total += row[cc];
+    }
+    const __m512 vtotal = _mm512_set1_ps(total);
+    size_t cc = 0;
+    for (; cc + 16 <= cols; cc += 16) {
+      _mm512_storeu_ps(row + cc,
+                       _mm512_div_ps(_mm512_loadu_ps(row + cc), vtotal));
+    }
+    for (; cc < cols; ++cc) row[cc] /= total;
+  }
+}
+
+void ColumnSumsAvx512(const float* __restrict m, size_t rows, size_t cols,
+                      float* __restrict out) {
+  for (size_t c = 0; c < cols; ++c) out[c] = 0.0f;
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = m + r * cols;
+    size_t c = 0;
+    for (; c + 16 <= cols; c += 16) {
+      _mm512_storeu_ps(out + c, _mm512_add_ps(_mm512_loadu_ps(out + c),
+                                              _mm512_loadu_ps(row + c)));
+    }
+    for (; c < cols; ++c) out[c] += row[c];
+  }
+}
+
+void SgdStepAvx512(float* __restrict p, const float* __restrict g, size_t n,
+                   float lr, float wd) {
+  const __m512 vlr = _mm512_set1_ps(lr);
+  const __m512 vwd = _mm512_set1_ps(wd);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 vp = _mm512_loadu_ps(p + i);
+    const __m512 step = _mm512_add_ps(_mm512_loadu_ps(g + i),
+                                      _mm512_mul_ps(vwd, vp));
+    _mm512_storeu_ps(p + i, _mm512_sub_ps(vp, _mm512_mul_ps(vlr, step)));
+  }
+  for (; i < n; ++i) p[i] -= lr * (g[i] + wd * p[i]);
+}
+
+void SgdMomentumStepAvx512(float* __restrict p, float* __restrict v,
+                           const float* __restrict g, size_t n, float lr,
+                           float momentum, float wd) {
+  const __m512 vlr = _mm512_set1_ps(lr);
+  const __m512 vmom = _mm512_set1_ps(momentum);
+  const __m512 vwd = _mm512_set1_ps(wd);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 vp = _mm512_loadu_ps(p + i);
+    const __m512 vv = _mm512_add_ps(
+        _mm512_add_ps(_mm512_mul_ps(vmom, _mm512_loadu_ps(v + i)),
+                      _mm512_loadu_ps(g + i)),
+        _mm512_mul_ps(vwd, vp));
+    _mm512_storeu_ps(v + i, vv);
+    _mm512_storeu_ps(p + i, _mm512_sub_ps(vp, _mm512_mul_ps(vlr, vv)));
+  }
+  for (; i < n; ++i) {
+    v[i] = momentum * v[i] + g[i] + wd * p[i];
+    p[i] -= lr * v[i];
+  }
+}
+
+void AddProximalAvx512(float* __restrict g, const float* __restrict p,
+                       const float* __restrict ref, size_t n, float mu) {
+  const __m512 vmu = _mm512_set1_ps(mu);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 diff = _mm512_sub_ps(_mm512_loadu_ps(p + i),
+                                      _mm512_loadu_ps(ref + i));
+    _mm512_storeu_ps(g + i, _mm512_add_ps(_mm512_loadu_ps(g + i),
+                                          _mm512_mul_ps(vmu, diff)));
+  }
+  for (; i < n; ++i) g[i] += mu * (p[i] - ref[i]);
+}
+
+const KernelTable kAvx512Table = {
+    MatMulBodyAvx512,      AddOuterBatchAvx512, AddBiasRowsAvx512,
+    AddBiasReluRowsAvx512, ReluMaskBackwardAvx512, SoftmaxRowsAvx512,
+    ColumnSumsAvx512,      SgdStepAvx512,       SgdMomentumStepAvx512,
+    AddProximalAvx512,
+};
+
+}  // namespace
+
+const KernelTable* Avx512KernelTable() { return &kAvx512Table; }
+
+}  // namespace internal
+}  // namespace fedshap
+
+#else  // !__AVX512F__
+
+namespace fedshap {
+namespace internal {
+
+const KernelTable* Avx512KernelTable() { return nullptr; }
+
+}  // namespace internal
+}  // namespace fedshap
+
+#endif

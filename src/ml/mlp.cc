@@ -133,7 +133,7 @@ double Mlp::ComputeGradientBatched(const Dataset& data,
 
   // Per-thread scratch: gradient steps run once per minibatch, so these
   // amortize to zero allocations per epoch.
-  static thread_local std::vector<float> xb, w1t, h, w2t, probs, dh;
+  static thread_local AlignedFloats xb, w1t, h, w2t, probs, dh;
   GatherRows(data, batch, xb);
 
   // Hidden layer: H = relu(X * W1^T + b1). W1 is transposed once per

@@ -8,7 +8,7 @@
 namespace fedshap {
 
 void GatherRows(const Dataset& data, const std::vector<size_t>& batch,
-                std::vector<float>& out) {
+                AlignedFloats& out) {
   const size_t dim = static_cast<size_t>(data.num_features());
   out.resize(batch.size() * dim);
   float* dst = out.data();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "ml/matrix.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -103,10 +104,11 @@ class Model {
 };
 
 /// Copies the selected rows of `data` into one contiguous row-major
-/// batch x num_features() matrix (`out` is resized). The gather step every
-/// batched gradient path starts with.
+/// batch x num_features() matrix (`out` is resized, 64-byte-aligned so
+/// the SIMD kernel backends load it without split cache lines). The
+/// gather step every batched gradient path starts with.
 void GatherRows(const Dataset& data, const std::vector<size_t>& batch,
-                std::vector<float>& out);
+                AlignedFloats& out);
 
 /// Numerically estimates d(loss)/d(params) by central differences; used by
 /// the gradient-check tests. O(NumParameters) loss evaluations — test-sized

@@ -454,6 +454,11 @@ void ValuationService::RunSlice(const std::string& name, Job& job,
   const JobSpec spec = job.spec;
   lock.unlock();
 
+  // This worker thread is one compute thread for the slice's duration:
+  // lease its slot from the global budget so TrainFedAvg calls nested
+  // under a fully-busy service fan no further (see util/thread_pool.h).
+  WorkerBudget::Lease compute_slot(WorkerBudget::Global(), 1);
+
   bool finished = false;
   ValuationResult result;
   std::string error;

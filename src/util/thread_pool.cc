@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace fedshap {
 
@@ -49,6 +50,76 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
 int ThreadPool::DefaultThreads() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  if (pool_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+WorkerBudget::WorkerBudget(int total) : total_(std::max(1, total)) {}
+
+WorkerBudget& WorkerBudget::Global() {
+  static WorkerBudget* budget = [] {
+    int total = ThreadPool::DefaultThreads();
+    if (const char* env = std::getenv("FEDSHAP_WORKER_BUDGET")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) total = parsed;
+    }
+    return new WorkerBudget(total);
+  }();
+  return *budget;
+}
+
+int WorkerBudget::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+int WorkerBudget::in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_use_;
+}
+
+void WorkerBudget::SetTotal(int total) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_ = std::max(1, total);
+}
+
+int WorkerBudget::TryAcquire(int wanted) {
+  if (wanted <= 0) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int granted = std::clamp(total_ - in_use_, 0, wanted);
+  in_use_ += granted;
+  return granted;
+}
+
+void WorkerBudget::Release(int granted) {
+  if (granted <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_use_ -= granted;
+}
+
+ThreadPool* SharedTrainingPool() {
+  static ThreadPool* pool = new ThreadPool(ThreadPool::DefaultThreads());
+  return pool;
 }
 
 void ThreadPool::WorkerLoop() {

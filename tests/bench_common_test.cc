@@ -4,7 +4,10 @@
 
 #include "bench/common.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -35,6 +38,39 @@ TEST(BenchOptionsTest, QuickFlagAndInvalidScale) {
   const char* bad[] = {"bench", "--scale=-3"};
   EXPECT_DOUBLE_EQ(BenchOptions::Parse(2, const_cast<char**>(bad)).scale,
                    1.0);
+}
+
+TEST(BenchOptionsTest, ParsesJsonFlag) {
+  const char* argv[] = {"bench", "--json=/tmp/out.json"};
+  BenchOptions options = BenchOptions::Parse(2, const_cast<char**>(argv));
+  EXPECT_EQ(options.json, "/tmp/out.json");
+  EXPECT_TRUE(BenchOptions().json.empty());
+}
+
+TEST(BenchJsonTest, WritesRecordsWithProvenance) {
+  BenchJson json("unit_test");
+  json.Add("case_a").Label("backend", "scalar").Metric("seconds", 0.5);
+  json.Add("case_b").Metric("speedup", 2.0);
+  EXPECT_FALSE(json.empty());
+  const std::string path = ::testing::TempDir() + "bench_json_test.json";
+  ASSERT_TRUE(json.WriteTo(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  EXPECT_NE(content.find("\"bench\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(content.find("\"kernel_backend\""), std::string::npos);
+  EXPECT_NE(content.find("\"worker_budget\""), std::string::npos);
+  EXPECT_NE(content.find("\"case_a\""), std::string::npos);
+  EXPECT_NE(content.find("\"speedup\": 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchJsonTest, EmptyPathIsNoop) {
+  BenchJson json("unit_test");
+  json.Add("x").Metric("v", 1.0);
+  EXPECT_TRUE(json.WriteTo("").ok());
 }
 
 TEST(BenchOptionsTest, ScaledRowsHasFloor) {

@@ -92,6 +92,68 @@ TEST(DatasetTest, MergeRejectsSchemaMismatch) {
   EXPECT_FALSE(Dataset::Merge({&a, &c}).ok());
 }
 
+TEST(DatasetViewTest, GatherMatchesMergeRowForRow) {
+  Dataset a = MakeToy(2);
+  Dataset b = MakeToy(3);
+  Result<Dataset> merged = Dataset::Merge({&a, &b});
+  ASSERT_TRUE(merged.ok());
+  Result<DatasetView> view = DatasetView::Gather({&a, &b});
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->size(), merged->size());
+  EXPECT_EQ(view->num_features(), merged->num_features());
+  EXPECT_EQ(view->num_classes(), merged->num_classes());
+  for (size_t i = 0; i < view->size(); ++i) {
+    EXPECT_EQ(view->Target(i), merged->Target(i)) << "row " << i;
+    EXPECT_EQ(view->ClassLabel(i), merged->ClassLabel(i)) << "row " << i;
+    for (int f = 0; f < view->num_features(); ++f) {
+      EXPECT_EQ(view->Row(i)[f], merged->Row(i)[f])
+          << "row " << i << " feature " << f;
+    }
+  }
+}
+
+TEST(DatasetViewTest, RowsAliasTheViewedStorageNoCopies) {
+  Dataset a = MakeToy(3);
+  Result<DatasetView> view = DatasetView::Gather({&a});
+  ASSERT_TRUE(view.ok());
+  for (size_t i = 0; i < view->size(); ++i) {
+    EXPECT_EQ(view->Row(i), a.Row(i)) << "row pointer " << i;
+  }
+}
+
+TEST(DatasetViewTest, GatherSkipsNullAndEmptyParts) {
+  Dataset a = MakeToy(2);
+  Result<Dataset> empty = Dataset::Create(3, 2);
+  ASSERT_TRUE(empty.ok());
+  Result<DatasetView> view =
+      DatasetView::Gather({nullptr, &a, &empty.value()});
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 2u);
+}
+
+TEST(DatasetViewTest, GatherAllEmptyYieldsEmptyView) {
+  Result<DatasetView> view = DatasetView::Gather({});
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->empty());
+  EXPECT_EQ(view->size(), 0u);
+}
+
+TEST(DatasetViewTest, GatherRejectsSchemaMismatch) {
+  Dataset a = MakeToy(2, 3, 2);
+  Dataset b = MakeToy(2, 4, 2);
+  EXPECT_FALSE(DatasetView::Gather({&a, &b}).ok());
+  Dataset c = MakeToy(2, 3, 5);
+  EXPECT_FALSE(DatasetView::Gather({&a, &c}).ok());
+}
+
+TEST(DatasetViewTest, OfViewsWholeDataset) {
+  Dataset a = MakeToy(4);
+  DatasetView view = DatasetView::Of(a);
+  ASSERT_EQ(view.size(), a.size());
+  EXPECT_EQ(view.Row(0), a.Row(0));
+  EXPECT_EQ(view.Target(3), a.Target(3));
+}
+
 TEST(DatasetTest, ShuffleKeepsRowIntegrity) {
   Dataset d = MakeToy(20);
   Rng rng(1);

@@ -29,6 +29,7 @@
 #include "data/synthetic.h"
 #include "fl/utility.h"
 #include "fl/utility_cache.h"
+#include "ml/kernel_backend.h"
 #include "ml/mlp.h"
 #include "test_util.h"
 #include "util/logging.h"
@@ -199,6 +200,11 @@ TEST(GoldenValues, FedAvgMlpFourClients) {
 
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
+  // Golden numbers are pinned to the scalar kernel backend: SIMD
+  // backends round GEMM reductions differently, and goldens must stay
+  // portable across machines with different vector units.
+  FEDSHAP_CHECK(
+      fedshap::SetKernelBackend(fedshap::KernelBackend::kScalar).ok());
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--update-golden") {
       fedshap::g_update_golden = true;

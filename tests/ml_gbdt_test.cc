@@ -27,6 +27,36 @@ TEST(GbdtTest, FitsSeparableData) {
   EXPECT_GT(booster.EvaluateAccuracy(data), 0.95);
 }
 
+TEST(GbdtTest, FitOnGatheredViewMatchesFitOnMergedDataset) {
+  // The coalition-evaluation path fits a row-pointer view over the
+  // member shards; it must produce the *identical* ensemble (same
+  // logits everywhere) as fitting the materialized merge — this is what
+  // keeps persisted GBDT utilities valid across the gather refactor.
+  Dataset a = MakeBinary(150, 31);
+  Dataset b = MakeBinary(90, 32);
+  Dataset c = MakeBinary(120, 33);
+  Result<Dataset> merged = Dataset::Merge({&a, &b, &c});
+  ASSERT_TRUE(merged.ok());
+  Result<DatasetView> view = DatasetView::Gather({&a, &b, &c});
+  ASSERT_TRUE(view.ok());
+
+  GbdtConfig config;
+  config.num_trees = 12;
+  config.max_depth = 3;
+  Gbdt from_merge(config);
+  ASSERT_TRUE(from_merge.Fit(*merged).ok());
+  Gbdt from_view(config);
+  ASSERT_TRUE(from_view.Fit(*view).ok());
+
+  ASSERT_EQ(from_view.num_trees(), from_merge.num_trees());
+  Dataset probe = MakeBinary(200, 34);
+  for (size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_EQ(from_view.PredictLogit(probe.Row(i)),
+              from_merge.PredictLogit(probe.Row(i)))
+        << "row " << i;
+  }
+}
+
 TEST(GbdtTest, GeneralizesToHeldOut) {
   Dataset train = MakeBinary(800, 2);
   Dataset test = MakeBinary(300, 3);

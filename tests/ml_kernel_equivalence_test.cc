@@ -7,6 +7,13 @@
 /// documented in ml/matrix.h: |batched - reference| <= kKernelAbsTol +
 /// kKernelRelTol * |reference| per element; element-wise kernels must
 /// match to float rounding.
+///
+/// The whole suite is *parameterized over every kernel backend this
+/// machine can execute* (scalar, AVX2, AVX-512 — see
+/// ml/kernel_backend.h): each TEST_P below runs once per backend with
+/// the dispatch table pinned to it, so a vector backend that drifts
+/// from the contract fails here by name. Element-wise kernels are
+/// additionally cross-checked *bitwise* against the scalar backend.
 
 #include <cmath>
 #include <vector>
@@ -15,6 +22,7 @@
 
 #include "data/synthetic.h"
 #include "ml/cnn.h"
+#include "ml/kernel_backend.h"
 #include "ml/linear_regression.h"
 #include "ml/logistic_regression.h"
 #include "ml/matrix.h"
@@ -46,6 +54,40 @@ void ExpectAllClose(const std::vector<float>& actual,
   }
 }
 
+/// Every backend compiled into this binary that the CPU can execute.
+std::vector<KernelBackend> AvailableBackends() {
+  std::vector<KernelBackend> backends;
+  for (KernelBackend backend :
+       {KernelBackend::kScalar, KernelBackend::kAvx2,
+        KernelBackend::kAvx512}) {
+    if (KernelBackendAvailable(backend)) backends.push_back(backend);
+  }
+  return backends;
+}
+
+/// Pins the dispatch table to the parameter backend for the test body,
+/// restoring the entry backend afterwards.
+class KernelBackendSuite : public ::testing::TestWithParam<KernelBackend> {
+ protected:
+  void SetUp() override {
+    original_ = SelectedKernelBackend();
+    ASSERT_TRUE(SetKernelBackend(GetParam()).ok());
+  }
+  void TearDown() override {
+    ASSERT_TRUE(SetKernelBackend(original_).ok());
+  }
+
+ private:
+  KernelBackend original_ = KernelBackend::kScalar;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, KernelBackendSuite,
+    ::testing::ValuesIn(AvailableBackends()),
+    [](const ::testing::TestParamInfo<KernelBackend>& info) {
+      return std::string(KernelBackendName(info.param));
+    });
+
 /// Random shapes that exercise the 4-row / 2-k remainder paths: every
 /// dimension is drawn from [1, 40] so tiles of 4 and unrolls of 2 hit
 /// partial iterations constantly.
@@ -71,7 +113,7 @@ std::vector<Shape> RandomShapes(uint64_t seed) {
 // ---------------------------------------------------------------------------
 // Raw kernel cross-checks
 
-TEST(KernelEquivalence, MatMulMatchesNaive) {
+TEST_P(KernelBackendSuite, MatMulMatchesNaive) {
   for (Shape s : RandomShapes(11)) {
     Rng rng(s.m * 131 + s.k * 17 + s.n);
     std::vector<float> a = RandomBuffer(s.m * s.k, rng);
@@ -92,7 +134,7 @@ TEST(KernelEquivalence, MatMulMatchesNaive) {
   }
 }
 
-TEST(KernelEquivalence, MatMulAccAccumulatesOntoSeed) {
+TEST_P(KernelBackendSuite, MatMulAccAccumulatesOntoSeed) {
   for (Shape s : RandomShapes(13)) {
     Rng rng(s.m * 7 + s.k * 3 + s.n);
     std::vector<float> a = RandomBuffer(s.m * s.k, rng);
@@ -114,7 +156,7 @@ TEST(KernelEquivalence, MatMulAccAccumulatesOntoSeed) {
   }
 }
 
-TEST(KernelEquivalence, MatTMatMatchesNaive) {
+TEST_P(KernelBackendSuite, MatTMatMatchesNaive) {
   for (Shape s : RandomShapes(17)) {
     // Here m is the shared (batch) dimension: a is m x k, b is m x n.
     Rng rng(s.m + s.k * 29 + s.n * 5);
@@ -134,7 +176,7 @@ TEST(KernelEquivalence, MatTMatMatchesNaive) {
   }
 }
 
-TEST(KernelEquivalence, AddOuterBatchMatchesNaiveWithAlphaAndSparsity) {
+TEST_P(KernelBackendSuite, AddOuterBatchMatchesNaiveWithAlphaAndSparsity) {
   for (Shape s : RandomShapes(19)) {
     Rng rng(s.m * 41 + s.k + s.n * 11);
     const float alpha = static_cast<float>(rng.Uniform(0.25, 2.0));
@@ -182,7 +224,7 @@ TEST(KernelEquivalence, TransposeIsExact) {
   }
 }
 
-TEST(KernelEquivalence, BiasReluAndMaskKernelsAreExact) {
+TEST_P(KernelBackendSuite, BiasReluAndMaskKernelsAreExact) {
   Rng rng(29);
   const size_t rows = 13, cols = 27;
   std::vector<float> m = RandomBuffer(rows * cols, rng);
@@ -209,7 +251,7 @@ TEST(KernelEquivalence, BiasReluAndMaskKernelsAreExact) {
   }
 }
 
-TEST(KernelEquivalence, SoftmaxRowsMatchesSoftmaxInPlaceBitwise) {
+TEST_P(KernelBackendSuite, SoftmaxRowsMatchesSoftmaxInPlaceBitwise) {
   Rng rng(31);
   const size_t rows = 9, cols = 10;
   std::vector<float> m = RandomBuffer(rows * cols, rng, -4.0, 4.0);
@@ -224,7 +266,7 @@ TEST(KernelEquivalence, SoftmaxRowsMatchesSoftmaxInPlaceBitwise) {
   }
 }
 
-TEST(KernelEquivalence, ColumnSumsMatchesRowOrderAccumulationBitwise) {
+TEST_P(KernelBackendSuite, ColumnSumsMatchesRowOrderAccumulationBitwise) {
   Rng rng(37);
   const size_t rows = 21, cols = 15;
   std::vector<float> m = RandomBuffer(rows * cols, rng);
@@ -237,7 +279,7 @@ TEST(KernelEquivalence, ColumnSumsMatchesRowOrderAccumulationBitwise) {
   for (size_t c = 0; c < cols; ++c) EXPECT_EQ(out[c], ref[c]);
 }
 
-TEST(KernelEquivalence, FusedSgdStepsMatchScalarLoops) {
+TEST_P(KernelBackendSuite, FusedSgdStepsMatchScalarLoops) {
   Rng rng(41);
   const size_t n = 137;  // odd length: exercises vector tails
   const float lr = 0.05f, wd = 1e-3f, momentum = 0.9f, mu = 0.01f;
@@ -336,7 +378,7 @@ TEST(ModelEquivalence, LogisticRegressionBatchedMatchesReference) {
   }
 }
 
-TEST(ModelEquivalence, MlpBatchedMatchesReference) {
+TEST_P(KernelBackendSuite, MlpBatchedMatchesReference) {
   Rng shape_rng(53);
   for (int trial = 0; trial < 6; ++trial) {
     const int dim = static_cast<int>(shape_rng.UniformInt(2, 48));
@@ -352,7 +394,7 @@ TEST(ModelEquivalence, MlpBatchedMatchesReference) {
   }
 }
 
-TEST(ModelEquivalence, CnnBatchedMatchesReference) {
+TEST_P(KernelBackendSuite, CnnBatchedMatchesReference) {
   Rng shape_rng(59);
   for (int trial = 0; trial < 4; ++trial) {
     const int side = static_cast<int>(shape_rng.UniformInt(6, 10));
@@ -396,6 +438,125 @@ TEST(ModelEquivalence, BatchedGradientAgreesWithNumericalGradient) {
   ASSERT_GT(na, 0.0);
   ASSERT_GT(nn, 0.0);
   EXPECT_GT(dot / std::sqrt(na * nn), 0.999);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend checks: the scalar backend is the reference. GEMM-shaped
+// kernels agree within the tolerance contract; element-wise kernels are
+// bit-identical (they run the same per-element arithmetic order).
+
+/// Runs `fn` under `backend`, restoring the entry backend afterwards.
+template <typename Fn>
+void WithBackend(KernelBackend backend, Fn fn) {
+  const KernelBackend original = SelectedKernelBackend();
+  ASSERT_TRUE(SetKernelBackend(backend).ok());
+  fn();
+  ASSERT_TRUE(SetKernelBackend(original).ok());
+}
+
+TEST(CrossBackendEquivalence, GemmKernelsMatchScalarWithinTolerance) {
+  for (Shape s : RandomShapes(61)) {
+    Rng rng(s.m * 3 + s.k * 7 + s.n * 13);
+    std::vector<float> a = RandomBuffer(s.m * s.k, rng);
+    std::vector<float> b = RandomBuffer(s.k * s.n, rng);
+    std::vector<float> scalar_out(s.m * s.n, 0.0f);
+    WithBackend(KernelBackend::kScalar, [&] {
+      MatMul(a.data(), s.m, s.k, b.data(), s.n, scalar_out.data());
+    });
+    for (KernelBackend backend : AvailableBackends()) {
+      if (backend == KernelBackend::kScalar) continue;
+      SCOPED_TRACE(KernelBackendName(backend));
+      std::vector<float> vector_out(s.m * s.n, -1.0f);
+      WithBackend(backend, [&] {
+        MatMul(a.data(), s.m, s.k, b.data(), s.n, vector_out.data());
+      });
+      ExpectAllClose(vector_out, scalar_out, "MatMul cross-backend");
+    }
+  }
+}
+
+TEST(CrossBackendEquivalence, ElementwiseKernelsBitIdenticalToScalar) {
+  Rng rng(67);
+  const size_t rows = 11, cols = 37;  // odd sizes: vector tails
+  const size_t n = rows * cols;
+  const float lr = 0.07f, wd = 2e-3f, momentum = 0.85f, mu = 0.02f;
+  std::vector<float> m0 = RandomBuffer(n, rng);
+  std::vector<float> bias = RandomBuffer(cols, rng);
+  std::vector<float> p0 = RandomBuffer(n, rng);
+  std::vector<float> v0 = RandomBuffer(n, rng);
+  std::vector<float> g0 = RandomBuffer(n, rng);
+  std::vector<float> ref = RandomBuffer(n, rng);
+  std::vector<float> logits = RandomBuffer(n, rng, -4.0, 4.0);
+
+  struct Snapshot {
+    std::vector<float> biased, relu, masked, softmax, sums, p, v, p2, v2, g;
+  };
+  auto run_all = [&] {
+    Snapshot out;
+    out.biased = m0;
+    AddBiasRows(out.biased.data(), rows, cols, bias.data());
+    out.relu = m0;
+    AddBiasReluRows(out.relu.data(), rows, cols, bias.data());
+    out.masked = g0;
+    ReluMaskBackward(out.masked.data(), out.relu.data(), n);
+    out.softmax = logits;
+    SoftmaxRows(out.softmax.data(), rows, cols);
+    out.sums.resize(cols);
+    ColumnSums(m0.data(), rows, cols, out.sums.data());
+    out.p = p0;
+    SgdStep(out.p.data(), g0.data(), n, lr, wd);
+    out.p2 = p0;
+    out.v2 = v0;
+    SgdMomentumStep(out.p2.data(), out.v2.data(), g0.data(), n, lr,
+                    momentum, wd);
+    out.g = g0;
+    AddProximal(out.g.data(), p0.data(), ref.data(), n, mu);
+    return out;
+  };
+
+  Snapshot scalar;
+  WithBackend(KernelBackend::kScalar, [&] { scalar = run_all(); });
+  for (KernelBackend backend : AvailableBackends()) {
+    if (backend == KernelBackend::kScalar) continue;
+    SCOPED_TRACE(KernelBackendName(backend));
+    Snapshot vec;
+    WithBackend(backend, [&] { vec = run_all(); });
+    auto expect_bits = [](const std::vector<float>& actual,
+                          const std::vector<float>& expected,
+                          const char* what) {
+      ASSERT_EQ(actual.size(), expected.size()) << what;
+      for (size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_EQ(actual[i], expected[i]) << what << " element " << i;
+      }
+    };
+    expect_bits(vec.biased, scalar.biased, "AddBiasRows");
+    expect_bits(vec.relu, scalar.relu, "AddBiasReluRows");
+    expect_bits(vec.masked, scalar.masked, "ReluMaskBackward");
+    expect_bits(vec.softmax, scalar.softmax, "SoftmaxRows");
+    expect_bits(vec.sums, scalar.sums, "ColumnSums");
+    expect_bits(vec.p, scalar.p, "SgdStep");
+    expect_bits(vec.p2, scalar.p2, "SgdMomentumStep param");
+    expect_bits(vec.v2, scalar.v2, "SgdMomentumStep velocity");
+    expect_bits(vec.g, scalar.g, "AddProximal");
+  }
+}
+
+TEST(CrossBackendEquivalence, FixedBackendIsDeterministicAcrossRuns) {
+  for (KernelBackend backend : AvailableBackends()) {
+    SCOPED_TRACE(KernelBackendName(backend));
+    Rng rng(71);
+    const size_t m = 13, k = 29, n = 21;
+    std::vector<float> a = RandomBuffer(m * k, rng);
+    std::vector<float> b = RandomBuffer(k * n, rng);
+    std::vector<float> first(m * n), second(m * n);
+    WithBackend(backend, [&] {
+      MatMul(a.data(), m, k, b.data(), n, first.data());
+      MatMul(a.data(), m, k, b.data(), n, second.data());
+    });
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i], second[i]) << "element " << i;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

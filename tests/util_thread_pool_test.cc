@@ -80,5 +80,106 @@ TEST(ThreadPoolTest, DestructionWithPendingWorkCompletes) {
   EXPECT_EQ(counter.load(), 20);
 }
 
+TEST(TaskGroupTest, WaitsOnlyForOwnTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> own{0};
+  std::atomic<bool> release_other{false};
+  // A long-running foreign task occupies the pool...
+  pool.Submit([&release_other] {
+    while (!release_other.load()) std::this_thread::yield();
+  });
+  // ...while the group's own short tasks complete and Wait returns
+  // without waiting for the foreign task (WaitIdle would hang here).
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Run([&own] { own.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(own.load(), 8);
+  release_other.store(true);
+  pool.WaitIdle();
+}
+
+TEST(TaskGroupTest, NullPoolRunsInline) {
+  TaskGroup group(nullptr);
+  int runs = 0;
+  group.Run([&runs] { ++runs; });
+  group.Run([&runs] { ++runs; });
+  group.Wait();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(TaskGroupTest, ConcurrentGroupsShareOnePoolWithoutCrosstalk) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&pool, &total] {
+      TaskGroup group(&pool);
+      for (int i = 0; i < 16; ++i) {
+        group.Run([&total] { total.fetch_add(1); });
+      }
+      group.Wait();
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(WorkerBudgetTest, GrantsUpToTotalAndReleases) {
+  WorkerBudget budget(4);
+  EXPECT_EQ(budget.total(), 4);
+  EXPECT_EQ(budget.TryAcquire(3), 3);
+  EXPECT_EQ(budget.in_use(), 3);
+  EXPECT_EQ(budget.TryAcquire(3), 1);  // only one slot left
+  EXPECT_EQ(budget.TryAcquire(1), 0);  // exhausted: callers go sequential
+  budget.Release(1);
+  EXPECT_EQ(budget.TryAcquire(5), 1);
+  budget.Release(3);
+  budget.Release(1);
+  EXPECT_EQ(budget.in_use(), 0);
+}
+
+TEST(WorkerBudgetTest, LeaseIsScoped) {
+  WorkerBudget budget(2);
+  {
+    WorkerBudget::Lease outer(budget, 2);
+    EXPECT_EQ(outer.granted(), 2);
+    WorkerBudget::Lease nested(budget, 2);
+    // The nested layer sees a saturated budget: the oversubscription
+    // guard that keeps TrainFedAvg sequential under EvaluateBatch.
+    EXPECT_EQ(nested.granted(), 0);
+  }
+  EXPECT_EQ(budget.in_use(), 0);
+}
+
+TEST(WorkerBudgetTest, ZeroAndNegativeWantedAreNoops) {
+  WorkerBudget budget(2);
+  EXPECT_EQ(budget.TryAcquire(0), 0);
+  EXPECT_EQ(budget.TryAcquire(-3), 0);
+  budget.Release(0);
+  budget.Release(-1);
+  EXPECT_EQ(budget.in_use(), 0);
+}
+
+TEST(WorkerBudgetTest, TotalClampedToOne) {
+  WorkerBudget budget(0);
+  EXPECT_EQ(budget.total(), 1);
+  budget.SetTotal(-5);
+  EXPECT_EQ(budget.total(), 1);
+}
+
+TEST(SharedTrainingPoolTest, IsSingletonAndUsable) {
+  ThreadPool* pool = SharedTrainingPool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool, SharedTrainingPool());
+  EXPECT_GE(pool->num_threads(), 1);
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  group.Run([&ran] { ran.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
 }  // namespace
 }  // namespace fedshap

@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "ml/kernel_backend.h"
 #include "service/job_spec.h"
 #include "service/valuation_service.h"
 #include "util/serialization.h"
@@ -162,6 +163,9 @@ int RunService(const CliOptions& options,
               options.workers, recovered_jobs, new_jobs.size());
 
   if (options.status_only) {
+    // Provenance first: perf numbers in the job table are attributable
+    // to this backend + worker budget (see ml/kernel_backend.h).
+    std::printf("[fedshapd] %s\n", KernelProvenanceString().c_str());
     for (const JobStatus& status : service.ListJobs()) {
       PrintJobLine(status);
     }
