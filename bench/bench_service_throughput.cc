@@ -7,6 +7,7 @@
 ///   ./bench_service_throughput                      # real FedAvg trainings
 ///   ./bench_service_throughput --scenario=linreg    # closed-form, instant
 ///   ./bench_service_throughput --workers=8 --n=7
+///   ./bench_service_throughput --store-dir=/tmp/svc   # persistent stores
 ///
 /// Output: one row per job (isolated trainings vs fresh trainings under
 /// the shared service, reuse, value agreement) and aggregate dedup /
@@ -34,12 +35,20 @@ struct Options {
   std::string scenario = "digits";
   uint64_t seed = 2025;
   std::string json;  // --json=<path> / FEDSHAP_BENCH_JSON: BenchJson output
+  // --store-dir=<dir> / FEDSHAP_BENCH_STORE_DIR: state directory for the
+  // shared service run, so every workload opens its persistent segmented
+  // utility store and the report carries segment/eviction stats. Empty =
+  // memory-only (the historical behavior).
+  std::string store_dir;
 };
 
 Options ParseArgs(int argc, char** argv) {
   Options options;
   if (const char* env = std::getenv("FEDSHAP_BENCH_JSON")) {
     options.json = env;
+  }
+  if (const char* env = std::getenv("FEDSHAP_BENCH_STORE_DIR")) {
+    options.store_dir = env;
   }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,6 +62,8 @@ Options ParseArgs(int argc, char** argv) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--json=", 0) == 0) {
       options.json = arg.substr(7);
+    } else if (arg.rfind("--store-dir=", 0) == 0) {
+      options.store_dir = arg.substr(12);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -144,6 +155,7 @@ int main(int argc, char** argv) {
   // table — overlapping jobs dedup through the single-flight cache.
   ServiceConfig config;
   config.workers = options.workers;
+  config.state_dir = options.store_dir;
   ValuationService service(config);
   Stopwatch shared_timer;
   for (const JobSpec& spec : jobs) {
@@ -198,6 +210,14 @@ int main(int argc, char** argv) {
               shared_wall > 0 ? jobs.size() / shared_wall : 0.0);
   std::printf("  values identical to isolated:  %s\n",
               all_equal ? "yes" : "NO");
+  if (!options.store_dir.empty()) {
+    std::printf("  store entries/segments/bytes:  %zu / %zu / %llu "
+                "(mapped %llu, evictions %zu, compactions %zu)\n",
+                stats.store_entries, stats.store_segments,
+                static_cast<unsigned long long>(stats.store_bytes),
+                static_cast<unsigned long long>(stats.store_mapped_bytes),
+                stats.store_evictions, stats.store_compactions);
+  }
 
   bench::BenchJson json("service_throughput");
   json.Add("aggregate")
@@ -219,6 +239,18 @@ int main(int argc, char** argv) {
       .Metric("jobs_per_second",
               shared_wall > 0 ? jobs.size() / shared_wall : 0.0)
       .Metric("values_identical", all_equal ? 1.0 : 0.0);
+  json.Add("store")
+      .Label("scenario", options.scenario)
+      .Label("persistent", options.store_dir.empty() ? "no" : "yes")
+      .Metric("entries", static_cast<double>(stats.store_entries))
+      .Metric("segments", static_cast<double>(stats.store_segments))
+      .Metric("bytes", static_cast<double>(stats.store_bytes))
+      .Metric("mapped_bytes",
+              static_cast<double>(stats.store_mapped_bytes))
+      .Metric("evictions", static_cast<double>(stats.store_evictions))
+      .Metric("compactions", static_cast<double>(stats.store_compactions))
+      .Metric("current_rss_bytes",
+              static_cast<double>(bench::CurrentRssBytes()));
   if (Status written = json.WriteTo(options.json); !written.ok()) {
     std::fprintf(stderr, "bench JSON write failed: %s\n",
                  written.ToString().c_str());

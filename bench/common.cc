@@ -40,6 +40,9 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
   if (const char* env = std::getenv("FEDSHAP_BENCH_CACHE_FILE")) {
     options.cache_file = env;
   }
+  if (const char* env = std::getenv("FEDSHAP_BENCH_STORE_DIR")) {
+    options.store_dir = env;
+  }
   if (const char* env = std::getenv("FEDSHAP_BENCH_JSON")) {
     options.json = env;
   }
@@ -57,6 +60,8 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.batch_size = std::atoi(arg.c_str() + 13);
     } else if (arg.rfind("--cache-file=", 0) == 0) {
       options.cache_file = arg.substr(13);
+    } else if (arg.rfind("--store-dir=", 0) == 0) {
+      options.store_dir = arg.substr(12);
     } else if (arg == "--resume") {
       options.resume = true;
     } else if (arg.rfind("--json=", 0) == 0) {
@@ -75,6 +80,36 @@ size_t BenchOptions::ScaledRows(size_t rows) const {
   return std::max<size_t>(scaled, 64);
 }
 
+namespace {
+
+/// Reads a `<field>  1234 kB` line from /proc/self/status (Linux); other
+/// platforms get 0, and consumers treat 0 as "no reading".
+uint64_t ReadRssBytes(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t bytes = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, std::strlen(field)) != 0) continue;
+    bytes = std::strtoull(line + std::strlen(field), nullptr, 10) * 1024;
+    break;
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+std::string BenchOptions::StoreStem() const {
+  if (!cache_file.empty()) return cache_file;
+  if (!store_dir.empty()) return store_dir + "/utilities";
+  return "";
+}
+
+uint64_t PeakRssBytes() { return ReadRssBytes("VmHWM:"); }
+
+uint64_t CurrentRssBytes() { return ReadRssBytes("VmRSS:"); }
+
 void PrintRunHeader(const char* title, const BenchOptions& options,
                     bool runner_backed) {
   std::printf("=== %s ===\n", title);
@@ -88,7 +123,7 @@ void PrintRunHeader(const char* title, const BenchOptions& options,
         "resume=%s\n",
         options.scale, static_cast<unsigned long long>(options.seed),
         options.threads, batch,
-        options.cache_file.empty() ? "(none)" : options.cache_file.c_str(),
+        options.StoreStem().empty() ? "(none)" : options.StoreStem().c_str(),
         options.resume ? "yes" : "no");
   } else {
     std::printf(
@@ -175,7 +210,8 @@ Status BenchJson::WriteTo(const std::string& path) const {
   out += "    \"worker_budget\": " +
          std::to_string(WorkerBudget::Global().total()) + ",\n";
   out += "    \"hardware_threads\": " +
-         std::to_string(ThreadPool::DefaultThreads()) + "\n";
+         std::to_string(ThreadPool::DefaultThreads()) + ",\n";
+  out += "    \"peak_rss_bytes\": " + std::to_string(PeakRssBytes()) + "\n";
   out += "  },\n  \"records\": [\n";
   for (size_t i = 0; i < records_.size(); ++i) {
     const Record& record = records_[i];
@@ -529,13 +565,14 @@ ScenarioRunner::ScenarioRunner(Scenario scenario, int threads)
 ScenarioRunner::ScenarioRunner(Scenario scenario,
                                const BenchOptions& options)
     : ScenarioRunner(std::move(scenario), options.threads) {
-  if (options.cache_file.empty()) return;
-  // Flush after every training: one bench utility evaluation is a full
-  // FL training, so file-rewrite cost is noise next to what a crash
-  // would otherwise lose.
+  const std::string stem = options.StoreStem();
+  if (stem.empty()) return;
+  // Flush after every training (flush_bytes=1: any appended byte trips
+  // the interval): one bench utility evaluation is a full FL training,
+  // so fsync cost is noise next to what a crash would otherwise lose.
   Result<std::unique_ptr<UtilityStore>> store =
-      OpenAndAttachStore(options.cache_file, options.resume,
-                         *scenario_.utility, cache_, /*flush_every=*/1);
+      OpenAndAttachStore(stem, options.resume, *scenario_.utility, cache_,
+                         /*flush_bytes=*/1);
   FEDSHAP_CHECK_OK(store.status());
   store_ = std::move(store).value();
   std::printf("[cache] %s: %zu utilities loaded (%s)\n",

@@ -49,12 +49,18 @@ namespace bench {
 ///                     readable from FEDSHAP_BENCH_JSON. CI uses this to
 ///                     archive BENCH_*.json artifacts per run so the
 ///                     perf trajectory is tracked over time.
+///   --store-dir=<dir> directory for persistent utility stores; also
+///                     readable from FEDSHAP_BENCH_STORE_DIR. Shorthand
+///                     for --cache-file=<dir>/utilities (the per-workload
+///                     store directories land under `dir`); an explicit
+///                     --cache-file wins.
 struct BenchOptions {
   double scale = 1.0;
   uint64_t seed = 2025;
   int threads = 1;
   int batch_size = 0;  // 0 = scenario default
   std::string cache_file;
+  std::string store_dir;
   bool resume = false;
   std::string json;  // empty = no JSON output
 
@@ -62,7 +68,19 @@ struct BenchOptions {
 
   /// rows scaled by `scale`, with a floor to stay meaningful.
   size_t ScaledRows(size_t rows) const;
+
+  /// The effective store stem: `cache_file` when set, else
+  /// `<store_dir>/utilities`, else empty (no persistence).
+  std::string StoreStem() const;
 };
+
+/// Peak resident set size of this process in bytes (0 when the platform
+/// offers no reading). Recorded in BenchJson provenance so store-scale
+/// memory claims are attributable.
+uint64_t PeakRssBytes();
+
+/// Current resident set size in bytes (0 when unavailable).
+uint64_t CurrentRssBytes();
 
 /// Prints the effective run configuration (scale, seed, threads, cache
 /// file, resume mode) so every bench's output records its own

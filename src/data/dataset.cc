@@ -21,20 +21,27 @@ Result<Dataset> Dataset::Create(int num_features, int num_classes) {
 }
 
 void Dataset::Reserve(size_t rows) {
-  features_.reserve(features_.size() +
-                    rows * static_cast<size_t>(num_features_));
+  for (AlignedFloats& column : columns_) {
+    column.reserve(column.size() + rows);
+  }
   labels_.reserve(labels_.size() + rows);
 }
 
 void Dataset::Append(const float* features, float target) {
   FEDSHAP_CHECK(num_features_ > 0);
-  features_.insert(features_.end(), features, features + num_features_);
+  for (int f = 0; f < num_features_; ++f) {
+    columns_[f].push_back(features[f]);
+  }
   labels_.push_back(target);
 }
 
 void Dataset::Append(const std::vector<float>& features, float target) {
   FEDSHAP_CHECK(static_cast<int>(features.size()) == num_features_);
   Append(features.data(), target);
+}
+
+void Dataset::CopyRow(size_t i, float* out) const {
+  for (int f = 0; f < num_features_; ++f) out[f] = columns_[f][i];
 }
 
 int Dataset::ClassLabel(size_t i) const {
@@ -45,20 +52,29 @@ int Dataset::ClassLabel(size_t i) const {
 }
 
 Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  for (size_t idx : indices) FEDSHAP_CHECK(idx < size());
   Dataset out(num_features_, num_classes_);
-  out.Reserve(indices.size());
-  for (size_t idx : indices) {
-    FEDSHAP_CHECK(idx < size());
-    out.Append(Row(idx), labels_[idx]);
+  // Column-wise gather: each destination column is filled in one pass
+  // over one contiguous source column.
+  for (int f = 0; f < num_features_; ++f) {
+    const AlignedFloats& src = columns_[f];
+    AlignedFloats& dst = out.columns_[f];
+    dst.reserve(indices.size());
+    for (size_t idx : indices) dst.push_back(src[idx]);
   }
+  out.labels_.reserve(indices.size());
+  for (size_t idx : indices) out.labels_.push_back(labels_[idx]);
   return out;
 }
 
 Dataset Dataset::Head(size_t count) const {
   count = std::min(count, size());
   Dataset out(num_features_, num_classes_);
-  out.Reserve(count);
-  for (size_t i = 0; i < count; ++i) out.Append(Row(i), labels_[i]);
+  for (int f = 0; f < num_features_; ++f) {
+    out.columns_[f].assign(columns_[f].begin(),
+                           columns_[f].begin() + count);
+  }
+  out.labels_.assign(labels_.begin(), labels_.begin() + count);
   return out;
 }
 
@@ -85,11 +101,20 @@ Result<Dataset> Dataset::Merge(const std::vector<const Dataset*>& parts) {
   }
   Dataset out(num_features, num_classes);
   out.Reserve(total);
+  // Column-wise concatenation: each output column is the parts' columns
+  // back to back, so the merged rows appear in part order then row order.
+  for (int f = 0; f < num_features; ++f) {
+    AlignedFloats& dst = out.columns_[f];
+    for (const Dataset* part : parts) {
+      if (part == nullptr || part->empty()) continue;
+      const float* src = part->Column(f);
+      dst.insert(dst.end(), src, src + part->size());
+    }
+  }
   for (const Dataset* part : parts) {
     if (part == nullptr || part->empty()) continue;
-    for (size_t i = 0; i < part->size(); ++i) {
-      out.Append(part->Row(i), part->Target(i));
-    }
+    out.labels_.insert(out.labels_.end(), part->targets().begin(),
+                       part->targets().end());
   }
   return out;
 }
@@ -132,7 +157,15 @@ uint64_t Dataset::Fingerprint() const {
   hasher.MixU64(static_cast<uint64_t>(num_features_))
       .MixU64(static_cast<uint64_t>(num_classes_))
       .MixU64(size());
-  hasher.MixBytes(features_.data(), features_.size() * sizeof(float));
+  // Features are hashed in row-major element order: MixBytes folds bytes
+  // sequentially, so feeding one reassembled row at a time produces the
+  // exact digest the historical row-major storage produced — on-disk
+  // utility stores keyed by this fingerprint stay valid.
+  std::vector<float> row(static_cast<size_t>(num_features_));
+  for (size_t i = 0; i < size(); ++i) {
+    CopyRow(i, row.data());
+    hasher.MixBytes(row.data(), row.size() * sizeof(float));
+  }
   hasher.MixBytes(labels_.data(), labels_.size() * sizeof(float));
   return hasher.digest();
 }
@@ -157,8 +190,11 @@ Result<DatasetView> DatasetView::Gather(
   view.targets_.reserve(total);
   for (const Dataset* part : parts) {
     if (part == nullptr || part->empty()) continue;
+    FEDSHAP_CHECK(part->size() <= UINT32_MAX);
+    const uint32_t part_index = static_cast<uint32_t>(view.parts_.size());
+    view.parts_.push_back(part);
     for (size_t i = 0; i < part->size(); ++i) {
-      view.rows_.push_back(part->Row(i));
+      view.rows_.push_back(RowRef{part_index, static_cast<uint32_t>(i)});
       view.targets_.push_back(part->Target(i));
     }
   }
@@ -169,6 +205,21 @@ DatasetView DatasetView::Of(const Dataset& data) {
   Result<DatasetView> view = Gather({&data});
   FEDSHAP_CHECK(view.ok());  // a single dataset cannot schema-conflict
   return std::move(view).value();
+}
+
+void DatasetView::CopyRow(size_t i, float* out) const {
+  const RowRef& ref = rows_[i];
+  parts_[ref.part]->CopyRow(ref.row, out);
+}
+
+std::vector<DatasetView::ColumnSlice> DatasetView::ColumnSlices(
+    int f) const {
+  std::vector<ColumnSlice> slices;
+  slices.reserve(parts_.size());
+  for (const Dataset* part : parts_) {
+    slices.push_back(ColumnSlice{part->Column(f), part->size()});
+  }
+  return slices;
 }
 
 int DatasetView::ClassLabel(size_t i) const {

@@ -2,15 +2,27 @@
 #define FEDSHAP_DATA_DATASET_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/random.h"
 #include "util/status.h"
 
 namespace fedshap {
 
-/// In-memory dense dataset: row-major float features plus one target per row.
+/// In-memory dense dataset: column-major float features plus one target
+/// per row.
+///
+/// Features are stored one 64-byte-aligned buffer *per column* (see
+/// util/aligned.h). Column-major layout is what both hot consumers
+/// actually want: the GBDT split search scans one feature across many
+/// rows (now a contiguous walk instead of a strided gather), and a
+/// DatasetView can compose a coalition's column as zero-copy slices of
+/// the member datasets' columns. Row-oriented consumers copy a row out
+/// with `CopyRow` (the values are identical to the historical row-major
+/// storage, so training results are bit-identical).
 ///
 /// Serves both classification (targets are class ids stored as float;
 /// `num_classes() > 0`) and regression (`num_classes() == 0`). This is the
@@ -41,14 +53,20 @@ class Dataset {
   /// Appends one example from a vector of num_features() values.
   void Append(const std::vector<float>& features, float target);
 
-  /// Pointer to row i's feature vector (num_features() floats).
-  const float* Row(size_t i) const {
-    return features_.data() + i * static_cast<size_t>(num_features_);
-  }
-  /// Mutable pointer to row i's feature vector (num_features() floats).
-  float* MutableRow(size_t i) {
-    return features_.data() + i * static_cast<size_t>(num_features_);
-  }
+  /// Pointer to column f's storage: size() contiguous, 64-byte-aligned
+  /// floats — `Column(f)[i]` is row i's value of feature f.
+  const float* Column(int f) const { return columns_[f].data(); }
+
+  /// Row i's value of feature f.
+  float Value(size_t i, int f) const { return columns_[f][i]; }
+
+  /// Overwrites row i's value of feature f.
+  void SetValue(size_t i, int f, float value) { columns_[f][i] = value; }
+
+  /// Copies row i's features into `out[0 .. num_features())` — the
+  /// bridge for row-oriented consumers (per-example gradient paths,
+  /// Model::Predict).
+  void CopyRow(size_t i, float* out) const;
 
   /// Target value of row i (class id as float, or regression value).
   float Target(size_t i) const { return labels_[i]; }
@@ -58,8 +76,6 @@ class Dataset {
   /// Class id of row i; only valid for classification datasets.
   int ClassLabel(size_t i) const;
 
-  /// Contiguous feature storage (size() * num_features() floats).
-  const std::vector<float>& features() const { return features_; }
   /// Contiguous target storage (size() floats).
   const std::vector<float>& targets() const { return labels_; }
 
@@ -89,35 +105,51 @@ class Dataset {
 
   /// 64-bit content fingerprint over the schema and every feature/target
   /// byte. Two datasets fingerprint equal iff they hold the same rows in
-  /// the same order. Used to content-address persisted utility values: a
-  /// utility cached on disk is only valid for the exact client datasets
-  /// it was trained on.
+  /// the same order. Features are hashed in row-major element order, so
+  /// the digest is byte-identical to the historical row-major storage's
+  /// and on-disk utility stores stay valid across the columnar refactor.
+  /// Used to content-address persisted utility values: a utility cached
+  /// on disk is only valid for the exact client datasets it was trained
+  /// on.
   uint64_t Fingerprint() const;
 
  private:
   Dataset(int num_features, int num_classes)
-      : num_features_(num_features), num_classes_(num_classes) {}
+      : num_features_(num_features), num_classes_(num_classes),
+        columns_(static_cast<size_t>(num_features)) {}
 
   int num_features_ = 0;
   int num_classes_ = 0;
-  std::vector<float> features_;
+  /// One aligned buffer per feature; columns_[f][i] = feature f of row i.
+  std::vector<AlignedFloats> columns_;
   std::vector<float> labels_;
 };
 
-/// A read-only, non-owning row view over one or more Datasets with a
-/// shared schema: the coalition dataset D_S = union of D_i *without*
-/// materializing it. Gathering builds one row-pointer (8 bytes) and one
-/// target (4 bytes) per row instead of copying `num_features` floats —
-/// this is how GbdtUtility assembles each evaluated coalition's training
-/// set, turning the former per-coalition Dataset::Merge copy into an
-/// index gather. Rows appear in part order then row order, exactly the
-/// order Dataset::Merge would have concatenated them, so consumers see
-/// bit-identical data.
+/// A read-only, non-owning view over one or more Datasets with a shared
+/// schema: the coalition dataset D_S = union of D_i *without*
+/// materializing it. Gathering stores one part/row index pair (8 bytes)
+/// and one target (4 bytes) per row instead of copying `num_features`
+/// floats — this is how GbdtUtility assembles each evaluated coalition's
+/// training set, turning the former per-coalition Dataset::Merge copy
+/// into an index gather. Column access composes the member datasets'
+/// columns zero-copy (`ColumnSlices`): a coalition's feature column is
+/// the concatenation of its members' aligned column buffers. Rows appear
+/// in part order then row order, exactly the order Dataset::Merge would
+/// have concatenated them, so consumers see bit-identical data.
 ///
 /// The viewed datasets must outlive the view and must not be mutated
-/// (row pointers alias their storage).
+/// (column slices alias their storage).
 class DatasetView {
  public:
+  /// A zero-copy run of one member dataset's column: `data[0 .. size)`
+  /// are consecutive view rows' values of the sliced feature.
+  struct ColumnSlice {
+    /// First value of the run (aliases the member dataset's column).
+    const float* data = nullptr;
+    /// Number of rows in the run.
+    size_t size = 0;
+  };
+
   /// An empty view (0 rows, regression schema).
   DatasetView() = default;
 
@@ -138,18 +170,37 @@ class DatasetView {
   /// True when the view has no rows.
   bool empty() const { return targets_.empty(); }
 
-  /// Pointer to row i's feature vector (num_features() floats, living in
-  /// the viewed dataset).
-  const float* Row(size_t i) const { return rows_[i]; }
+  /// Row i's value of feature f (row indices span all parts, in part
+  /// order then row order).
+  float Value(size_t i, int f) const {
+    const RowRef& ref = rows_[i];
+    return parts_[ref.part]->Column(f)[ref.row];
+  }
+
+  /// Copies row i's features into `out[0 .. num_features())`.
+  void CopyRow(size_t i, float* out) const;
+
+  /// Column f of the viewed union as zero-copy per-part slices, in view
+  /// row order; concatenated they equal the merged dataset's column f.
+  /// Slices alias the viewed datasets' storage.
+  std::vector<ColumnSlice> ColumnSlices(int f) const;
+
   /// Target value of row i.
   float Target(size_t i) const { return targets_[i]; }
   /// Class id of row i; only valid for classification schemas.
   int ClassLabel(size_t i) const;
 
  private:
+  /// Which part a view row lives in, and where.
+  struct RowRef {
+    uint32_t part = 0;
+    uint32_t row = 0;
+  };
+
   int num_features_ = 0;
   int num_classes_ = 0;
-  std::vector<const float*> rows_;
+  std::vector<const Dataset*> parts_;
+  std::vector<RowRef> rows_;
   std::vector<float> targets_;
 };
 

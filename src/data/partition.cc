@@ -263,10 +263,13 @@ Status FlipLabels(Dataset& data, double fraction, Rng& rng) {
 Status AddFeatureNoise(Dataset& data, double scale, Rng& rng) {
   if (scale < 0.0) return Status::InvalidArgument("scale must be >= 0");
   if (scale == 0.0) return Status::OK();
+  // Row-major draw order kept across the columnar-storage refactor so a
+  // seeded run perturbs every value with the same Gaussian as before.
   for (size_t i = 0; i < data.size(); ++i) {
-    float* row = data.MutableRow(i);
     for (int d = 0; d < data.num_features(); ++d) {
-      row[d] += static_cast<float>(scale * rng.Gaussian());
+      data.SetValue(i, d,
+                    data.Value(i, d) +
+                        static_cast<float>(scale * rng.Gaussian()));
     }
   }
   return Status::OK();

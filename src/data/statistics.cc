@@ -15,17 +15,17 @@ DatasetSummary Summarize(const Dataset& data) {
   const int d = data.num_features();
   summary.feature_mean.assign(d, 0.0);
   summary.feature_stddev.assign(d, 0.0);
+  // Row-major accumulation order kept across the columnar-storage
+  // refactor so the floating-point sums stay bit-identical.
   for (size_t i = 0; i < data.size(); ++i) {
-    const float* row = data.Row(i);
-    for (int f = 0; f < d; ++f) summary.feature_mean[f] += row[f];
+    for (int f = 0; f < d; ++f) summary.feature_mean[f] += data.Value(i, f);
   }
   for (int f = 0; f < d; ++f) {
     summary.feature_mean[f] /= static_cast<double>(data.size());
   }
   for (size_t i = 0; i < data.size(); ++i) {
-    const float* row = data.Row(i);
     for (int f = 0; f < d; ++f) {
-      const double diff = row[f] - summary.feature_mean[f];
+      const double diff = data.Value(i, f) - summary.feature_mean[f];
       summary.feature_stddev[f] += diff * diff;
     }
   }
@@ -55,8 +55,9 @@ double ClientDrift(const std::vector<Dataset>& clients) {
     ++non_empty;
     if (global.empty()) global.assign(client.num_features(), 0.0);
     for (size_t i = 0; i < client.size(); ++i) {
-      const float* row = client.Row(i);
-      for (size_t f = 0; f < global.size(); ++f) global[f] += row[f];
+      for (size_t f = 0; f < global.size(); ++f) {
+        global[f] += client.Value(i, static_cast<int>(f));
+      }
     }
     total_rows += client.size();
   }

@@ -28,7 +28,28 @@ Result<UtilityRecord> UtilityCache::Get(const Coalition& coalition,
     if (inflight_.insert(coalition).second) break;
     inflight_done_.wait(lock);
   }
+  UtilityStore* store = store_;
   lock.unlock();
+  // Read-through: the attached store may already hold this coalition
+  // from an earlier process. A store hit is served with its original
+  // training cost and trains nothing; the single-flight slot held here
+  // keeps racers from hitting the store (or training) redundantly. Store
+  // IO happens outside the cache mutex so concurrent memory hits never
+  // stall on disk.
+  if (store != nullptr) {
+    UtilityRecord stored;
+    if (store->Lookup(coalition, &stored)) {
+      lock.lock();
+      inflight_.erase(coalition);
+      inflight_done_.notify_all();
+      if (entries_.emplace(coalition, stored).second) {
+        ++preloaded_;
+        recorded_cost_seconds_ += stored.cost_seconds;
+      }
+      ++hits_;
+      return stored;
+    }
+  }
   Stopwatch timer;
   Result<double> utility = fn_->Evaluate(coalition);
   const double cost_seconds = timer.ElapsedSeconds();
@@ -44,23 +65,25 @@ Result<UtilityRecord> UtilityCache::Get(const Coalition& coalition,
   ++misses_;
   total_compute_seconds_ += record.cost_seconds;
   recorded_cost_seconds_ += record.cost_seconds;
-  UtilityStore* store = store_;
-  bool should_flush = false;
-  if (store != nullptr && flush_every_ > 0 &&
-      ++unflushed_ >= flush_every_) {
-    unflushed_ = 0;
-    should_flush = true;
-  }
   // Store IO happens outside the cache mutex: the store is internally
-  // synchronized, and a full-file flush (encode + fsync + rename) must
-  // not stall concurrent hits on the evaluation hot path.
+  // synchronized, and an fsync must not stall concurrent hits on the
+  // evaluation hot path.
   lock.unlock();
   if (store != nullptr) {
-    // Write-through: the freshly trained utility becomes durable. The
-    // periodic flush bounds how many trainings a crash can lose; losing
-    // the flush interval's worth is the deliberate trade against
-    // rewriting the file on every single training.
-    store->Put(coalition, record);
+    // Write-through: the freshly trained utility becomes durable via an
+    // O(record) append. The byte-counted flush interval bounds how many
+    // appended-but-unsynced bytes a crash can lose.
+    const size_t appended = store->Put(coalition, record);
+    bool should_flush = false;
+    lock.lock();
+    if (flush_bytes_ > 0) {
+      unflushed_bytes_ += appended;
+      if (unflushed_bytes_ >= flush_bytes_) {
+        unflushed_bytes_ = 0;
+        should_flush = true;
+      }
+    }
+    lock.unlock();
     if (should_flush) {
       Status flushed = store->Flush();
       if (!flushed.ok()) {
@@ -72,20 +95,13 @@ Result<UtilityRecord> UtilityCache::Get(const Coalition& coalition,
   return record;
 }
 
-void UtilityCache::AttachStore(UtilityStore* store, size_t flush_every) {
+void UtilityCache::AttachStore(UtilityStore* store, size_t flush_bytes) {
   FEDSHAP_CHECK(store != nullptr);
   std::lock_guard<std::mutex> lock(mutex_);
   store_ = store;
-  flush_every_ = flush_every;
-  unflushed_ = 0;
+  flush_bytes_ = flush_bytes;
+  unflushed_bytes_ = 0;
   preloaded_ = 0;
-  store->ForEach([this](const Coalition& coalition,
-                        const UtilityRecord& record) {
-    if (entries_.emplace(coalition, record).second) {
-      ++preloaded_;
-      recorded_cost_seconds_ += record.cost_seconds;
-    }
-  });
 }
 
 Status UtilityCache::Prefetch(const std::vector<Coalition>& coalitions,

@@ -72,19 +72,22 @@ class UtilityCache {
 
   /// Attaches a persistent store as the cache's cross-process backing:
   ///
-  ///  - every entry already in `store` is loaded into the cache
-  ///    immediately (load-on-open warm start; served as ordinary hits,
-  ///    with their *original* training costs, so charged-time accounting
-  ///    is identical to a run that really trained them);
-  ///  - every subsequent miss is written through to the store, and the
-  ///    store is flushed to disk after every `flush_every` newly computed
-  ///    entries (0 = only on explicit UtilityStore::Flush), bounding what
-  ///    a crash can lose.
+  ///  - on a cache miss the store is consulted *first* (read-through): a
+  ///    stored record is served with its original training cost, so
+  ///    charged-time accounting is identical to a run that really
+  ///    trained it, and no model is trained. Nothing is loaded
+  ///    wholesale: a store larger than memory stays on disk until a
+  ///    coalition is actually asked for;
+  ///  - every freshly computed record is written through to the store,
+  ///    which is flushed (fsync'd) once at least `flush_bytes` bytes
+  ///    have been appended since the last flush (0 = only on explicit
+  ///    UtilityStore::Flush; 1 = after every record), bounding what a
+  ///    crash can lose.
   ///
   /// `store` must outlive the cache; its fingerprint must describe the
   /// same workload as the cache's utility function (the caller binds the
   /// two — see ScenarioRunner / UtilityFunction::Fingerprint).
-  void AttachStore(UtilityStore* store, size_t flush_every = 1);
+  void AttachStore(UtilityStore* store, size_t flush_bytes = 1);
 
   /// Drops all memoized entries (e.g. when the underlying utility was
   /// reseeded and old values are stale). Entries already persisted in an
@@ -93,12 +96,13 @@ class UtilityCache {
 
   /// Number of memoized entries.
   size_t size() const;
-  /// Gets served without a computation (memory hits, including entries
-  /// preloaded from an attached store).
+  /// Gets served without a computation: memory hits plus read-through
+  /// hits on the attached store.
   size_t hits() const;
   /// Gets that computed a fresh utility (one FL training each).
   size_t misses() const;
-  /// Entries preloaded from the attached store (0 when none attached).
+  /// Entries served from the attached store instead of being retrained
+  /// (read-through hits; 0 when no store is attached).
   size_t preloaded() const;
   /// Total seconds actually spent computing utilities (misses only).
   double total_compute_seconds() const;
@@ -111,8 +115,10 @@ class UtilityCache {
  private:
   const UtilityFunction* fn_;
   UtilityStore* store_ = nullptr;
-  size_t flush_every_ = 0;
-  size_t unflushed_ = 0;
+  /// Flush the store once this many bytes have been appended since the
+  /// last flush (0 = never implicitly).
+  size_t flush_bytes_ = 0;
+  size_t unflushed_bytes_ = 0;
   size_t preloaded_ = 0;
   mutable std::mutex mutex_;
   std::unordered_map<Coalition, UtilityRecord, CoalitionHash> entries_;

@@ -124,11 +124,13 @@ double Cnn::ComputeGradient(const Dataset& data,
   std::vector<float> conv_act, pooled, probs;
   std::vector<int> pool_argmax;
   std::vector<float> dpooled(flat_size());
+  std::vector<float> row(static_cast<size_t>(data.num_features()));
   double total_loss = 0.0;
 
   const float* dense_w = params_.data() + DenseW();
   for (size_t idx : batch) {
-    const float* x = data.Row(idx);
+    data.CopyRow(idx, row.data());
+    const float* x = row.data();
     const int label = data.ClassLabel(idx);
     Forward(x, conv_act, pooled, pool_argmax, probs);
     total_loss += -std::log(std::max(probs[label], 1e-12f));

@@ -33,6 +33,17 @@ double Gbdt::Tree::Predict(const float* features) const {
   return nodes[idx].value;
 }
 
+double Gbdt::Tree::Predict(const DatasetView& data, size_t i) const {
+  if (nodes.empty()) return 0.0;
+  int idx = 0;
+  while (!nodes[idx].IsLeaf()) {
+    const Node& node = nodes[idx];
+    idx = data.Value(i, node.feature) <= node.threshold ? node.left
+                                                        : node.right;
+  }
+  return nodes[idx].value;
+}
+
 int Gbdt::BuildNode(const DatasetView& data,
                     const std::vector<double>& grad,
                     const std::vector<double>& hess, std::vector<int>& rows,
@@ -66,7 +77,9 @@ int Gbdt::BuildNode(const DatasetView& data,
   sorted.reserve(rows.size());
   for (int feature = 0; feature < data.num_features(); ++feature) {
     sorted.clear();
-    for (int row : rows) sorted.emplace_back(data.Row(row)[feature], row);
+    // Column access: the candidate values of one feature come straight
+    // from the member datasets' contiguous column buffers.
+    for (int row : rows) sorted.emplace_back(data.Value(row, feature), row);
     std::sort(sorted.begin(), sorted.end());
     double gl = 0.0, hl = 0.0;
     for (size_t i = 0; i + 1 < sorted.size(); ++i) {
@@ -100,7 +113,7 @@ int Gbdt::BuildNode(const DatasetView& data,
 
   std::vector<int> left_rows, right_rows;
   for (int row : rows) {
-    if (data.Row(row)[best_feature] <= best_threshold) {
+    if (data.Value(row, best_feature) <= best_threshold) {
       left_rows.push_back(row);
     } else {
       right_rows.push_back(row);
@@ -160,7 +173,7 @@ Status Gbdt::Fit(const DatasetView& data) {
     std::iota(rows.begin(), rows.end(), 0);
     BuildNode(data, grad, hess, rows, /*depth=*/0, tree);
     for (size_t i = 0; i < data.size(); ++i) {
-      logits[i] += tree.Predict(data.Row(i));
+      logits[i] += tree.Predict(data, i);
     }
     trees_.push_back(std::move(tree));
   }
@@ -179,9 +192,11 @@ double Gbdt::PredictProbability(const float* features) const {
 
 double Gbdt::EvaluateAccuracy(const Dataset& data) const {
   if (data.empty()) return 0.0;
+  std::vector<float> row(static_cast<size_t>(data.num_features()));
   size_t correct = 0;
   for (size_t i = 0; i < data.size(); ++i) {
-    const int prediction = PredictProbability(data.Row(i)) >= 0.5 ? 1 : 0;
+    data.CopyRow(i, row.data());
+    const int prediction = PredictProbability(row.data()) >= 0.5 ? 1 : 0;
     if (prediction == data.ClassLabel(i)) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(data.size());

@@ -41,10 +41,11 @@ class Gbdt {
   Status Fit(const Dataset& data);
 
   /// Trains on a gathered view (same contract as Fit(Dataset)). This is
-  /// the coalition-evaluation path: GbdtUtility assembles D_S as a
-  /// row-pointer view over the member clients' shards instead of
-  /// copying every row per evaluated coalition. Fitting a view of a
-  /// dataset produces the identical ensemble to fitting the dataset.
+  /// the coalition-evaluation path: GbdtUtility assembles D_S as an
+  /// index view over the member clients' shards instead of copying
+  /// every row per evaluated coalition; the split search then reads the
+  /// shards' columns directly. Fitting a view of a dataset produces the
+  /// identical ensemble to fitting the dataset.
   Status Fit(const DatasetView& data);
 
   /// Raw additive score (log-odds).
@@ -75,6 +76,9 @@ class Gbdt {
   struct Tree {
     std::vector<Node> nodes;
     double Predict(const float* features) const;
+    // Routes view row i through the tree reading only the features the
+    // visited nodes test (no row materialization).
+    double Predict(const DatasetView& data, size_t i) const;
   };
 
   /// Recursively grows a tree over `rows`; returns the new node's index.

@@ -48,8 +48,10 @@ double LinearRegression::ComputeGradient(const Dataset& data,
   grad.assign(weights_.size(), 0.0f);
   if (batch.empty()) return 0.0;
   double total_loss = 0.0;
+  std::vector<float> row(static_cast<size_t>(data.num_features()));
   for (size_t idx : batch) {
-    const float* x = data.Row(idx);
+    data.CopyRow(idx, row.data());
+    const float* x = row.data();
     double pred = weights_[dim_];
     for (int d = 0; d < dim_; ++d) pred += weights_[d] * x[d];
     const double err = pred - data.Target(idx);
@@ -118,8 +120,9 @@ Status LinearRegression::FitClosedForm(const Dataset& data, double l2) {
   const int n = dim_ + 1;
   std::vector<double> xtx(static_cast<size_t>(n) * n, 0.0);
   std::vector<double> xty(n, 0.0);
+  std::vector<float> row(static_cast<size_t>(dim_));
   for (size_t i = 0; i < data.size(); ++i) {
-    const float* row = data.Row(i);
+    data.CopyRow(i, row.data());
     for (int a = 0; a < n; ++a) {
       const double xa = (a < dim_) ? row[a] : 1.0;
       xty[a] += xa * data.Target(i);

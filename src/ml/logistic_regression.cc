@@ -78,9 +78,11 @@ double LogisticRegression::ComputeGradient(const Dataset& data,
   if (batch.empty()) return 0.0;
   const size_t weight_count = static_cast<size_t>(num_classes_) * dim_;
   std::vector<float> probs;
+  std::vector<float> row(static_cast<size_t>(data.num_features()));
   double total_loss = 0.0;
   for (size_t idx : batch) {
-    const float* x = data.Row(idx);
+    data.CopyRow(idx, row.data());
+    const float* x = row.data();
     const int label = data.ClassLabel(idx);
     Forward(x, probs);
     total_loss += -std::log(std::max(probs[label], 1e-12f));

@@ -5,6 +5,7 @@
 #include <new>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/status.h"
 
 namespace fedshap {
@@ -55,45 +56,10 @@ inline constexpr float kKernelAbsTol = 1e-4f;
 /// Relative term of the kernel tolerance contract (see kKernelAbsTol).
 inline constexpr float kKernelRelTol = 1e-3f;
 
-/// STL-compatible allocator returning 64-byte-aligned storage, so the
-/// SIMD backends' vector loads on matrix rows and scratch buffers never
-/// straddle a cache line. Used by `Matrix` and the models' thread-local
-/// scratch; plain std::vector buffers remain legal kernel operands (the
-/// backends use unaligned load instructions, which are penalty-free on
-/// aligned addresses).
-template <typename T>
-class AlignedAllocator {
- public:
-  /// STL allocator element type.
-  using value_type = T;
-  /// Cache-line alignment of every allocation.
-  static constexpr std::align_val_t kAlignment{64};
-
-  /// Stateless default construction.
-  AlignedAllocator() = default;
-  /// Rebinding copy constructor required of STL allocators.
-  template <typename U>
-  AlignedAllocator(const AlignedAllocator<U>&) {}
-
-  /// Allocates 64-byte-aligned storage for `n` elements.
-  T* allocate(std::size_t n) {
-    return static_cast<T*>(::operator new(n * sizeof(T), kAlignment));
-  }
-  /// Releases storage obtained from allocate().
-  void deallocate(T* p, std::size_t) noexcept {
-    ::operator delete(p, kAlignment);
-  }
-
-  /// All instances are interchangeable.
-  template <typename U>
-  bool operator==(const AlignedAllocator<U>&) const {
-    return true;
-  }
-};
-
-/// 64-byte-aligned float buffer: the storage type of `Matrix` and of the
-/// batched gradient paths' scratch space.
-using AlignedFloats = std::vector<float, AlignedAllocator<float>>;
+// AlignedAllocator / AlignedFloats moved to util/aligned.h so the
+// columnar Dataset can share the 64-byte-aligned buffer type without
+// depending on the ML layer; included here so kernel code keeps finding
+// them in their historical home.
 
 /// Minimal dense row-major float matrix used by the hand-rolled models.
 /// Not a general linear-algebra library: only the kernels the ML substrate

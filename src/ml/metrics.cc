@@ -11,9 +11,11 @@ double EvaluateAccuracy(const Model& model, const Dataset& data) {
   if (data.empty()) return 0.0;
   FEDSHAP_CHECK(data.num_classes() > 0);
   std::vector<float> scores;
+  std::vector<float> row(static_cast<size_t>(data.num_features()));
   size_t correct = 0;
   for (size_t i = 0; i < data.size(); ++i) {
-    model.Predict(data.Row(i), scores);
+    data.CopyRow(i, row.data());
+    model.Predict(row.data(), scores);
     int prediction = static_cast<int>(
         std::max_element(scores.begin(), scores.end()) - scores.begin());
     if (prediction == data.ClassLabel(i)) ++correct;
@@ -24,9 +26,11 @@ double EvaluateAccuracy(const Model& model, const Dataset& data) {
 double EvaluateMse(const Model& model, const Dataset& data) {
   if (data.empty()) return 0.0;
   std::vector<float> out;
+  std::vector<float> row(static_cast<size_t>(data.num_features()));
   double total = 0.0;
   for (size_t i = 0; i < data.size(); ++i) {
-    model.Predict(data.Row(i), out);
+    data.CopyRow(i, row.data());
+    model.Predict(row.data(), out);
     double diff = static_cast<double>(out[0]) - data.Target(i);
     total += diff * diff;
   }
@@ -36,9 +40,11 @@ double EvaluateMse(const Model& model, const Dataset& data) {
 double EvaluateMae(const Model& model, const Dataset& data) {
   if (data.empty()) return 0.0;
   std::vector<float> out;
+  std::vector<float> row(static_cast<size_t>(data.num_features()));
   double total = 0.0;
   for (size_t i = 0; i < data.size(); ++i) {
-    model.Predict(data.Row(i), out);
+    data.CopyRow(i, row.data());
+    model.Predict(row.data(), out);
     total += std::fabs(static_cast<double>(out[0]) - data.Target(i));
   }
   return total / static_cast<double>(data.size());

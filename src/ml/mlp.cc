@@ -82,10 +82,12 @@ double Mlp::ComputeGradient(const Dataset& data,
   grad.assign(params_.size(), 0.0f);
   if (batch.empty()) return 0.0;
   std::vector<float> hidden_act, probs, dhidden(hidden_);
+  std::vector<float> row(static_cast<size_t>(data.num_features()));
   double total_loss = 0.0;
   const float* w2 = params_.data() + W2();
   for (size_t idx : batch) {
-    const float* x = data.Row(idx);
+    data.CopyRow(idx, row.data());
+    const float* x = row.data();
     const int label = data.ClassLabel(idx);
     Forward(x, hidden_act, probs);
     total_loss += -std::log(std::max(probs[label], 1e-12f));

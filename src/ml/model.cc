@@ -11,10 +11,15 @@ void GatherRows(const Dataset& data, const std::vector<size_t>& batch,
                 AlignedFloats& out) {
   const size_t dim = static_cast<size_t>(data.num_features());
   out.resize(batch.size() * dim);
-  float* dst = out.data();
-  for (size_t idx : batch) {
-    std::memcpy(dst, data.Row(idx), dim * sizeof(float));
-    dst += dim;
+  // Column-iterator gather: each source column is read contiguously and
+  // scattered to its strided slot in the row-major batch. Pure copies,
+  // so the batch is bit-identical to the former row-memcpy gather.
+  for (size_t f = 0; f < dim; ++f) {
+    const float* column = data.Column(static_cast<int>(f));
+    float* dst = out.data() + f;
+    for (size_t b = 0; b < batch.size(); ++b) {
+      dst[b * dim] = column[batch[b]];
+    }
   }
 }
 

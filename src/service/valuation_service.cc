@@ -92,7 +92,7 @@ ValuationService::GetOrBuildWorkload(const ScenarioSpec& scenario) {
         workload->store,
         OpenAndAttachStore(config_.state_dir + "/store/utilities",
                            /*resume=*/true, *workload->utility,
-                           *workload->cache, config_.store_flush_every));
+                           *workload->cache, config_.store_flush_bytes));
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -383,6 +383,15 @@ ServiceStats ValuationService::stats() const {
   for (const auto& [key, workload] : workloads_) {
     stats.trainings_computed += workload->cache->misses();
     stats.trainings_preloaded += workload->cache->preloaded();
+    if (workload->store != nullptr) {
+      const UtilityStoreStats store = workload->store->stats();
+      stats.store_entries += store.entries;
+      stats.store_segments += store.sealed_segments;
+      stats.store_bytes += store.sealed_bytes + store.active_bytes;
+      stats.store_mapped_bytes += store.mapped_bytes;
+      stats.store_evictions += store.evictions;
+      stats.store_compactions += store.compactions;
+    }
   }
   return stats;
 }

@@ -98,8 +98,20 @@ struct ServiceStats {
   size_t workloads = 0;
   /// FL trainings actually computed by this process, across workloads.
   size_t trainings_computed = 0;
-  /// Trainings served from persistent stores at workload-open time.
+  /// Trainings served read-through from persistent stores.
   size_t trainings_preloaded = 0;
+  /// Live records across all attached stores.
+  size_t store_entries = 0;
+  /// Sealed segments across all attached stores.
+  size_t store_segments = 0;
+  /// On-disk bytes (sealed + active) across all attached stores.
+  uint64_t store_bytes = 0;
+  /// Memory-mapped bytes across all attached stores.
+  uint64_t store_mapped_bytes = 0;
+  /// Segment unmaps forced by the mapped-byte budget.
+  size_t store_evictions = 0;
+  /// Compactions completed across all attached stores.
+  size_t store_compactions = 0;
 };
 
 /// Configuration of a ValuationService.
@@ -114,10 +126,10 @@ struct ServiceConfig {
   /// live here, and Recover() resumes from it after a restart. Empty
   /// runs the service fully in memory (nothing survives the process).
   std::string state_dir;
-  /// Flush the utility store to disk after this many new trainings
-  /// (1 = after every training; the crash-loss bound, see
+  /// Flush the utility store to disk after this many appended record
+  /// bytes (1 = after every training; the crash-loss bound, see
   /// UtilityCache::AttachStore).
-  size_t store_flush_every = 1;
+  size_t store_flush_bytes = 1;
   /// Testing hook: when > 0, the service halts (stops scheduling slices,
   /// as if Stop() were called) after this many slices in total —
   /// a deterministic way to simulate a mid-job shutdown.

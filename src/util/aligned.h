@@ -1,0 +1,60 @@
+#ifndef FEDSHAP_UTIL_ALIGNED_H_
+#define FEDSHAP_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace fedshap {
+
+/// \file
+/// Cache-line-aligned storage shared by the data and ML layers: the
+/// columnar Dataset stores each feature column in an aligned buffer and
+/// the batched gradient paths consume/produce the same buffer type, so a
+/// column slice can flow into a SIMD kernel without a realignment copy.
+
+/// STL-compatible allocator returning 64-byte-aligned storage, so the
+/// SIMD backends' vector loads on matrix rows, feature columns and
+/// scratch buffers never straddle a cache line. Used by `Matrix`, the
+/// columnar `Dataset` and the models' thread-local scratch; plain
+/// std::vector buffers remain legal kernel operands (the backends use
+/// unaligned load instructions, which are penalty-free on aligned
+/// addresses).
+template <typename T>
+class AlignedAllocator {
+ public:
+  /// STL allocator element type.
+  using value_type = T;
+  /// Cache-line alignment of every allocation.
+  static constexpr std::align_val_t kAlignment{64};
+
+  /// Stateless default construction.
+  AlignedAllocator() = default;
+  /// Rebinding copy constructor required of STL allocators.
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  /// Allocates 64-byte-aligned storage for `n` elements.
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlignment));
+  }
+  /// Releases storage obtained from allocate().
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, kAlignment);
+  }
+
+  /// All instances are interchangeable.
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+/// 64-byte-aligned float buffer: the storage type of `Matrix`, of each
+/// `Dataset` feature column and of the batched gradient paths' scratch
+/// space.
+using AlignedFloats = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_ALIGNED_H_

@@ -1,0 +1,77 @@
+#include "util/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FEDSHAP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define FEDSHAP_HAVE_MMAP 0
+#include "util/serialization.h"
+#endif
+
+namespace fedshap {
+
+Result<std::unique_ptr<MappedFile>> MappedFile::Open(
+    const std::string& path) {
+#if FEDSHAP_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::Internal("open failed for " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat failed for " + path + ": " +
+                            std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  const char* data = nullptr;
+  if (size > 0) {
+    void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal("mmap failed for " + path + ": " +
+                              std::strerror(err));
+    }
+    data = static_cast<const char*>(mapping);
+  }
+  // The mapping keeps the pages alive; the descriptor is no longer needed.
+  ::close(fd);
+  return std::unique_ptr<MappedFile>(
+      new MappedFile(path, data, size, /*mmapped=*/true));
+#else
+  // Portability fallback: load the file into heap memory. Same contract,
+  // no demand paging.
+  FEDSHAP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  char* data = nullptr;
+  if (!contents.empty()) {
+    data = new char[contents.size()];
+    std::memcpy(data, contents.data(), contents.size());
+  }
+  return std::unique_ptr<MappedFile>(
+      new MappedFile(path, data, contents.size(), /*mmapped=*/false));
+#endif
+}
+
+MappedFile::~MappedFile() {
+#if FEDSHAP_HAVE_MMAP
+  if (mmapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#else
+  if (!mmapped_) delete[] data_;
+#endif
+}
+
+}  // namespace fedshap

@@ -32,7 +32,7 @@ TEST(DatasetTest, AppendAndAccess) {
   EXPECT_EQ(d.size(), 4u);
   EXPECT_EQ(d.num_features(), 3);
   EXPECT_EQ(d.num_classes(), 2);
-  EXPECT_FLOAT_EQ(d.Row(2)[1], 21.0f);
+  EXPECT_FLOAT_EQ(d.Value(2, 1), 21.0f);
   EXPECT_FLOAT_EQ(d.Target(3), 1.0f);
   EXPECT_EQ(d.ClassLabel(3), 1);
 }
@@ -48,9 +48,9 @@ TEST(DatasetTest, SubsetCopiesSelectedRows) {
   Dataset d = MakeToy(6);
   Dataset sub = d.Subset({5, 0, 2});
   ASSERT_EQ(sub.size(), 3u);
-  EXPECT_FLOAT_EQ(sub.Row(0)[0], 50.0f);
-  EXPECT_FLOAT_EQ(sub.Row(1)[0], 0.0f);
-  EXPECT_FLOAT_EQ(sub.Row(2)[0], 20.0f);
+  EXPECT_FLOAT_EQ(sub.Value(0, 0), 50.0f);
+  EXPECT_FLOAT_EQ(sub.Value(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(sub.Value(2, 0), 20.0f);
 }
 
 TEST(DatasetTest, HeadClampsToSize) {
@@ -66,7 +66,7 @@ TEST(DatasetTest, MergeConcatenates) {
   Result<Dataset> merged = Dataset::Merge({&a, &b});
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(merged->size(), 5u);
-  EXPECT_FLOAT_EQ(merged->Row(2)[0], 0.0f);  // b's first row
+  EXPECT_FLOAT_EQ(merged->Value(2, 0), 0.0f);  // b's first row
 }
 
 TEST(DatasetTest, MergeSkipsNullAndEmpty) {
@@ -106,19 +106,35 @@ TEST(DatasetViewTest, GatherMatchesMergeRowForRow) {
     EXPECT_EQ(view->Target(i), merged->Target(i)) << "row " << i;
     EXPECT_EQ(view->ClassLabel(i), merged->ClassLabel(i)) << "row " << i;
     for (int f = 0; f < view->num_features(); ++f) {
-      EXPECT_EQ(view->Row(i)[f], merged->Row(i)[f])
+      EXPECT_EQ(view->Value(i, f), merged->Value(i, f))
           << "row " << i << " feature " << f;
     }
   }
 }
 
-TEST(DatasetViewTest, RowsAliasTheViewedStorageNoCopies) {
+TEST(DatasetViewTest, ColumnSlicesAliasTheViewedStorageNoCopies) {
   Dataset a = MakeToy(3);
   Result<DatasetView> view = DatasetView::Gather({&a});
   ASSERT_TRUE(view.ok());
-  for (size_t i = 0; i < view->size(); ++i) {
-    EXPECT_EQ(view->Row(i), a.Row(i)) << "row pointer " << i;
+  for (int f = 0; f < view->num_features(); ++f) {
+    std::vector<DatasetView::ColumnSlice> slices = view->ColumnSlices(f);
+    ASSERT_EQ(slices.size(), 1u) << "feature " << f;
+    EXPECT_EQ(slices[0].data, a.Column(f)) << "column pointer " << f;
+    EXPECT_EQ(slices[0].size, a.size()) << "column size " << f;
   }
+}
+
+TEST(DatasetViewTest, ColumnSlicesSpanAllParts) {
+  Dataset a = MakeToy(2);
+  Dataset b = MakeToy(3);
+  Result<DatasetView> view = DatasetView::Gather({&a, &b});
+  ASSERT_TRUE(view.ok());
+  std::vector<DatasetView::ColumnSlice> slices = view->ColumnSlices(1);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].data, a.Column(1));
+  EXPECT_EQ(slices[0].size, a.size());
+  EXPECT_EQ(slices[1].data, b.Column(1));
+  EXPECT_EQ(slices[1].size, b.size());
 }
 
 TEST(DatasetViewTest, GatherSkipsNullAndEmptyParts) {
@@ -150,7 +166,7 @@ TEST(DatasetViewTest, OfViewsWholeDataset) {
   Dataset a = MakeToy(4);
   DatasetView view = DatasetView::Of(a);
   ASSERT_EQ(view.size(), a.size());
-  EXPECT_EQ(view.Row(0), a.Row(0));
+  EXPECT_EQ(view.Value(0, 0), a.Value(0, 0));
   EXPECT_EQ(view.Target(3), a.Target(3));
 }
 
@@ -163,9 +179,9 @@ TEST(DatasetTest, ShuffleKeepsRowIntegrity) {
   // Every row must still have features consistent with its own pattern
   // (feature f = row_id * 10 + f), i.e. rows moved as units.
   for (size_t i = 0; i < shuffled.size(); ++i) {
-    const float base = shuffled.Row(i)[0];
-    EXPECT_FLOAT_EQ(shuffled.Row(i)[1], base + 1);
-    EXPECT_FLOAT_EQ(shuffled.Row(i)[2], base + 2);
+    const float base = shuffled.Value(i, 0);
+    EXPECT_FLOAT_EQ(shuffled.Value(i, 1), base + 1);
+    EXPECT_FLOAT_EQ(shuffled.Value(i, 2), base + 2);
   }
 }
 

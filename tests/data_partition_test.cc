@@ -115,7 +115,7 @@ TEST(PartitionTest, NoisyLabelGradient) {
   std::vector<int> counts(4, 0);
   for (size_t i = 0; i < clean.size(); ++i) {
     const int label = clean.ClassLabel(i);
-    for (int d = 0; d < dim; ++d) centroid[label][d] += clean.Row(i)[d];
+    for (int d = 0; d < dim; ++d) centroid[label][d] += clean.Value(i, d);
     ++counts[label];
   }
   for (int c = 0; c < 4; ++c) {
@@ -129,7 +129,7 @@ TEST(PartitionTest, NoisyLabelGradient) {
       for (int c = 0; c < 4; ++c) {
         double dist = 0;
         for (int d = 0; d < dim; ++d) {
-          const double diff = ds.Row(i)[d] - centroid[c][d];
+          const double diff = ds.Value(i, d) - centroid[c][d];
           dist += diff * diff;
         }
         if (dist < best) {
@@ -161,12 +161,12 @@ TEST(PartitionTest, NoisyFeatureGradient) {
     double mean = 0, var = 0;
     const size_t count = ds.size() * ds.num_features();
     for (size_t i = 0; i < ds.size(); ++i) {
-      for (int d = 0; d < ds.num_features(); ++d) mean += ds.Row(i)[d];
+      for (int d = 0; d < ds.num_features(); ++d) mean += ds.Value(i, d);
     }
     mean /= count;
     for (size_t i = 0; i < ds.size(); ++i) {
       for (int d = 0; d < ds.num_features(); ++d) {
-        var += (ds.Row(i)[d] - mean) * (ds.Row(i)[d] - mean);
+        var += (ds.Value(i, d) - mean) * (ds.Value(i, d) - mean);
       }
     }
     return var / count;
@@ -249,7 +249,7 @@ TEST(AddFeatureNoiseTest, ScaleZeroIsIdentity) {
   ASSERT_TRUE(AddFeatureNoise(data, 0.0, rng).ok());
   for (size_t i = 0; i < data.size(); ++i) {
     for (int d = 0; d < data.num_features(); ++d) {
-      EXPECT_FLOAT_EQ(data.Row(i)[d], original.Row(i)[d]);
+      EXPECT_FLOAT_EQ(data.Value(i, d), original.Value(i, d));
     }
   }
   EXPECT_FALSE(AddFeatureNoise(data, -1.0, rng).ok());
@@ -264,7 +264,7 @@ TEST(AddFeatureNoiseTest, PerturbationMagnitude) {
   size_t count = 0;
   for (size_t i = 0; i < data.size(); ++i) {
     for (int d = 0; d < data.num_features(); ++d) {
-      const double diff = data.Row(i)[d] - original.Row(i)[d];
+      const double diff = data.Value(i, d) - original.Value(i, d);
       total_sq += diff * diff;
       ++count;
     }

@@ -48,7 +48,7 @@ TEST(GenerateDigitsTest, ClassesAreSeparable) {
   std::vector<int> counts(4, 0);
   for (size_t i = 0; i < 400; ++i) {
     const int label = data.ClassLabel(i);
-    for (int d = 0; d < dim; ++d) centroid[label][d] += data.Row(i)[d];
+    for (int d = 0; d < dim; ++d) centroid[label][d] += data.Value(i, d);
     ++counts[label];
   }
   for (int c = 0; c < 4; ++c) {
@@ -62,7 +62,7 @@ TEST(GenerateDigitsTest, ClassesAreSeparable) {
     for (int c = 0; c < 4; ++c) {
       double dist = 0.0;
       for (int d = 0; d < dim; ++d) {
-        const double diff = data.Row(i)[d] - centroid[c][d];
+        const double diff = data.Value(i, d) - centroid[c][d];
         dist += diff * diff;
       }
       if (dist < best) {
@@ -89,8 +89,9 @@ TEST(GenerateDigitsTest, WriterStyleShiftsDistribution) {
   const int dim = source->data.num_features();
   std::vector<double> mean0(dim, 0), mean1(dim, 0);
   int n0 = 0, n1 = 0;
+  std::vector<float> row(static_cast<size_t>(dim));
   for (size_t i = 0; i < source->data.size(); ++i) {
-    const float* row = source->data.Row(i);
+    source->data.CopyRow(i, row.data());
     if (source->group_ids[i] == 0) {
       for (int d = 0; d < dim; ++d) mean0[d] += row[d];
       ++n0;
@@ -143,10 +144,10 @@ TEST(GenerateTabularTest, LabelsCorrelateWithSignalFeatures) {
   int pos = 0, neg = 0;
   for (size_t i = 0; i < source->data.size(); ++i) {
     if (source->data.ClassLabel(i) == 1) {
-      pos_edu += source->data.Row(i)[1];
+      pos_edu += source->data.Value(i, 1);
       ++pos;
     } else {
-      neg_edu += source->data.Row(i)[1];
+      neg_edu += source->data.Value(i, 1);
       ++neg;
     }
   }

@@ -19,10 +19,12 @@ mkdir -p "$DIR" || exit 1
 
 JOBS="$DIR/jobs.txt"
 cat > "$JOBS" <<'EOF'
-# Two resumable sweeps and a one-shot over one shared workload.
-name=a estimator=ipss gamma=24 chunk=4 seed=5 scenario=linreg n=6 scenario-seed=5
-name=b estimator=exact-mc chunk=8 scenario=linreg n=6 scenario-seed=5
-name=c estimator=loo scenario=linreg n=6 scenario-seed=5
+# Two resumable sweeps and a one-shot over one shared workload. n=8 so
+# exact-mc walks ~2^8 coalitions: enough store bytes that the segment
+# crash case below can rotate segments at the 4 KiB floor.
+name=a estimator=ipss gamma=24 chunk=4 seed=5 scenario=linreg n=8 scenario-seed=5
+name=b estimator=exact-mc chunk=8 scenario=linreg n=8 scenario-seed=5
+name=c estimator=loo scenario=linreg n=8 scenario-seed=5
 EOF
 
 # Reference: the uninterrupted run.
@@ -55,5 +57,43 @@ if ! diff "$DIR/ref.values" "$DIR/crash.values"; then
     exit 1
 fi
 echo "kill+restart resumed all jobs bit-identically"
+
+# Segmented-store crash case: the smallest allowed segment rotation
+# size (4 KiB floor) forces the workload store to seal segments while
+# the job runs, and the kill lands with that machinery mid-flight. The
+# restart must still recover and finish every job bit-identically —
+# sealed segments, the manifest, and torn-tail truncation are what make
+# that safe.
+FEDSHAP_STORE_SEGMENT_BYTES=4096 \
+    "$BIN" --state-dir="$DIR/seg" --jobs="$JOBS" --workers=1 \
+    --kill-after=2 --quiet > "$DIR/seg1.out"
+status=$?
+if [ "$status" -ne 17 ]; then
+    echo "expected halt exit code 17 in segment crash case, got $status"
+    cat "$DIR/seg1.out"
+    exit 1
+fi
+
+FEDSHAP_STORE_SEGMENT_BYTES=4096 \
+    "$BIN" --state-dir="$DIR/seg" --jobs="$JOBS" --workers=2 --quiet \
+    --print-values \
+    > "$DIR/seg2.out" || { echo "segment-store resume failed"; cat "$DIR/seg2.out"; exit 1; }
+grep '^values' "$DIR/seg2.out" | sort > "$DIR/seg.values"
+
+if ! diff "$DIR/ref.values" "$DIR/seg.values"; then
+    echo "segment-store resumed values differ from the uninterrupted run"
+    exit 1
+fi
+
+# The tiny rotation size must actually have exercised the segment
+# machinery: the final summary's store line reports sealed segments
+# and/or completed compactions.
+if ! grep '^\[fedshapd\] store ' "$DIR/seg2.out" \
+        | grep -qv 'segments=0 .*compactions=0'; then
+    echo "segment crash case never sealed a segment or compacted:"
+    grep '^\[fedshapd\] store ' "$DIR/seg2.out"
+    exit 1
+fi
+echo "kill+restart with forced segment rotation resumed bit-identically"
 rm -rf "$DIR"
 exit 0

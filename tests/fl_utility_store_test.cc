@@ -1,12 +1,14 @@
-/// Tests for fl/utility_store.h: open/flush/reopen round-trips (empty and
-/// large stores), fingerprint mismatch rejection, corruption rejection,
-/// coalition codec edge cases, and the UtilityCache write-through /
-/// preload integration.
+/// Tests for fl/utility_store.h: open/flush/reopen round-trips across the
+/// segment layout, torn-tail truncation, manifest/stray-segment crash
+/// recovery, v1->v2 migration, compaction, byte-budget eviction, coalition
+/// codec edge cases, and the UtilityCache read-through/write-through
+/// integration.
 
 #include "fl/utility_store.h"
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -18,8 +20,21 @@
 namespace fedshap {
 namespace {
 
+namespace fs = std::filesystem;
+
+/// Fresh per-test store path: removes any leftover file *or* directory
+/// from a previous run (std::remove cannot delete segment directories).
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "fedshap_store_" + name;
+  const std::string path = ::testing::TempDir() + "fedshap_store_" + name;
+  fs::remove_all(path);
+  return path;
+}
+
+std::string ActiveSegmentPath(const std::string& store, uint64_t id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06llu.seg",
+                static_cast<unsigned long long>(id));
+  return store + "/" + name;
 }
 
 /// Counts underlying evaluations to verify cross-process reuse.
@@ -64,27 +79,25 @@ TEST(CoalitionCodecTest, RejectsOutOfRangeMembers) {
 
 TEST(UtilityStoreTest, OpensEmptyWhenFileMissing) {
   const std::string path = TempPath("missing.fsus");
-  std::remove(path.c_str());
   Result<std::unique_ptr<UtilityStore>> store =
       UtilityStore::Open(path, 42);
   ASSERT_TRUE(store.ok());
   EXPECT_EQ((*store)->size(), 0u);
   EXPECT_EQ((*store)->loaded_entries(), 0u);
   EXPECT_FALSE((*store)->dirty());
-  // Nothing flushed yet: the file still does not exist.
+  // Nothing written yet: the store directory is created lazily on Put.
   EXPECT_TRUE((*store)->Flush().ok());
-  EXPECT_FALSE(ReadFileToString(path).ok());
+  EXPECT_FALSE(fs::exists(path));
 }
 
 TEST(UtilityStoreTest, PutFlushReopenRoundTrip) {
   const std::string path = TempPath("roundtrip.fsus");
-  std::remove(path.c_str());
   {
     Result<std::unique_ptr<UtilityStore>> store =
         UtilityStore::Open(path, 7);
     ASSERT_TRUE(store.ok());
-    (*store)->Put(Coalition::Of({0, 2}), {0.75, 1.5});
-    (*store)->Put(Coalition(), {0.1, 0.0});
+    EXPECT_GT((*store)->Put(Coalition::Of({0, 2}), {0.75, 1.5}), 0u);
+    EXPECT_GT((*store)->Put(Coalition(), {0.1, 0.0}), 0u);
     EXPECT_TRUE((*store)->dirty());
     ASSERT_TRUE((*store)->Flush().ok());
     EXPECT_FALSE((*store)->dirty());
@@ -101,18 +114,19 @@ TEST(UtilityStoreTest, PutFlushReopenRoundTrip) {
   ASSERT_TRUE((*reopened)->Lookup(Coalition(), &record));
   EXPECT_DOUBLE_EQ(record.utility, 0.1);
   EXPECT_FALSE((*reopened)->Lookup(Coalition::Of({1}), nullptr));
-  std::remove(path.c_str());
 }
 
-TEST(UtilityStoreTest, LargeStoreRoundTrip) {
+TEST(UtilityStoreTest, LargeStoreRoundTripAcrossSegments) {
   const std::string path = TempPath("large.fsus");
-  std::remove(path.c_str());
   Rng rng(99);
   std::vector<std::pair<Coalition, UtilityRecord>> entries;
   {
     Result<std::unique_ptr<UtilityStore>> store =
         UtilityStore::Open(path, 1);
     ASSERT_TRUE(store.ok());
+    // Small rotation size: the 5000 records span many sealed segments,
+    // so the reopen below exercises footer indexing and the manifest.
+    (*store)->set_segment_target_bytes(16 * 1024);
     for (int j = 0; j < 5000; ++j) {
       Coalition c;
       for (int i = 0; i < 200; ++i) {
@@ -123,6 +137,7 @@ TEST(UtilityStoreTest, LargeStoreRoundTrip) {
       entries.emplace_back(c, record);
     }
     ASSERT_TRUE((*store)->Flush().ok());
+    EXPECT_GT((*store)->stats().sealed_segments, 1u);
   }
   Result<std::unique_ptr<UtilityStore>> reopened =
       UtilityStore::Open(path, 1);
@@ -133,12 +148,10 @@ TEST(UtilityStoreTest, LargeStoreRoundTrip) {
     EXPECT_DOUBLE_EQ(read.utility, record.utility);
     EXPECT_DOUBLE_EQ(read.cost_seconds, record.cost_seconds);
   }
-  std::remove(path.c_str());
 }
 
 TEST(UtilityStoreTest, FingerprintMismatchRejected) {
   const std::string path = TempPath("fingerprint.fsus");
-  std::remove(path.c_str());
   {
     Result<std::unique_ptr<UtilityStore>> store =
         UtilityStore::Open(path, 1111);
@@ -150,12 +163,10 @@ TEST(UtilityStoreTest, FingerprintMismatchRejected) {
       UtilityStore::Open(path, 2222);
   ASSERT_FALSE(wrong.ok());
   EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
-  std::remove(path.c_str());
 }
 
-TEST(UtilityStoreTest, CorruptedAndTruncatedFilesRejected) {
-  const std::string path = TempPath("corrupt.fsus");
-  std::remove(path.c_str());
+TEST(UtilityStoreTest, TornActiveTailTruncatedOnOpen) {
+  const std::string path = TempPath("torn.fsus");
   {
     Result<std::unique_ptr<UtilityStore>> store =
         UtilityStore::Open(path, 5);
@@ -165,26 +176,242 @@ TEST(UtilityStoreTest, CorruptedAndTruncatedFilesRejected) {
     }
     ASSERT_TRUE((*store)->Flush().ok());
   }
-  Result<std::string> contents = ReadFileToString(path);
+  const std::string active = ActiveSegmentPath(path, 1);
+  Result<std::string> contents = ReadFileToString(active);
   ASSERT_TRUE(contents.ok());
 
-  // Flip one payload byte: checksum must catch it.
-  std::string corrupted = *contents;
-  corrupted[corrupted.size() / 2] ^= 0x20;
-  ASSERT_TRUE(WriteFileAtomic(path, corrupted).ok());
-  EXPECT_EQ(UtilityStore::Open(path, 5).status().code(),
-            StatusCode::kInvalidArgument);
+  // A crash mid-append leaves a torn record at the tail: garbage framing
+  // bytes. Open must truncate it and keep every complete record.
+  {
+    std::FILE* f = std::fopen(active.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("XXXXX", 1, 5, f);
+    std::fclose(f);
+  }
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, 5);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ((*store)->size(), 10u);
+    UtilityRecord record;
+    ASSERT_TRUE((*store)->Lookup(Coalition::Of({9}), &record));
+    EXPECT_DOUBLE_EQ(record.utility, 0.9);
+  }
 
-  // Truncate mid-entry (a torn write that bypassed the atomic rename).
+  // A tail truncated *inside* the last record loses exactly that record;
+  // the store stays open for business and appends resume cleanly.
   ASSERT_TRUE(
-      WriteFileAtomic(path, contents->substr(0, contents->size() - 7))
+      WriteFileAtomic(active, contents->substr(0, contents->size() - 7))
           .ok());
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, 5);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ((*store)->size(), 9u);
+    EXPECT_FALSE((*store)->Lookup(Coalition::Of({9}), nullptr));
+    (*store)->Put(Coalition::Of({0, 9}), {4.5, 0.0});
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  Result<std::unique_ptr<UtilityStore>> reopened =
+      UtilityStore::Open(path, 5);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 10u);
+  UtilityRecord record;
+  ASSERT_TRUE((*reopened)->Lookup(Coalition::Of({0, 9}), &record));
+  EXPECT_DOUBLE_EQ(record.utility, 4.5);
+}
+
+TEST(UtilityStoreTest, CorruptManifestAndNonStoreFilesRejected) {
+  const std::string path = TempPath("corrupt.fsus");
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, 5);
+    ASSERT_TRUE(store.ok());
+    (*store)->Put(Coalition::Of({1}), {0.5, 0.0});
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  ASSERT_TRUE(WriteFileAtomic(path + "/MANIFEST", "garbage bytes").ok());
   EXPECT_FALSE(UtilityStore::Open(path, 5).ok());
 
-  // Not a store file at all.
+  // A regular file that is neither a v1 store nor a segment directory.
+  fs::remove_all(path);
   ASSERT_TRUE(WriteFileAtomic(path, "definitely not a store").ok());
   EXPECT_FALSE(UtilityStore::Open(path, 5).ok());
-  std::remove(path.c_str());
+}
+
+TEST(UtilityStoreTest, MigratesV1FileBitIdentically) {
+  const std::string path = TempPath("migrate.fsus");
+  const uint64_t fingerprint = 0xfeedbeefULL;
+  // Synthesize a legacy v1 single-file store: framed fingerprint + count
+  // + (coalition, utility, cost) triples.
+  const std::vector<std::pair<Coalition, UtilityRecord>> entries = {
+      {Coalition(), {0.015625, 1.0}},
+      {Coalition::Of({0}), {-0.25, 2.5}},
+      {Coalition::Of({1, 3, 200}), {0.7071067811865476, 0.125}},
+      {Coalition::Full(30), {-1e-300, 3600.0}},
+  };
+  ByteWriter writer;
+  writer.PutU64(fingerprint);
+  writer.PutVarint(entries.size());
+  for (const auto& [coalition, record] : entries) {
+    PutCoalition(writer, coalition);
+    writer.PutDouble(record.utility);
+    writer.PutDouble(record.cost_seconds);
+  }
+  ASSERT_TRUE(
+      WriteFileAtomic(path, EncodeFramed(UtilityStore::kMagic,
+                                         /*version=*/1, writer.bytes()))
+          .ok());
+
+  // Open migrates in place: the path becomes a segment directory and
+  // every record survives bit-identically.
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, fingerprint);
+    ASSERT_TRUE(store.ok());
+    EXPECT_TRUE(fs::is_directory(path));
+    EXPECT_EQ((*store)->loaded_entries(), entries.size());
+    for (const auto& [coalition, record] : entries) {
+      UtilityRecord read;
+      ASSERT_TRUE((*store)->Lookup(coalition, &read));
+      EXPECT_DOUBLE_EQ(read.utility, record.utility);
+      EXPECT_DOUBLE_EQ(read.cost_seconds, record.cost_seconds);
+    }
+    // The migrated store accepts appends like any other.
+    (*store)->Put(Coalition::Of({7}), {9.0, 0.0});
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  Result<std::unique_ptr<UtilityStore>> reopened =
+      UtilityStore::Open(path, fingerprint);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), entries.size() + 1);
+
+  // A v1 file with the wrong fingerprint refuses to migrate.
+  const std::string other = TempPath("migrate_wrong.fsus");
+  ASSERT_TRUE(
+      WriteFileAtomic(other, EncodeFramed(UtilityStore::kMagic,
+                                          /*version=*/1, writer.bytes()))
+          .ok());
+  EXPECT_EQ(UtilityStore::Open(other, 0xdeadULL).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(UtilityStoreTest, CompactionMergesSegmentsAndDropsDuplicates) {
+  const std::string path = TempPath("compact.fsus");
+  Result<std::unique_ptr<UtilityStore>> store =
+      UtilityStore::Open(path, 11);
+  ASSERT_TRUE(store.ok());
+  (*store)->set_segment_target_bytes(4096);
+  // Every coalition written twice: the second value supersedes the first
+  // and compaction reclaims the dead bytes.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 150; ++i) {
+      Coalition c = Coalition::Of({i % 100, 100 + i / 100});
+      (*store)->Put(c, {static_cast<double>(i + pass * 1000), 0.0});
+    }
+  }
+  ASSERT_TRUE((*store)->CompactNow().ok());
+  UtilityStoreStats stats = (*store)->stats();
+  EXPECT_EQ(stats.entries, 150u);
+  EXPECT_EQ(stats.sealed_segments, 1u);
+  EXPECT_GE(stats.compactions, 1u);
+  for (int i = 0; i < 150; ++i) {
+    Coalition c = Coalition::Of({i % 100, 100 + i / 100});
+    UtilityRecord read;
+    ASSERT_TRUE((*store)->Lookup(c, &read));
+    EXPECT_DOUBLE_EQ(read.utility, static_cast<double>(i + 1000));
+  }
+  store->reset();
+  Result<std::unique_ptr<UtilityStore>> reopened =
+      UtilityStore::Open(path, 11);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 150u);
+  UtilityRecord read;
+  ASSERT_TRUE((*reopened)->Lookup(Coalition::Of({0, 100}), &read));
+  EXPECT_DOUBLE_EQ(read.utility, 1000.0);
+}
+
+TEST(UtilityStoreTest, CompactionKilledMidSwapRecoversFromOldManifest) {
+  const std::string path = TempPath("killswap.fsus");
+  {
+    Result<std::unique_ptr<UtilityStore>> store =
+        UtilityStore::Open(path, 13);
+    ASSERT_TRUE(store.ok());
+    (*store)->set_segment_target_bytes(4096);
+    for (int i = 0; i < 300; ++i) {
+      (*store)->Put(Coalition::Of({i % 100, 100 + i / 100}),
+                    {static_cast<double>(i), 0.0});
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_GE((*store)->stats().sealed_segments, 1u);
+  }
+  // Simulate a compaction killed after writing its merged segment but
+  // before the manifest swap: a stray sealed file not in the manifest.
+  const std::string stray = ActiveSegmentPath(path, 99);
+  fs::copy_file(ActiveSegmentPath(path, 1), stray);
+  ASSERT_TRUE(fs::exists(stray));
+
+  Result<std::unique_ptr<UtilityStore>> reopened =
+      UtilityStore::Open(path, 13);
+  ASSERT_TRUE(reopened.ok());
+  // The old manifest stays authoritative: every record intact, the
+  // half-finished merge segment deleted.
+  EXPECT_EQ((*reopened)->size(), 300u);
+  EXPECT_FALSE(fs::exists(stray));
+  UtilityRecord read;
+  ASSERT_TRUE((*reopened)->Lookup(Coalition::Of({5, 100}), &read));
+  EXPECT_DOUBLE_EQ(read.utility, 5.0);
+}
+
+TEST(UtilityStoreTest, ByteBudgetEvictsColdSegmentsButServesEverything) {
+  const std::string path = TempPath("evict.fsus");
+  Result<std::unique_ptr<UtilityStore>> store =
+      UtilityStore::Open(path, 17);
+  ASSERT_TRUE(store.ok());
+  (*store)->set_segment_target_bytes(4096);
+  // Stay under kCompactMinSegments sealed segments so background
+  // compaction does not merge away the eviction candidates.
+  std::vector<Coalition> coalitions;
+  for (int i = 0; i < 450 && (*store)->stats().sealed_segments < 3; ++i) {
+    Coalition c = Coalition::Of({i % 100, 100 + i / 100});
+    (*store)->Put(c, {static_cast<double>(i), 0.0});
+    coalitions.push_back(c);
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_GE((*store)->stats().sealed_segments, 2u);
+
+  // Budget fits roughly one segment: lookups across all segments force
+  // LRU eviction and transparent remaps, never a wrong or lost record.
+  (*store)->set_byte_budget(8192);
+  for (size_t i = 0; i < coalitions.size(); ++i) {
+    UtilityRecord read;
+    ASSERT_TRUE((*store)->Lookup(coalitions[i], &read)) << "entry " << i;
+    EXPECT_DOUBLE_EQ(read.utility, static_cast<double>(i));
+  }
+  UtilityStoreStats stats = (*store)->stats();
+  EXPECT_LE(stats.mapped_bytes, 8192u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.byte_budget, 8192u);
+}
+
+TEST(UtilityStoreTest, EvictionNeverDropsUnflushedRecords) {
+  const std::string path = TempPath("unflushed.fsus");
+  Result<std::unique_ptr<UtilityStore>> store =
+      UtilityStore::Open(path, 19);
+  ASSERT_TRUE(store.ok());
+  // A budget below any segment size: nothing sealed may stay mapped.
+  (*store)->set_byte_budget(1);
+  for (int i = 0; i < 5; ++i) {
+    (*store)->Put(Coalition::Of({i}), {static_cast<double>(i), 0.0});
+  }
+  // The records are dirty (never flushed) yet must all be served from
+  // the in-memory active set — eviction only unmaps sealed segments.
+  EXPECT_TRUE((*store)->dirty());
+  for (int i = 0; i < 5; ++i) {
+    UtilityRecord read;
+    ASSERT_TRUE((*store)->Lookup(Coalition::Of({i}), &read));
+    EXPECT_DOUBLE_EQ(read.utility, static_cast<double>(i));
+  }
 }
 
 TEST(UtilityStoreTest, StemPathEncodesFingerprint) {
@@ -196,27 +423,28 @@ TEST(UtilityStoreTest, StemPathEncodesFingerprint) {
 
 TEST(UtilityCacheStoreTest, WriteThroughAndCrossProcessReuse) {
   const std::string path = TempPath("integration.fsus");
-  std::remove(path.c_str());
   CountingUtility fn(6);
   const uint64_t fingerprint = fn.Fingerprint();
 
-  // "Process 1": computes five utilities, each flushed as it lands.
+  // "Process 1": computes five utilities, each flushed as it lands
+  // (flush_bytes=1 makes every appended byte trip the interval).
   {
     Result<std::unique_ptr<UtilityStore>> store =
         UtilityStore::Open(path, fingerprint);
     ASSERT_TRUE(store.ok());
     UtilityCache cache(&fn);
-    cache.AttachStore(store->get(), /*flush_every=*/1);
+    cache.AttachStore(store->get(), /*flush_bytes=*/1);
     UtilitySession session(&cache);
     for (int i = 0; i < 5; ++i) {
       ASSERT_TRUE(session.Evaluate(Coalition::Of({i})).ok());
     }
     EXPECT_EQ(fn.calls(), 5);
-    EXPECT_FALSE((*store)->dirty());  // flush_every=1 persisted everything
+    EXPECT_FALSE((*store)->dirty());  // flush_bytes=1 persisted everything
   }
 
-  // "Process 2": a fresh cache preloads the store; repeated coalitions
-  // cost no new trainings and are charged their recorded costs.
+  // "Process 2": a fresh cache reads through to the store on miss;
+  // repeated coalitions cost no new trainings and are charged their
+  // recorded costs.
   {
     Result<std::unique_ptr<UtilityStore>> store =
         UtilityStore::Open(path, fingerprint);
@@ -224,8 +452,9 @@ TEST(UtilityCacheStoreTest, WriteThroughAndCrossProcessReuse) {
     EXPECT_EQ((*store)->loaded_entries(), 5u);
     UtilityCache cache(&fn);
     cache.AttachStore(store->get());
-    EXPECT_EQ(cache.preloaded(), 5u);
-    EXPECT_EQ(cache.size(), 5u);
+    // Read-through is lazy: nothing enters the cache until asked for.
+    EXPECT_EQ(cache.preloaded(), 0u);
+    EXPECT_EQ(cache.size(), 0u);
     UtilitySession session(&cache);
     for (int i = 0; i < 5; ++i) {
       Result<double> u = session.Evaluate(Coalition::Of({i}));
@@ -235,6 +464,8 @@ TEST(UtilityCacheStoreTest, WriteThroughAndCrossProcessReuse) {
     EXPECT_EQ(fn.calls(), 5);  // no re-training across "processes"
     EXPECT_EQ(cache.hits(), 5u);
     EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.preloaded(), 5u);
+    EXPECT_EQ(cache.size(), 5u);
     // A genuinely new coalition still computes and persists.
     ASSERT_TRUE(session.Evaluate(Coalition::Of({0, 1})).ok());
     EXPECT_EQ(fn.calls(), 6);
@@ -246,7 +477,6 @@ TEST(UtilityCacheStoreTest, WriteThroughAndCrossProcessReuse) {
     ASSERT_TRUE(store.ok());
     EXPECT_EQ((*store)->loaded_entries(), 6u);
   }
-  std::remove(path.c_str());
 }
 
 TEST(UtilityFingerprintTest, DistinguishesWorkloads) {

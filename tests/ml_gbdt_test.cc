@@ -50,9 +50,11 @@ TEST(GbdtTest, FitOnGatheredViewMatchesFitOnMergedDataset) {
 
   ASSERT_EQ(from_view.num_trees(), from_merge.num_trees());
   Dataset probe = MakeBinary(200, 34);
+  std::vector<float> row(static_cast<size_t>(probe.num_features()));
   for (size_t i = 0; i < probe.size(); ++i) {
-    EXPECT_EQ(from_view.PredictLogit(probe.Row(i)),
-              from_merge.PredictLogit(probe.Row(i)))
+    probe.CopyRow(i, row.data());
+    EXPECT_EQ(from_view.PredictLogit(row.data()),
+              from_merge.PredictLogit(row.data()))
         << "row " << i;
   }
 }
@@ -126,11 +128,13 @@ TEST(GbdtTest, PredictionProbabilitiesAreCalibratedSigmoids) {
   Dataset data = MakeBinary(400, 7);
   Gbdt booster(GbdtConfig{});
   ASSERT_TRUE(booster.Fit(data).ok());
+  std::vector<float> row(static_cast<size_t>(data.num_features()));
   for (size_t i = 0; i < 20; ++i) {
-    const double p = booster.PredictProbability(data.Row(i));
+    data.CopyRow(i, row.data());
+    const double p = booster.PredictProbability(row.data());
     EXPECT_GT(p, 0.0);
     EXPECT_LT(p, 1.0);
-    const double logit = booster.PredictLogit(data.Row(i));
+    const double logit = booster.PredictLogit(row.data());
     EXPECT_NEAR(p, 1.0 / (1.0 + std::exp(-logit)), 1e-12);
   }
 }
@@ -150,9 +154,11 @@ TEST(GbdtTest, DeterministicAcrossFits) {
   Gbdt a(GbdtConfig{}), b(GbdtConfig{});
   ASSERT_TRUE(a.Fit(data).ok());
   ASSERT_TRUE(b.Fit(data).ok());
+  std::vector<float> row(static_cast<size_t>(data.num_features()));
   for (size_t i = 0; i < 10; ++i) {
-    EXPECT_DOUBLE_EQ(a.PredictLogit(data.Row(i)),
-                     b.PredictLogit(data.Row(i)));
+    data.CopyRow(i, row.data());
+    EXPECT_DOUBLE_EQ(a.PredictLogit(row.data()),
+                     b.PredictLogit(row.data()));
   }
 }
 

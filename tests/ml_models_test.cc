@@ -162,7 +162,9 @@ TEST_P(ModelSuite, PredictOutputShape) {
   Dataset data = MakeData(3, 12);
   std::unique_ptr<Model> model = MakeModel(data, 13);
   std::vector<float> out;
-  model->Predict(data.Row(0), out);
+  std::vector<float> row(static_cast<size_t>(data.num_features()));
+  data.CopyRow(0, row.data());
+  model->Predict(row.data(), out);
   EXPECT_EQ(static_cast<int>(out.size()), model->NumOutputs());
   if (Case().classification) {
     // Softmax outputs sum to 1.

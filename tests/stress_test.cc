@@ -114,7 +114,7 @@ TEST(DatasetFuzzTest, SubsetMergeRoundTrip) {
     auto signature = [](const Dataset& d) {
       std::multiset<std::pair<float, float>> sig;
       for (size_t i = 0; i < d.size(); ++i) {
-        sig.emplace(d.Row(i)[0], d.Target(i));
+        sig.emplace(d.Value(i, 0), d.Target(i));
       }
       return sig;
     };

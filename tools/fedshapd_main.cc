@@ -110,6 +110,17 @@ void PrintJobLine(const JobStatus& status) {
   std::printf("\n");
 }
 
+/// Segment-store counters aggregated over every attached workload store
+/// (zero when no workload of this process opened its store).
+void PrintStoreLine(const ServiceStats& stats) {
+  std::printf("[fedshapd] store entries=%zu segments=%zu bytes=%llu "
+              "mapped=%llu evictions=%zu compactions=%zu\n",
+              stats.store_entries, stats.store_segments,
+              static_cast<unsigned long long>(stats.store_bytes),
+              static_cast<unsigned long long>(stats.store_mapped_bytes),
+              stats.store_evictions, stats.store_compactions);
+}
+
 void PrintValues(const JobStatus& status) {
   std::printf("values %s", status.name.c_str());
   for (double value : status.result.values) std::printf(" %.17g", value);
@@ -169,6 +180,7 @@ int RunService(const CliOptions& options,
     for (const JobStatus& status : service.ListJobs()) {
       PrintJobLine(status);
     }
+    PrintStoreLine(service.stats());
     service.Stop();
     return 0;
   }
@@ -231,6 +243,7 @@ int RunService(const CliOptions& options,
               stats.jobs_done, stats.jobs_failed, stats.jobs_cancelled,
               stats.slices_executed, stats.workloads,
               stats.trainings_computed, stats.trainings_preloaded);
+  PrintStoreLine(stats);
 
   if (!all_terminal) {
     std::printf("[fedshapd] halted with jobs in flight; rerun with the "
