@@ -4,11 +4,20 @@
 /// data with MLP and CNN models. The paper's finding (and Thm. 2): MC-SV
 /// has lower variance; both schemes' variance collapses once gamma covers
 /// nearly all coalitions.
+///
+/// A second section compares fixed vs adaptive (Neyman) stratum
+/// allocation of the shared-pool estimator (n >= 6, where allocation has
+/// room to matter) and emits trainings-to-target-error plus the
+/// across-run variance into BenchJson (--json);
+/// tools/check_bench_regression.py tracks both as lower-is-better.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "common.h"
+#include "core/stratified.h"
+#include "core/valuation_metrics.h"
 #include "util/table.h"
 
 using namespace fedshap;
@@ -39,6 +48,7 @@ int main(int argc, char** argv) {
                   std::to_string(runs) + " runs/point)")
                      .c_str(),
                  options);
+  BenchJson json("bench_fig10_variance");
 
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
     for (int n : {3, 6, 10}) {
@@ -46,7 +56,7 @@ int main(int argc, char** argv) {
                             options);
       // Touch the ground truth so every coalition is cached; the variance
       // sweep then runs entirely against cached utilities.
-      runner.GroundTruth();
+      const std::vector<double>& exact = runner.GroundTruth();
 
       // Per-client stratified estimator (the m_{i,k} reading of Alg. 1):
       // every client covers every stratum, so the run-to-run variance
@@ -88,7 +98,105 @@ int main(int argc, char** argv) {
       std::printf("--- %s ---\n", runner.description().c_str());
       table.Print(std::cout);
       std::printf("\n");
+
+      // Fixed vs adaptive (Neyman) allocation of the shared-pool
+      // estimator (Alg. 1, MC-SV, PairPolicy::kEvaluateOnDemand on both
+      // arms so trainings are comparable). Across-run variance is the
+      // Fig. 10 reading; trainings-to-target-error is the headline CI
+      // metric, with the target self-calibrated to the worse arm's best
+      // ladder error (floored at 0.2) so both arms always reach it.
+      // Skipped at n=3: 7 coalitions leave no room to allocate.
+      if (n < 6) continue;
+      struct Arm {
+        Arm(const char* name, bool adaptive)
+            : name(name), adaptive(adaptive) {}
+        const char* name;
+        bool adaptive;
+        std::vector<double> errors, trainings;
+        double best_error = 1e300;
+        double to_target = -1.0;
+        double last_variance = 0.0;
+      };
+      Arm arms[2] = {{"fixed", false}, {"neyman", true}};
+      ConsoleTable alloc_table(
+          {"gamma", "allocation", "Var", "mean err", "mean trainings"});
+      for (int gamma : {16, 32, 64, 128}) {
+        for (Arm& arm : arms) {
+          std::vector<std::vector<double>> value_samples;
+          double err_sum = 0.0, train_sum = 0.0;
+          for (int run = 0; run < runs; ++run) {
+            const uint64_t seed = options.seed + 131 * run + gamma;
+            UtilitySession session(&runner.cache());
+            Result<ValuationResult> result =
+                [&]() -> Result<ValuationResult> {
+              if (arm.adaptive) {
+                AdaptiveAllocationConfig config;
+                config.total_rounds = gamma;
+                config.seed = seed;
+                config.pair_policy = PairPolicy::kEvaluateOnDemand;
+                return AdaptiveStratifiedShapley(session, config);
+              }
+              StratifiedConfig config;
+              config.total_rounds = gamma;
+              config.seed = seed;
+              config.pair_policy = PairPolicy::kEvaluateOnDemand;
+              return StratifiedSamplingShapley(session, config);
+            }();
+            if (!result.ok()) {
+              std::fprintf(stderr, "%s allocation failed: %s\n", arm.name,
+                           result.status().ToString().c_str());
+              return 1;
+            }
+            value_samples.push_back(result->values);
+            err_sum += RelativeL2Error(exact, result->values);
+            train_sum += static_cast<double>(result->num_trainings);
+          }
+          const double variance = TotalVariance(value_samples, n);
+          arm.errors.push_back(err_sum / runs);
+          arm.trainings.push_back(train_sum / runs);
+          arm.best_error = std::min(arm.best_error, arm.errors.back());
+          arm.last_variance = variance;
+          alloc_table.AddRow({std::to_string(gamma), arm.name,
+                              FormatDouble(variance, 6),
+                              FormatDouble(arm.errors.back(), 4),
+                              FormatDouble(arm.trainings.back(), 1)});
+        }
+        alloc_table.AddSeparator();
+      }
+      const double target_error =
+          std::max({0.2, arms[0].best_error, arms[1].best_error});
+      std::printf(
+          "--- %s: fixed vs Neyman allocation (target err %.3f) ---\n",
+          runner.description().c_str(), target_error);
+      alloc_table.Print(std::cout);
+      for (Arm& arm : arms) {
+        for (size_t i = 0; i < arm.errors.size(); ++i) {
+          if (arm.errors[i] <= target_error) {
+            arm.to_target = arm.trainings[i];
+            break;
+          }
+        }
+        BenchJson::Record& record =
+            json.Add(std::string("alloc_") + ModelKindName(kind) + "_n" +
+                     std::to_string(n) + "_" + arm.name);
+        record.Label("model", ModelKindName(kind))
+            .Label("n", std::to_string(n))
+            .Label("allocation", arm.name)
+            .Metric("target_rel_l2", target_error)
+            .Metric("best_rel_l2", arm.best_error)
+            .Metric("total_variance", arm.last_variance)
+            .Metric("trainings_to_target_error", arm.to_target);
+        std::printf("%s: trainings to err<=%.3f: %.1f\n", arm.name,
+                    target_error, arm.to_target);
+      }
+      std::printf("\n");
     }
+  }
+  Status written = json.WriteTo(options.json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "writing --json failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -3,12 +3,19 @@
 /// with ten clients (MLP and CNN). Multiple independent runs per point
 /// yield mean and standard deviation, exposing both convergence speed and
 /// stability (the paper: IPSS reaches low error fastest and most stably).
+///
+/// A second section compares fixed vs adaptive (Neyman) stratum
+/// allocation of Alg. 1 on the same workloads and emits the headline
+/// trainings-to-target-error number into BenchJson (--json), where
+/// tools/check_bench_regression.py tracks it as lower-is-better.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 
 #include "common.h"
+#include "core/stratified.h"
 #include "core/valuation_metrics.h"
 #include "util/table.h"
 
@@ -22,6 +29,7 @@ int main(int argc, char** argv) {
                   std::to_string(repeats) + " runs per point)")
                      .c_str(),
                  options);
+  BenchJson json("bench_fig7_sampling_rounds");
 
   for (ModelKind kind : {ModelKind::kMlp, ModelKind::kCnn}) {
     ScenarioRunner runner(MakeFemnistScenario(10, kind, options),
@@ -56,6 +64,95 @@ int main(int argc, char** argv) {
     std::printf("--- %s ---\n", runner.description().c_str());
     table.Print(std::cout);
     std::printf("\n");
+
+    // Fixed vs adaptive (Neyman) stratum allocation of Alg. 1 on the
+    // same workload. Both arms run PairPolicy::kEvaluateOnDemand — the
+    // Theorem 1/2 estimator, where every drawn coalition contributes a
+    // pair — so num_trainings counts the same thing on both sides. The
+    // headline number is trainings-to-target-error: the mean distinct
+    // trainings at the first ladder gamma whose mean error reaches the
+    // target. The target self-calibrates to the worse arm's best ladder
+    // error (floored at 0.2) so both arms always reach it and the metric
+    // stays present — and seeded-deterministic — at every --scale.
+    struct Arm {
+      Arm(const char* name, bool adaptive)
+          : name(name), adaptive(adaptive) {}
+      const char* name;
+      bool adaptive;
+      std::vector<double> errors, trainings;
+      double best_error = 1e300;
+      double to_target = -1.0;
+    };
+    Arm arms[2] = {{"fixed", false}, {"neyman", true}};
+    ConsoleTable alloc_table(
+        {"gamma", "allocation", "mean err", "mean trainings"});
+    for (int gamma : {16, 32, 64, 128, 256}) {
+      for (Arm& arm : arms) {
+        double err_sum = 0.0, train_sum = 0.0;
+        for (int rep = 0; rep < repeats; ++rep) {
+          const uint64_t seed = options.seed + 131 * rep + gamma;
+          UtilitySession session(&runner.cache());
+          Result<ValuationResult> run = [&]() -> Result<ValuationResult> {
+            if (arm.adaptive) {
+              AdaptiveAllocationConfig config;
+              config.total_rounds = gamma;
+              config.seed = seed;
+              config.pair_policy = PairPolicy::kEvaluateOnDemand;
+              return AdaptiveStratifiedShapley(session, config);
+            }
+            StratifiedConfig config;
+            config.total_rounds = gamma;
+            config.seed = seed;
+            config.pair_policy = PairPolicy::kEvaluateOnDemand;
+            return StratifiedSamplingShapley(session, config);
+          }();
+          if (!run.ok()) {
+            std::fprintf(stderr, "%s allocation failed: %s\n", arm.name,
+                         run.status().ToString().c_str());
+            return 1;
+          }
+          err_sum += RelativeL2Error(exact, run->values);
+          train_sum += static_cast<double>(run->num_trainings);
+        }
+        arm.errors.push_back(err_sum / repeats);
+        arm.trainings.push_back(train_sum / repeats);
+        arm.best_error = std::min(arm.best_error, arm.errors.back());
+        alloc_table.AddRow({std::to_string(gamma), arm.name,
+                            FormatDouble(arm.errors.back(), 4),
+                            FormatDouble(arm.trainings.back(), 1)});
+      }
+      alloc_table.AddSeparator();
+    }
+    const double target_error =
+        std::max({0.2, arms[0].best_error, arms[1].best_error});
+    std::printf("--- %s: fixed vs Neyman allocation (target err %.3f) ---\n",
+                runner.description().c_str(), target_error);
+    alloc_table.Print(std::cout);
+    for (Arm& arm : arms) {
+      for (size_t i = 0; i < arm.errors.size(); ++i) {
+        if (arm.errors[i] <= target_error) {
+          arm.to_target = arm.trainings[i];
+          break;
+        }
+      }
+      BenchJson::Record& record =
+          json.Add(std::string("alloc_") + ModelKindName(kind) + "_" +
+                   arm.name);
+      record.Label("model", ModelKindName(kind))
+          .Label("allocation", arm.name)
+          .Metric("target_rel_l2", target_error)
+          .Metric("best_rel_l2", arm.best_error)
+          .Metric("trainings_to_target_error", arm.to_target);
+      std::printf("%s: trainings to err<=%.3f: %.1f\n", arm.name,
+                  target_error, arm.to_target);
+    }
+    std::printf("\n");
+  }
+  Status written = json.WriteTo(options.json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "writing --json failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "baselines/cc_shapley.h"
 
+#include "core/stratified.h"
 #include "util/combinatorics.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -16,11 +17,11 @@ Result<ValuationResult> CcShapley(UtilitySession& session,
   Stopwatch timer;
   Rng rng(config.seed);
 
-  // stratum_sum[i][k-1] accumulates client i's complementary contributions
-  // whose "with-i" coalition has size k; stratum_count tracks sample sizes.
-  std::vector<std::vector<double>> stratum_sum(
-      n, std::vector<double>(n, 0.0));
-  std::vector<std::vector<int>> stratum_count(n, std::vector<int>(n, 0));
+  // strata[i][k-1] accumulates client i's complementary contributions
+  // whose "with-i" coalition has size k, as the shared running-moment
+  // statistics of the stratified framework (core/stratified.h).
+  std::vector<std::vector<StratumMoments>> strata(
+      n, std::vector<StratumMoments>(n));
 
   // Draw every round's (S, N\S) pair first — the rng stream does not
   // depend on utilities — then train the whole batch across the session's
@@ -49,13 +50,11 @@ Result<ValuationResult> CcShapley(UtilitySession& session,
     // One pair informs every client (Zhang et al.'s key efficiency trick).
     for (int i = 0; i < n; ++i) {
       if (s.Contains(i)) {
-        stratum_sum[i][k - 1] += cc;
-        ++stratum_count[i][k - 1];
+        strata[i][k - 1].Add(cc);
       } else {
         const int comp_size = n - k;
         if (comp_size >= 1) {
-          stratum_sum[i][comp_size - 1] += -cc;
-          ++stratum_count[i][comp_size - 1];
+          strata[i][comp_size - 1].Add(-cc);
         }
       }
     }
@@ -65,9 +64,7 @@ Result<ValuationResult> CcShapley(UtilitySession& session,
   for (int i = 0; i < n; ++i) {
     double total = 0.0;
     for (int k = 0; k < n; ++k) {
-      if (stratum_count[i][k] > 0) {
-        total += stratum_sum[i][k] / stratum_count[i][k];
-      }
+      if (strata[i][k].count > 0) total += strata[i][k].Mean();
     }
     values[i] = total / n;
   }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/stratified.h"
 #include "util/combinatorics.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -150,6 +151,24 @@ Result<ValuationResult> IpssShapley(UtilitySession& session,
     for (size_t j = 0; j < pruned_sample.size(); ++j) {
       utilities.emplace(pruned_sample[j], pruned_u[j]);
     }
+    // Observability: the sampled stratum's marginal-contribution spread,
+    // accumulated as the stratified framework's running moments (every
+    // pair S \ {i} has size k* and is exhaustively evaluated). The
+    // adaptive allocator (core/stratified.h) reads the same statistic
+    // when it decides where the next rounds go; here it tells an
+    // operator how noisy IPSS's one sampled stratum actually was.
+    StratumMoments pruned_moments;
+    for (size_t j = 0; j < pruned_sample.size(); ++j) {
+      for (int i : pruned_sample[j].Members()) {
+        const auto it = utilities.find(pruned_sample[j].Without(i));
+        if (it != utilities.end()) {
+          pruned_moments.Add(pruned_u[j] - it->second);
+        }
+      }
+    }
+    FEDSHAP_LOG(Debug) << "[ipss] pruned stratum k=" << (k_star + 1)
+                       << " samples=" << pruned_moments.count
+                       << " sigma=" << pruned_moments.StdDev();
   }
 
   // ---- Lines 15-17: MC-SV estimate over the evaluated coalitions. ----

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/ipss.h"
@@ -34,6 +35,16 @@ namespace fedshap {
 ///
 /// Either works alone (snapshots alone resume correctly; the store alone
 /// makes a re-run cheap), but together a relaunch costs seconds.
+
+/// Frame tag of snapshot files/strings ("FSSN" little-endian). Exposed
+/// for tools and the version-gating tests.
+constexpr uint32_t kSweepSnapshotMagic = 0x4e535346u;
+/// Current snapshot frame version. Version 2 added the adaptive
+/// allocation state (AdaptiveStratifiedSweep); version 1 snapshots —
+/// written before that state existed — still restore, because the
+/// decoder accepts any version <= the current one and the version-1
+/// payload layouts are unchanged.
+constexpr uint32_t kSweepSnapshotVersion = 2;
 
 /// Interface of a valuation estimator that can checkpoint mid-run.
 ///
@@ -250,6 +261,98 @@ class PermutationMcSweep : public ResumableEstimator {
   /// Sum of sampled marginal contributions per client.
   std::vector<double> sums_;
   Rng rng_;
+  double wall_accum_ = 0.0;
+};
+
+/// Resumable adaptive-allocation stratified sampling: Alg. 1's sampler
+/// with the per-stratum budget re-planned in flight (ROADMAP item 2).
+///
+/// The run proceeds in epochs. The first epoch is a pilot
+/// (`pilot_rounds_per_stratum` per stratum); every later epoch (1)
+/// optionally splits the sigma-pooling bucket dominating the error-bound
+/// estimate (RefineDominantBucket), then (2) re-splits the next
+/// `reallocate_every` rounds of the remaining budget over the strata by
+/// NeymanStratumAllocation, fed by the running per-stratum moments of
+/// all paired differences observed so far. One work unit = one sampling
+/// round (a duplicate draw consumes its round without re-evaluating,
+/// exactly like the fixed estimator).
+///
+/// Reallocation consumes observed utilities, so — unlike StratifiedSweep
+/// — the draw sequence is not a pure function of the configuration and
+/// cannot be re-planned on restore. Snapshots therefore carry the full
+/// allocation state: the draws and their utilities, the per-stratum
+/// moments, the bucket list, the current epoch plan + cursor and the
+/// live RNG state. Two invariants make resumption bit-identical at any
+/// checkpoint chunking and worker count: the RNG stream never depends on
+/// utilities within an epoch (plans change only at epoch boundaries,
+/// which fall at fixed round counts), and a pair contributes to the
+/// moments iff it was drawn strictly earlier in the global draw order —
+/// a batch-boundary-independent rule.
+class AdaptiveStratifiedSweep : public ResumableEstimator {
+ public:
+  /// Prepares an adaptive sweep over `n` clients; nothing is drawn yet.
+  AdaptiveStratifiedSweep(int n, const AdaptiveAllocationConfig& config);
+  const char* AlgorithmName() const override {
+    return "adaptive-stratified";
+  }
+
+  size_t total_units() const override;
+  size_t completed_units() const override { return rounds_spent_; }
+  bool done() const override;
+  Status Step(UtilitySession& session, int max_units) override;
+  Result<ValuationResult> Finish(UtilitySession& session) override;
+  Result<std::string> Snapshot() const override;
+  Status Restore(std::string_view snapshot) override;
+
+  /// Introspection for tests and benches: the running per-stratum
+  /// moments (size n, stratum k at index k-1)...
+  const std::vector<StratumMoments>& moments() const { return moments_; }
+  /// ...the current sigma-pooling buckets...
+  const std::vector<AllocationBucket>& buckets() const { return buckets_; }
+  /// ...the current epoch's per-stratum plan (empty before the first
+  /// step)...
+  const std::vector<int>& epoch_plan() const { return epoch_plan_; }
+  /// ...the cumulative rounds granted per stratum (size n)...
+  const std::vector<int64_t>& rounds_per_size() const {
+    return rounds_per_size_;
+  }
+  /// ...and how many Neyman reallocations have happened (pilot excluded).
+  int reallocations() const { return reallocations_; }
+
+ private:
+  uint64_t ConfigHash() const;
+  /// Installs the next epoch's plan: the pilot on the first call,
+  /// refinement + Neyman reallocation afterwards.
+  void BeginEpoch();
+  /// Draws and evaluates `count` rounds of the current epoch.
+  Status RunRounds(UtilitySession& session, size_t count);
+  /// Folds newly evaluated draws into the per-stratum moments. Under
+  /// PairPolicy::kEvaluateOnDemand missing pairs are evaluated through
+  /// `session` (the same evaluations Finish performs; the cache makes
+  /// them free there) so the moments see every difference the final
+  /// estimate will average.
+  Status FoldNewDraws(UtilitySession& session);
+
+  Status init_status_;
+  int n_ = 0;
+  AdaptiveAllocationConfig config_;
+  /// min(total_rounds, sum of stratum populations): the rounds the run
+  /// can actually place.
+  size_t effective_total_ = 0;
+  Rng rng_;
+  // Durable state (everything Snapshot carries).
+  size_t rounds_spent_ = 0;
+  std::vector<Coalition> draws_;     ///< Distinct draws, evaluation order.
+  std::vector<double> utilities_;    ///< utilities_[j] = U(draws_[j]).
+  std::vector<StratumMoments> moments_;  ///< Per stratum k=1..n.
+  std::vector<AllocationBucket> buckets_;
+  std::vector<int> epoch_plan_;      ///< Current epoch's m_k (size n).
+  size_t epoch_cursor_ = 0;          ///< Rounds consumed of this epoch.
+  std::vector<int64_t> rounds_per_size_;  ///< Cumulative granted rounds.
+  int reallocations_ = 0;
+  // Derived state, rebuilt on Restore.
+  std::unordered_map<Coalition, size_t, CoalitionHash> index_of_;
+  size_t moments_folded_ = 0;        ///< draws_ prefix already in moments_.
   double wall_accum_ = 0.0;
 };
 

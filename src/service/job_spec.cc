@@ -295,6 +295,8 @@ Result<JobSpec> JobSpec::FromLine(std::string_view line) {
     } else if (key == "chunk") {
       FEDSHAP_ASSIGN_OR_RETURN(spec.checkpoint_every,
                                ParseInteger(key, value));
+    } else if (key == "allocation") {
+      spec.allocation = std::string(value);
     } else if (key == "scenario") {
       spec.scenario.kind = std::string(value);
     } else if (key == "n") {
@@ -339,6 +341,15 @@ Result<JobSpec> JobSpec::FromLine(std::string_view line) {
   if (spec.checkpoint_every < 1) {
     return Status::InvalidArgument("chunk must be >= 1");
   }
+  if (spec.allocation != "fixed" && spec.allocation != "neyman") {
+    return Status::InvalidArgument("unknown allocation '" + spec.allocation +
+                                   "' (fixed|neyman)");
+  }
+  if (spec.allocation == "neyman" &&
+      spec.estimator != EstimatorKind::kStratified) {
+    return Status::InvalidArgument(
+        "allocation=neyman requires estimator=stratified");
+  }
   return spec;
 }
 
@@ -349,6 +360,7 @@ std::string JobSpec::ToLine() const {
                      " k=" + std::to_string(k) +
                      " seed=" + std::to_string(seed) +
                      " chunk=" + std::to_string(checkpoint_every) +
+                     " allocation=" + allocation +
                      " scenario=" + scenario.kind +
                      " n=" + std::to_string(scenario.n) +
                      " scenario-seed=" + std::to_string(scenario.seed);
@@ -420,6 +432,13 @@ Result<std::unique_ptr<ResumableEstimator>> MakeSweep(const JobSpec& spec,
           std::make_unique<IpssSweep>(n, config));
     }
     case EstimatorKind::kStratified: {
+      if (spec.allocation == "neyman") {
+        AdaptiveAllocationConfig config;
+        config.total_rounds = spec.gamma;
+        config.seed = spec.seed;
+        return std::unique_ptr<ResumableEstimator>(
+            std::make_unique<AdaptiveStratifiedSweep>(n, config));
+      }
       StratifiedConfig config;
       config.total_rounds = spec.gamma;
       config.seed = spec.seed;

@@ -125,6 +125,12 @@ struct JobSpec {
   /// many evaluations, bounding both checkpoint loss and the time a job
   /// can monopolize a worker.
   int checkpoint_every = 8;
+  /// Stratum budget allocation of the stratified estimator: "fixed"
+  /// (DefaultStratumAllocation up front) or "neyman" (the adaptive
+  /// estimator: periodic Neyman reallocation from running per-stratum
+  /// variance, see core/stratified.h). Only meaningful with
+  /// estimator=stratified; other estimators reject "neyman".
+  std::string allocation = "fixed";
   /// The workload to value.
   ScenarioSpec scenario;
 

@@ -1,9 +1,11 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <string>
 
 #include "util/status.h"
 
@@ -11,7 +13,12 @@ namespace fedshap {
 
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+int InitialLogLevel() {
+  return static_cast<int>(
+      ParseLogLevel(std::getenv("FEDSHAP_LOG_LEVEL"), LogLevel::kInfo));
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 
 // Serializes writes so concurrent log lines do not interleave.
 std::mutex& LogMutex() {
@@ -41,6 +48,17 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+LogLevel ParseLogLevel(const char* name, LogLevel fallback) {
+  if (name == nullptr) return fallback;
+  std::string lower(name);
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return fallback;
 }
 
 namespace internal {

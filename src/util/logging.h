@@ -15,10 +15,17 @@ enum class LogLevel {
 };
 
 /// Sets the minimum severity that is emitted; messages below it are
-/// dropped. Defaults to kInfo. Thread-safe.
+/// dropped. Defaults to kInfo, or to the FEDSHAP_LOG_LEVEL environment
+/// variable (`debug`/`info`/`warn`/`error`) when set at process start.
+/// Thread-safe.
 void SetLogLevel(LogLevel level);
 /// The current minimum emitted severity.
 LogLevel GetLogLevel();
+
+/// Parses a level name (`debug`/`info`/`warn[ing]`/`error`, case
+/// insensitive); returns `fallback` for null or unrecognized input.
+/// This is the FEDSHAP_LOG_LEVEL parser, exposed for tests.
+LogLevel ParseLogLevel(const char* name, LogLevel fallback);
 
 namespace internal {
 

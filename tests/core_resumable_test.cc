@@ -20,6 +20,7 @@
 #include "fl/utility_store.h"
 #include "ml/mlp.h"
 #include "test_util.h"
+#include "util/serialization.h"
 #include "util/thread_pool.h"
 
 namespace fedshap {
@@ -317,6 +318,225 @@ TEST(SweepLifecycleTest, InvalidConfigSurfacesOnUse) {
   EXPECT_FALSE(sweep.done());
   EXPECT_EQ(sweep.Step(session, 1).code(), StatusCode::kInvalidArgument);
   EXPECT_FALSE(sweep.Snapshot().ok());
+}
+
+// ---------------------------------------------------------------------------
+// The adaptive stratified sweep. Its epoch plans are a function of the
+// utilities it observed, so resumability here proves the hardest case:
+// the serialized state must carry the whole allocation decision process
+// (moments, buckets, plan, cursor), not just an RNG position.
+
+TEST(AdaptiveSweepTest, MatchesOneShotAdaptive) {
+  TableUtility fn = RandomTable(7, 43);
+  AdaptiveAllocationConfig config;
+  config.total_rounds = 36;
+  config.reallocate_every = 8;
+  config.seed = 15;
+
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  Result<ValuationResult> one_shot =
+      AdaptiveStratifiedShapley(session, config);
+  ASSERT_TRUE(one_shot.ok());
+
+  ValuationResult sweep = RunUninterrupted(fn, [&] {
+    return std::make_unique<AdaptiveStratifiedSweep>(7, config);
+  });
+  ExpectBitIdentical(one_shot->values, sweep.values);
+  EXPECT_EQ(sweep.num_trainings, one_shot->num_trainings);
+}
+
+TEST(AdaptiveSweepTest, ResumedBitIdenticalAcrossChunkSizes) {
+  // reallocate_every=8 with chunks 1/3/7 puts snapshot points inside
+  // epochs, exactly at epoch boundaries, and straddling a reallocation —
+  // every alignment the service's checkpoint_every can produce.
+  TableUtility fn = RandomTable(7, 47);
+  for (PairPolicy policy :
+       {PairPolicy::kRequireSampled, PairPolicy::kEvaluateOnDemand}) {
+    AdaptiveAllocationConfig config;
+    config.total_rounds = 40;
+    config.reallocate_every = 8;
+    config.pair_policy = policy;
+    config.seed = 21;
+    const auto make = [&] {
+      return std::make_unique<AdaptiveStratifiedSweep>(7, config);
+    };
+    ValuationResult uninterrupted = RunUninterrupted(fn, make);
+    for (int chunk : {1, 3, 7}) {
+      ValuationResult resumed = RunWithSnapshotsEveryStep(fn, make, chunk);
+      ExpectBitIdentical(uninterrupted.values, resumed.values);
+    }
+  }
+}
+
+TEST(AdaptiveSweepTest, ResumedBitIdenticalForCcScheme) {
+  TableUtility fn = MonotoneTable(6);
+  AdaptiveAllocationConfig config;
+  config.scheme = SvScheme::kComplementary;
+  config.total_rounds = 30;
+  config.reallocate_every = 6;
+  config.seed = 27;
+  const auto make = [&] {
+    return std::make_unique<AdaptiveStratifiedSweep>(6, config);
+  };
+  ValuationResult uninterrupted = RunUninterrupted(fn, make);
+  ValuationResult resumed = RunWithSnapshotsEveryStep(fn, make, 5);
+  ExpectBitIdentical(uninterrupted.values, resumed.values);
+}
+
+TEST(AdaptiveSweepTest, CrashMidReallocationReplaysNoTraining) {
+  // Fault injection against a durable utility store: kill the run right
+  // after a mid-epoch step (the allocation state is half-spent), restore
+  // from the snapshot into a fresh process image, and finish. The values
+  // must match the uninterrupted run bit for bit, and the two phases
+  // together must train each coalition exactly once — the crash repays
+  // zero trainings.
+  TableUtility fn = MonotoneTable(6);
+  AdaptiveAllocationConfig config;
+  config.total_rounds = 32;
+  config.reallocate_every = 8;
+  config.seed = 33;
+
+  ValuationResult uninterrupted = RunUninterrupted(fn, [&] {
+    return std::make_unique<AdaptiveStratifiedSweep>(6, config);
+  });
+  size_t uninterrupted_fresh = 0;
+  {
+    UtilityCache cache(&fn);
+    UtilitySession session(&cache);
+    AdaptiveStratifiedSweep sweep(6, config);
+    FEDSHAP_CHECK_OK(sweep.Run(session).status());
+    uninterrupted_fresh = session.num_fresh_trainings();
+  }
+
+  const std::string stem = TempPath("adaptive_crash_store");
+  std::remove(UtilityStore::StemPath(stem, fn.Fingerprint()).c_str());
+  std::string snapshot;
+  size_t fresh_before_crash = 0;
+  {
+    UtilityCache cache(&fn);
+    Result<std::unique_ptr<UtilityStore>> store =
+        OpenAndAttachStore(stem, /*resume=*/false, fn, cache);
+    ASSERT_TRUE(store.ok());
+    UtilitySession session(&cache);
+    AdaptiveStratifiedSweep sweep(6, config);
+    // 19 rounds: past the pilot (12 rounds at n=6) and 7 rounds into the
+    // first reallocated epoch — mid-epoch, plan half-executed.
+    ASSERT_TRUE(sweep.Step(session, 19).ok());
+    ASSERT_FALSE(sweep.done());
+    Result<std::string> snap = sweep.Snapshot();
+    ASSERT_TRUE(snap.ok());
+    snapshot = std::move(snap).value();
+    fresh_before_crash = session.num_fresh_trainings();
+    ASSERT_TRUE((*store)->Flush().ok());
+    // The process dies here: cache, session and sweep all vanish.
+  }
+  {
+    UtilityCache cache(&fn);
+    Result<std::unique_ptr<UtilityStore>> store =
+        OpenAndAttachStore(stem, /*resume=*/true, fn, cache);
+    ASSERT_TRUE(store.ok());
+    EXPECT_GT((*store)->loaded_entries(), 0u);
+    UtilitySession session(&cache);
+    AdaptiveStratifiedSweep sweep(6, config);
+    ASSERT_TRUE(sweep.Restore(snapshot).ok());
+    EXPECT_EQ(sweep.completed_units(), 19u);
+    while (!sweep.done()) {
+      ASSERT_TRUE(sweep.Step(session, 4).ok());
+    }
+    Result<ValuationResult> result = sweep.Finish(session);
+    ASSERT_TRUE(result.ok());
+    ExpectBitIdentical(uninterrupted.values, result->values);
+    // Every distinct coalition was trained exactly once across the two
+    // phases; the restored phase re-used the store for everything the
+    // first phase already paid for.
+    EXPECT_EQ(fresh_before_crash + session.num_fresh_trainings(),
+              uninterrupted_fresh);
+  }
+  std::remove(UtilityStore::StemPath(stem, fn.Fingerprint()).c_str());
+}
+
+TEST(AdaptiveSweepTest, ConfigMismatchRejected) {
+  AdaptiveAllocationConfig config;
+  config.total_rounds = 24;
+  config.seed = 7;
+  AdaptiveStratifiedSweep original(5, config);
+  Result<std::string> snapshot = original.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+
+  config.seed = 8;
+  AdaptiveStratifiedSweep different_seed(5, config);
+  EXPECT_EQ(different_seed.Restore(*snapshot).code(),
+            StatusCode::kFailedPrecondition);
+
+  config.seed = 7;
+  config.reallocate_every = 4;
+  AdaptiveStratifiedSweep different_epochs(5, config);
+  EXPECT_EQ(different_epochs.Restore(*snapshot).code(),
+            StatusCode::kFailedPrecondition);
+
+  config = {};
+  config.total_rounds = 24;
+  config.seed = 7;
+  config.coverage_per_client = 0.0;
+  AdaptiveStratifiedSweep different_coverage(5, config);
+  EXPECT_EQ(different_coverage.Restore(*snapshot).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotValidationTest, VersionOneSnapshotsStillRestore) {
+  // Snapshots written before the adaptive sweep existed carry frame
+  // version 1; a service upgrade must keep restoring them. The payload
+  // layout of the pre-existing sweeps did not change, so a v1 frame is
+  // simply the old version number around the same bytes.
+  TableUtility fn = MonotoneTable(5);
+  StratifiedConfig config;
+  config.total_rounds = 20;
+  config.seed = 3;
+  StratifiedSweep sweep(5, config);
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  ASSERT_TRUE(sweep.Step(session, 8).ok());
+  Result<std::string> snapshot = sweep.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+
+  Result<std::string_view> payload = DecodeFramed(
+      kSweepSnapshotMagic, kSweepSnapshotVersion, *snapshot);
+  ASSERT_TRUE(payload.ok());
+  const std::string v1 =
+      EncodeFramed(kSweepSnapshotMagic, 1, std::string(*payload));
+
+  StratifiedSweep restored(5, config);
+  ASSERT_TRUE(restored.Restore(v1).ok());
+  EXPECT_EQ(restored.completed_units(), 8u);
+
+  // A frame from a *future* version is rejected, not misparsed.
+  const std::string v9 = EncodeFramed(
+      kSweepSnapshotMagic, kSweepSnapshotVersion + 7,
+      std::string(*payload));
+  StratifiedSweep other(5, config);
+  EXPECT_FALSE(other.Restore(v9).ok());
+}
+
+TEST(AdaptiveSweepTest, CorruptedSnapshotRejectedAndTargetUsable) {
+  TableUtility fn = MonotoneTable(5);
+  AdaptiveAllocationConfig config;
+  config.total_rounds = 20;
+  config.seed = 11;
+  AdaptiveStratifiedSweep sweep(5, config);
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  ASSERT_TRUE(sweep.Step(session, 9).ok());
+  Result<std::string> snapshot = sweep.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+
+  std::string corrupted = *snapshot;
+  corrupted[corrupted.size() - 2] ^= 0x11;
+  AdaptiveStratifiedSweep target(5, config);
+  EXPECT_FALSE(target.Restore(corrupted).ok());
+  EXPECT_EQ(target.completed_units(), 0u);
+  EXPECT_TRUE(target.Restore(*snapshot).ok());
+  EXPECT_EQ(target.completed_units(), 9u);
 }
 
 // ---------------------------------------------------------------------------

@@ -19,12 +19,15 @@ mkdir -p "$DIR" || exit 1
 
 JOBS="$DIR/jobs.txt"
 cat > "$JOBS" <<'EOF'
-# Two resumable sweeps and a one-shot over one shared workload. n=8 so
+# Three resumable sweeps and a one-shot over one shared workload. n=8 so
 # exact-mc walks ~2^8 coalitions: enough store bytes that the segment
-# crash case below can rotate segments at the 4 KiB floor.
+# crash case below can rotate segments at the 4 KiB floor. Job d is the
+# adaptive (Neyman) stratified sweep — the kill can land mid-epoch with
+# the allocation state half-spent, the hardest resume case.
 name=a estimator=ipss gamma=24 chunk=4 seed=5 scenario=linreg n=8 scenario-seed=5
 name=b estimator=exact-mc chunk=8 scenario=linreg n=8 scenario-seed=5
 name=c estimator=loo scenario=linreg n=8 scenario-seed=5
+name=d estimator=stratified allocation=neyman gamma=24 chunk=4 seed=5 scenario=linreg n=8 scenario-seed=5
 EOF
 
 # Reference: the uninterrupted run.

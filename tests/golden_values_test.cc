@@ -26,6 +26,7 @@
 
 #include "core/exact.h"
 #include "core/ipss.h"
+#include "core/stratified.h"
 #include "data/synthetic.h"
 #include "fl/utility.h"
 #include "fl/utility_cache.h"
@@ -128,6 +129,45 @@ std::vector<double> IpssValues(const UtilityFunction& fn, int gamma,
   Result<ValuationResult> ipss = IpssShapley(session, config);
   FEDSHAP_CHECK_OK(ipss.status());
   return ipss->values;
+}
+
+std::vector<double> AdaptiveValues(const UtilityFunction& fn, int gamma,
+                                   uint64_t seed, PairPolicy policy) {
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  AdaptiveAllocationConfig config;
+  config.total_rounds = gamma;
+  config.seed = seed;
+  config.reallocate_every = 8;
+  config.pair_policy = policy;
+  Result<ValuationResult> adaptive = AdaptiveStratifiedShapley(session,
+                                                               config);
+  FEDSHAP_CHECK_OK(adaptive.status());
+  return adaptive->values;
+}
+
+/// The adaptive (Neyman) stratified estimator at fixed seeds: pins the
+/// draw stream, the moment folding and every reallocation decision. Any
+/// change to the allocator — a reordered epoch, a different coverage
+/// floor, a perturbed sigma estimate — moves these numbers.
+TEST(GoldenValues, AdaptiveStratified) {
+  GoldenMap actual;
+  {
+    TableUtility fn = testing_util::MonotoneTable(6);
+    actual.emplace_back(
+        "monotone6_g30_s11_sampled",
+        AdaptiveValues(fn, 30, 11, PairPolicy::kRequireSampled));
+    actual.emplace_back(
+        "monotone6_g30_s11_ondemand",
+        AdaptiveValues(fn, 30, 11, PairPolicy::kEvaluateOnDemand));
+  }
+  {
+    TableUtility fn = testing_util::RandomTable(7, 99);
+    actual.emplace_back(
+        "random7_g44_s3_sampled",
+        AdaptiveValues(fn, 44, 3, PairPolicy::kRequireSampled));
+  }
+  CheckGolden("adaptive_stratified", actual, kTableTol);
 }
 
 TEST(GoldenValues, PaperTableOne) {

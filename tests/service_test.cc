@@ -140,6 +140,70 @@ TEST(JobSpecTest, ParseJobFileSkipsCommentsAndRejectsDuplicates) {
                    .ok());
 }
 
+TEST(JobSpecTest, AllocationKeyRoundTripsAndValidates) {
+  // allocation=neyman selects the adaptive stratified sweep; the key
+  // must survive the persistence round trip like every other.
+  JobSpec spec = MakeJob("ney", EstimatorKind::kStratified,
+                         LinregScenario(6));
+  spec.allocation = "neyman";
+  Result<JobSpec> parsed = JobSpec::FromLine(spec.ToLine());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->allocation, "neyman");
+  EXPECT_EQ(parsed->ToLine(), spec.ToLine());
+
+  // Default stays "fixed" when the key is absent.
+  Result<JobSpec> plain = JobSpec::FromLine(
+      "name=a estimator=stratified gamma=8 scenario=linreg n=4");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->allocation, "fixed");
+
+  // Unknown values and non-stratified estimators are rejected.
+  EXPECT_FALSE(JobSpec::FromLine(
+                   "name=a estimator=stratified allocation=bogus "
+                   "scenario=linreg n=4")
+                   .ok());
+  EXPECT_FALSE(JobSpec::FromLine(
+                   "name=a estimator=ipss allocation=neyman "
+                   "scenario=linreg n=4")
+                   .ok());
+  EXPECT_FALSE(JobSpec::FromLine(
+                   "name=a estimator=loo allocation=neyman "
+                   "scenario=linreg n=4")
+                   .ok());
+}
+
+TEST(JobSpecTest, AllocationSelectsTheSweep) {
+  JobSpec spec = MakeJob("s", EstimatorKind::kStratified,
+                         LinregScenario(5));
+  Result<std::unique_ptr<ResumableEstimator>> fixed = MakeSweep(spec, 5);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_STREQ((*fixed)->AlgorithmName(), "stratified");
+
+  spec.allocation = "neyman";
+  Result<std::unique_ptr<ResumableEstimator>> adaptive = MakeSweep(spec, 5);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_STREQ((*adaptive)->AlgorithmName(), "adaptive-stratified");
+}
+
+TEST(ValuationServiceTest, NeymanAllocationJobRunsAndResumesLikeAnyOther) {
+  // The adaptive sweep through the whole service stack: same values as
+  // an isolated run, any worker count.
+  JobSpec job = MakeJob("ada", EstimatorKind::kStratified,
+                        LinregScenario(8), /*gamma=*/24, /*chunk=*/4);
+  job.allocation = "neyman";
+  ValuationResult isolated = RunIsolated(job);
+  ASSERT_EQ(isolated.values.size(), 8u);
+  for (int workers : {2, 4}) {
+    ServiceConfig config;
+    config.workers = workers;
+    ValuationService service(config);
+    ASSERT_TRUE(service.Submit(job).ok());
+    Result<ValuationResult> result = service.Wait(job.name);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->values, isolated.values) << "workers=" << workers;
+  }
+}
+
 TEST(JobSpecTest, EstimatorKindsRoundTripAndClassify) {
   const EstimatorKind kinds[] = {
       EstimatorKind::kIpss,        EstimatorKind::kAdaptiveIpss,

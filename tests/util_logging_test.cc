@@ -16,6 +16,18 @@ TEST(LoggingTest, LevelRoundTrip) {
   SetLogLevel(original);
 }
 
+TEST(LoggingTest, ParseLogLevelNamesAndFallback) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("DEBUG", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn", LogLevel::kInfo), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("Warning", LogLevel::kInfo), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel(nullptr, LogLevel::kWarning),
+            LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("bogus", LogLevel::kInfo), LogLevel::kInfo);
+}
+
 TEST(LoggingTest, LogMacroDoesNotCrash) {
   const LogLevel original = GetLogLevel();
   SetLogLevel(LogLevel::kError);  // silence output in the test log

@@ -9,7 +9,10 @@ identity is (bench name, record name, every string label), so e.g. the
 
 Metric direction is inferred from its name:
 
-  - lower-is-better:  *seconds* (wall/charged/lookup timings)
+  - lower-is-better:  *seconds* (wall/charged/lookup timings),
+    *trainings_to_target* (budget an estimator needs to reach a target
+    error — the adaptive-allocation headline), *variance* (across-run
+    estimator variance at a fixed seeded budget)
   - higher-is-better: *speedup*, *dedup*, *per_second*, *throughput*
   - everything else (counts, bytes, errors) is informational: never gated,
     because trainings counts and byte sizes legitimately change with the
@@ -18,7 +21,9 @@ Metric direction is inferred from its name:
 A missing baseline — first run ever, renamed bench, new record or new
 metric — is tolerated silently: the gate only compares what both runs
 measured, so adding benches never breaks CI. Timings below --min-seconds
-(default 10ms) are skipped as noise-dominated.
+(default 10ms) are skipped as noise-dominated; the skip applies only to
+*seconds* metrics — seeded counts and variances are deterministic, so
+small values of those still gate.
 
 Usage:
   check_bench_regression.py --baseline DIR --current DIR [options]
@@ -36,7 +41,7 @@ import os
 import sys
 import tempfile
 
-LOWER_IS_BETTER = ("seconds",)
+LOWER_IS_BETTER = ("seconds", "trainings_to_target", "variance")
 HIGHER_IS_BETTER = ("speedup", "dedup", "per_second", "throughput")
 
 
@@ -92,7 +97,8 @@ def compare(baseline: dict, current: dict, threshold: float,
                 continue
             cur = cur_metrics[metric]
             if direction == "lower":
-                if max(base, cur) < min_seconds:
+                if "seconds" in metric.lower() and \
+                        max(base, cur) < min_seconds:
                     continue  # noise-dominated micro-timing
                 if base > 0 and cur > base * (1.0 + threshold):
                     regressions.append(
@@ -176,6 +182,11 @@ def self_test() -> int:
     check("counts are informational", direction_of("trainings") is None)
     check("bytes are informational",
           direction_of("budget_mapped_bytes") is None)
+    check("trainings_to_target_error is lower-better",
+          direction_of("trainings_to_target_error") == "lower")
+    check("total_variance is lower-better",
+          direction_of("total_variance") == "lower")
+    check("errors are informational", direction_of("best_rel_l2") is None)
 
     args = argparse.Namespace(threshold=0.25, min_seconds=0.01)
     with tempfile.TemporaryDirectory() as tmp:
@@ -185,7 +196,8 @@ def self_test() -> int:
         os.makedirs(cur_dir)
 
         rec = {"name": "case", "backend": "avx2", "wall_seconds": 1.0,
-               "speedup": 4.0, "trainings": 100}
+               "speedup": 4.0, "trainings": 100,
+               "trainings_to_target_error": 120.0}
         write(base_dir, "BENCH_a.json", [rec])
 
         ok = dict(rec, wall_seconds=1.2, trainings=900)
@@ -207,10 +219,25 @@ def self_test() -> int:
               [dict(rec, backend="avx512", wall_seconds=99.0)])
         check("different label is a different record", run_gate(args) == 0)
 
+        write(cur_dir, "BENCH_a.json",
+              [dict(rec, trainings_to_target_error=200.0)])
+        check("grown trainings-to-target fails", run_gate(args) == 1)
+
+        write(cur_dir, "BENCH_a.json",
+              [dict(rec, trainings_to_target_error=90.0)])
+        check("shrunk trainings-to-target passes", run_gate(args) == 0)
+
         tiny = {"name": "t", "wall_seconds": 0.0001}
         write(base_dir, "BENCH_a.json", [tiny])
         write(cur_dir, "BENCH_a.json", [dict(tiny, wall_seconds=0.0009)])
         check("sub-threshold timings are noise-skipped", run_gate(args) == 0)
+
+        # The noise skip must not swallow small deterministic counts: a
+        # variance regression below --min-seconds still gates.
+        small = {"name": "v", "total_variance": 0.0001}
+        write(base_dir, "BENCH_a.json", [small])
+        write(cur_dir, "BENCH_a.json", [dict(small, total_variance=0.0009)])
+        check("small variance regressions still gate", run_gate(args) == 1)
 
         args.baseline = os.path.join(tmp, "missing")
         check("missing baseline dir passes", run_gate(args) == 0)
