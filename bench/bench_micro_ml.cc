@@ -24,7 +24,9 @@
 #include "ml/linear_regression.h"
 #include "ml/logistic_regression.h"
 #include "ml/matrix.h"
+#include "ml/metrics.h"
 #include "ml/mlp.h"
+#include "ml/model.h"
 #include "ml/sgd.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -264,6 +266,107 @@ void BM_LinRegGradient_Batched(benchmark::State& state) {
 BENCHMARK(BM_LinRegGradient_Batched);
 
 // ---------------------------------------------------------------------------
+// Fused multi-model scoring (what fuse=on buys a valuation job): scoring
+// M trained models on the shared test set as M per-example accuracy
+// sweeps vs one stacked X * [W_1^T | ... | W_M^T] GEMM per test chunk —
+// the scoring arithmetic of FedAvgUtility::EvaluateBatchFused. Trainings
+// are outside both loops; the pair isolates the dispatch overhead that
+// fusion amortizes on small models.
+
+constexpr size_t kFusedModels = 16;
+
+std::vector<LogisticRegression> MakeScoringModels(size_t count) {
+  std::vector<LogisticRegression> models;
+  models.reserve(count);
+  for (size_t m = 0; m < count; ++m) {
+    LogisticRegression model(64, 10);
+    Rng rng(100 + m);
+    model.InitializeParameters(rng);
+    models.push_back(std::move(model));
+  }
+  return models;
+}
+
+void BM_ScoreModels_PerModel(benchmark::State& state) {
+  Rng rng(7);
+  const Dataset data = MakeBlobData(rng);
+  const std::vector<LogisticRegression> models =
+      MakeScoringModels(kFusedModels);
+  double sink = 0.0;
+  for (auto _ : state) {
+    for (const LogisticRegression& model : models) {
+      sink += EvaluateAccuracy(model, data);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * models.size() * data.size());
+}
+BENCHMARK(BM_ScoreModels_PerModel);
+
+void BM_ScoreModels_FusedStacked(benchmark::State& state) {
+  Rng rng(7);
+  const Dataset data = MakeBlobData(rng);
+  const std::vector<LogisticRegression> models =
+      MakeScoringModels(kFusedModels);
+  const size_t num_features = static_cast<size_t>(data.num_features());
+  const size_t classes = static_cast<size_t>(models.front().NumOutputs());
+  const size_t stacked_cols = models.size() * classes;
+  AlignedFloats stacked_wt(num_features * stacked_cols), xb, logits;
+  std::vector<float> stacked_bias(stacked_cols);
+  std::vector<size_t> batch;
+  std::vector<size_t> correct(models.size());
+  double sink = 0.0;
+  for (auto _ : state) {
+    // Stacking the heads is part of the fused path's cost: the service
+    // pays it once per coalition batch, so the benchmark pays it once
+    // per iteration.
+    for (size_t j = 0; j < models.size(); ++j) {
+      const float* bias = nullptr;
+      const float* weights = models[j].AffineScorer(&bias);
+      for (size_t c = 0; c < classes; ++c) {
+        stacked_bias[j * classes + c] = bias[c];
+      }
+      for (size_t f = 0; f < num_features; ++f) {
+        for (size_t c = 0; c < classes; ++c) {
+          stacked_wt[f * stacked_cols + j * classes + c] =
+              weights[c * num_features + f];
+        }
+      }
+    }
+    std::fill(correct.begin(), correct.end(), size_t{0});
+    constexpr size_t kChunkRows = 256;
+    for (size_t begin = 0; begin < data.size(); begin += kChunkRows) {
+      const size_t rows = std::min(kChunkRows, data.size() - begin);
+      batch.resize(rows);
+      for (size_t i = 0; i < rows; ++i) batch[i] = begin + i;
+      GatherRows(data, batch, xb);
+      logits.resize(rows * stacked_cols);
+      MatMul(xb.data(), rows, num_features, stacked_wt.data(), stacked_cols,
+             logits.data());
+      AddBiasRows(logits.data(), rows, stacked_cols, stacked_bias.data());
+      for (size_t i = 0; i < rows; ++i) {
+        const int label = data.ClassLabel(begin + i);
+        const float* row = logits.data() + i * stacked_cols;
+        for (size_t j = 0; j < models.size(); ++j) {
+          const float* scores = row + j * classes;
+          size_t best = 0;
+          for (size_t c = 1; c < classes; ++c) {
+            if (scores[c] > scores[best]) best = c;
+          }
+          if (static_cast<int>(best) == label) ++correct[j];
+        }
+      }
+    }
+    for (size_t count : correct) {
+      sink += static_cast<double>(count) / static_cast<double>(data.size());
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * models.size() * data.size());
+}
+BENCHMARK(BM_ScoreModels_FusedStacked);
+
+// ---------------------------------------------------------------------------
 // Whole local trainings (what one FL client does per round): epochs of
 // shuffled minibatch SGD end to end, both gradient modes.
 
@@ -402,6 +505,8 @@ int RunMicroMl(int argc, char** argv) {
       {"train_sgd_epoch", "BM_TrainSgdEpoch_PerExample",
        "BM_TrainSgdEpoch_Batched"},
       {"matmul_blocked", "BM_MatMulNaive", "BM_MatMulBlocked"},
+      {"fused_scoring", "BM_ScoreModels_PerModel",
+       "BM_ScoreModels_FusedStacked"},
   };
   for (const auto& pair : pairs) {
     const double speedup = SpeedupOf(seconds, pair.baseline, pair.faster);

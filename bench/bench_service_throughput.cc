@@ -191,6 +191,49 @@ int main(int argc, char** argv) {
                 shared.charged_seconds, equal ? "yes" : "NO");
   }
 
+  // (c) The same job mix with speculative prefetch enabled: a fresh
+  // in-memory service (cold caches, same worker count) so the wall time
+  // is directly comparable to (b)'s cold shared run. Prefetch only
+  // reorders who trains what — values must stay bit-identical.
+  std::vector<JobSpec> prefetched_jobs = jobs;
+  for (JobSpec& spec : prefetched_jobs) {
+    spec.prefetch = 2 * spec.checkpoint_every;
+  }
+  ServiceConfig prefetch_config;
+  prefetch_config.workers = options.workers;
+  ValuationService prefetch_service(prefetch_config);
+  Stopwatch prefetch_timer;
+  for (const JobSpec& spec : prefetched_jobs) {
+    if (Status submitted = prefetch_service.Submit(spec); !submitted.ok()) {
+      std::fprintf(stderr, "prefetch submit failed: %s\n",
+                   submitted.ToString().c_str());
+      return 1;
+    }
+  }
+  prefetch_service.WaitAll();
+  const double prefetch_wall = prefetch_timer.ElapsedSeconds();
+  for (size_t i = 0; i < prefetched_jobs.size(); ++i) {
+    Result<JobStatus> status =
+        prefetch_service.GetStatus(prefetched_jobs[i].name);
+    if (!status.ok() || status->state != JobState::kDone) {
+      std::fprintf(stderr, "prefetched job %s did not finish\n",
+                   prefetched_jobs[i].name.c_str());
+      return 1;
+    }
+    const bool equal = status->result.values == isolated[i].result.values;
+    if (!equal) {
+      std::fprintf(stderr, "prefetched job %s diverged from isolated\n",
+                   prefetched_jobs[i].name.c_str());
+    }
+    all_equal = all_equal && equal;
+  }
+  const ServiceStats prefetch_stats = prefetch_service.stats();
+  const double hit_ahead_ratio =
+      prefetch_stats.prefetch_credited > 0
+          ? static_cast<double>(prefetch_stats.prefetch_consumed) /
+                static_cast<double>(prefetch_stats.prefetch_credited)
+          : 0.0;
+
   const ServiceStats stats = service.stats();
   std::printf("\naggregate:\n");
   std::printf("  trainings, %zu isolated runs:   %zu\n", jobs.size(),
@@ -208,6 +251,11 @@ int main(int argc, char** argv) {
               shared_wall > 0 ? isolated_wall / shared_wall : 0.0);
   std::printf("  throughput:                    %.1f jobs/s\n",
               shared_wall > 0 ? jobs.size() / shared_wall : 0.0);
+  std::printf("  wall, shared + prefetch:       %.3fs (%.2fx vs shared; "
+              "%zu trainings run ahead, hit-ahead %.2f)\n",
+              prefetch_wall,
+              prefetch_wall > 0 ? shared_wall / prefetch_wall : 0.0,
+              prefetch_stats.prefetch_trainings, hit_ahead_ratio);
   std::printf("  values identical to isolated:  %s\n",
               all_equal ? "yes" : "NO");
   if (!options.store_dir.empty()) {
@@ -239,6 +287,14 @@ int main(int argc, char** argv) {
       .Metric("jobs_per_second",
               shared_wall > 0 ? jobs.size() / shared_wall : 0.0)
       .Metric("values_identical", all_equal ? 1.0 : 0.0);
+  json.Add("prefetch")
+      .Label("scenario", options.scenario)
+      .Metric("wall_prefetch_seconds", prefetch_wall)
+      .Metric("prefetch_speedup",
+              prefetch_wall > 0 ? shared_wall / prefetch_wall : 0.0)
+      .Metric("trainings_run_ahead",
+              static_cast<double>(prefetch_stats.prefetch_trainings))
+      .Metric("hit_ahead_ratio", hit_ahead_ratio);
   json.Add("store")
       .Label("scenario", options.scenario)
       .Label("persistent", options.store_dir.empty() ? "no" : "yes")

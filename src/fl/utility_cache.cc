@@ -69,13 +69,21 @@ Result<UtilityRecord> UtilityCache::Get(const Coalition& coalition,
   // synchronized, and an fsync must not stall concurrent hits on the
   // evaluation hot path.
   lock.unlock();
-  if (store != nullptr) {
-    // Write-through: the freshly trained utility becomes durable via an
-    // O(record) append. The byte-counted flush interval bounds how many
-    // appended-but-unsynced bytes a crash can lose.
-    const size_t appended = store->Put(coalition, record);
-    bool should_flush = false;
-    lock.lock();
+  WriteThrough(store, coalition, record);
+  return record;
+}
+
+void UtilityCache::WriteThrough(UtilityStore* store,
+                                const Coalition& coalition,
+                                const UtilityRecord& record) {
+  if (store == nullptr) return;
+  // Write-through: the freshly trained utility becomes durable via an
+  // O(record) append. The byte-counted flush interval bounds how many
+  // appended-but-unsynced bytes a crash can lose.
+  const size_t appended = store->Put(coalition, record);
+  bool should_flush = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (flush_bytes_ > 0) {
       unflushed_bytes_ += appended;
       if (unflushed_bytes_ >= flush_bytes_) {
@@ -83,16 +91,14 @@ Result<UtilityRecord> UtilityCache::Get(const Coalition& coalition,
         should_flush = true;
       }
     }
-    lock.unlock();
-    if (should_flush) {
-      Status flushed = store->Flush();
-      if (!flushed.ok()) {
-        FEDSHAP_LOG(Warning) << "utility store flush failed: "
-                             << flushed.ToString();
-      }
+  }
+  if (should_flush) {
+    Status flushed = store->Flush();
+    if (!flushed.ok()) {
+      FEDSHAP_LOG(Warning) << "utility store flush failed: "
+                           << flushed.ToString();
     }
   }
-  return record;
 }
 
 void UtilityCache::AttachStore(UtilityStore* store, size_t flush_bytes) {
@@ -125,17 +131,92 @@ Status UtilityCache::Prefetch(const std::vector<Coalition>& coalitions,
   WorkerBudget::Lease lease(
       WorkerBudget::Global(),
       std::min(pool->num_threads(), static_cast<int>(coalitions.size())));
-  std::atomic<bool> failed{false};
+  // Capture the *first* failure's real Status (lowest index wins) so
+  // callers — and through them service job reports — name the actual
+  // cause, and the error matches what a sequential pass would return.
+  std::mutex failure_mutex;
+  size_t first_failed = coalitions.size();
+  Status first_status = Status::OK();
   pool->ParallelFor(static_cast<int>(coalitions.size()), [&](int i) {
     bool computed = false;
     Result<UtilityRecord> r = Get(coalitions[i], &computed);
-    if (!r.ok()) failed.store(true, std::memory_order_relaxed);
+    if (!r.ok()) {
+      std::lock_guard<std::mutex> lock(failure_mutex);
+      if (static_cast<size_t>(i) < first_failed) {
+        first_failed = static_cast<size_t>(i);
+        first_status = r.status();
+      }
+    }
     // Each iteration writes only its own slot, so no synchronization is
     // needed beyond ParallelFor's completion barrier.
     if (fresh != nullptr) (*fresh)[i] = computed ? 1 : 0;
   });
-  if (failed.load()) {
-    return Status::Internal("a prefetched utility evaluation failed");
+  return first_status;
+}
+
+Status UtilityCache::PrefetchFused(const std::vector<Coalition>& coalitions,
+                                   std::vector<uint8_t>* fresh) {
+  if (fresh != nullptr) fresh->assign(coalitions.size(), 0);
+  // Claim the single-flight slot of every coalition that is neither
+  // cached nor already being computed elsewhere; those are the ones this
+  // call may evaluate. Duplicates within `coalitions` claim once.
+  std::vector<size_t> claimed;
+  UtilityStore* store = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    store = store_;
+    for (size_t i = 0; i < coalitions.size(); ++i) {
+      if (entries_.find(coalitions[i]) != entries_.end()) continue;
+      if (inflight_.insert(coalitions[i]).second) claimed.push_back(i);
+    }
+  }
+  // Read-through first: store hits train nothing and keep their original
+  // recorded cost, exactly like Get's miss path.
+  std::vector<size_t> misses;
+  for (size_t i : claimed) {
+    UtilityRecord stored;
+    if (store != nullptr && store->Lookup(coalitions[i], &stored)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(coalitions[i]);
+      inflight_done_.notify_all();
+      if (entries_.emplace(coalitions[i], stored).second) {
+        ++preloaded_;
+        recorded_cost_seconds_ += stored.cost_seconds;
+      }
+      ++hits_;
+    } else {
+      misses.push_back(i);
+    }
+  }
+  if (misses.empty()) return Status::OK();
+  std::vector<Coalition> batch;
+  batch.reserve(misses.size());
+  for (size_t i : misses) batch.push_back(coalitions[i]);
+  Stopwatch timer;
+  Result<std::vector<double>> values = fn_->EvaluateBatchFused(batch);
+  // The fused dispatch's wall time is amortized evenly: per-record cost
+  // has no per-coalition breakdown once the scoring GEMMs are stacked.
+  const double per_record_seconds =
+      timer.ElapsedSeconds() / static_cast<double>(misses.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i : misses) inflight_.erase(coalitions[i]);
+    inflight_done_.notify_all();
+    // On failure no entry is published (mirrors Get: a failed evaluation
+    // is neither hit nor miss; retries recompute).
+    if (!values.ok()) return values.status();
+    for (size_t j = 0; j < misses.size(); ++j) {
+      UtilityRecord record{(*values)[j], per_record_seconds};
+      entries_.emplace(coalitions[misses[j]], record);
+      ++misses_;
+      total_compute_seconds_ += per_record_seconds;
+      recorded_cost_seconds_ += per_record_seconds;
+      if (fresh != nullptr) (*fresh)[misses[j]] = 1;
+    }
+  }
+  for (size_t j = 0; j < misses.size(); ++j) {
+    WriteThrough(store, coalitions[misses[j]],
+                 UtilityRecord{(*values)[j], per_record_seconds});
   }
   return Status::OK();
 }
@@ -148,6 +229,15 @@ void UtilityCache::Clear() {
   preloaded_ = 0;
   total_compute_seconds_ = 0.0;
   recorded_cost_seconds_ = 0.0;
+  // Also restart the flush-interval pacing: bytes appended before the
+  // clear must not make the next epoch's first flush fire early (or,
+  // mis-tracked, late past the crash-loss bound).
+  unflushed_bytes_ = 0;
+}
+
+size_t UtilityCache::unflushed_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unflushed_bytes_;
 }
 
 size_t UtilityCache::size() const {
@@ -189,22 +279,79 @@ Result<double> UtilitySession::EvaluateInternal(const Coalition& coalition,
   bool computed = false;
   FEDSHAP_ASSIGN_OR_RETURN(UtilityRecord record,
                            cache_->Get(coalition, &computed));
+  std::lock_guard<std::mutex> lock(mutex_);
   ++num_evaluations_;
   if (seen_.insert(coalition).second) {
     charged_seconds_ += record.cost_seconds;
     // A training counts as this session's own when this evaluation
-    // computed it, or when the batch prefetch below computed it on this
-    // session's behalf before the sequential accounting pass ran.
-    if (computed || prefetched_fresh) ++fresh_trainings_;
+    // computed it, when the batch prefetch below computed it on this
+    // session's behalf before the sequential accounting pass ran, or
+    // when a speculative prefetcher posted a credit for it. The cache's
+    // single-flight guarantee means exactly one of these can be true per
+    // coalition, so the count is exact under any interleaving.
+    const bool credited = credits_.erase(coalition) > 0;
+    if (credited) ++prefetch_consumed_;
+    if (computed || prefetched_fresh || credited) ++fresh_trainings_;
   }
   return record.utility;
+}
+
+void UtilitySession::CreditPrefetchedTraining(const Coalition& coalition) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++prefetch_credited_;
+  if (seen_.count(coalition) > 0) {
+    // The session evaluated the coalition while the prefetcher was still
+    // training it (its Get waited on the in-flight slot, so neither
+    // `computed` nor a credit attributed the training then). Attribute
+    // it now — the training was on this session's behalf.
+    ++prefetch_consumed_;
+    ++fresh_trainings_;
+  } else {
+    credits_.insert(coalition);
+  }
+}
+
+size_t UtilitySession::num_evaluations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_evaluations_;
+}
+
+size_t UtilitySession::num_distinct() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seen_.size();
+}
+
+size_t UtilitySession::num_fresh_trainings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fresh_trainings_;
+}
+
+double UtilitySession::charged_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return charged_seconds_;
+}
+
+size_t UtilitySession::prefetch_credited() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return prefetch_credited_;
+}
+
+size_t UtilitySession::prefetch_consumed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return prefetch_consumed_;
 }
 
 Result<std::vector<double>> UtilitySession::EvaluateBatch(
     const std::vector<Coalition>& coalitions) {
   std::vector<uint8_t> fresh;
-  if (pool_ != nullptr && pool_->num_threads() > 1 &&
-      coalitions.size() > 1) {
+  if (fused_ && coalitions.size() > 1) {
+    // Fused dispatch: one stacked evaluation for all misses. A failure
+    // is deliberately ignored here for the same reason as the pool
+    // prefetch below — the sequential pass rediscovers it at the same
+    // coalition a sequential run would have.
+    (void)cache_->PrefetchFused(coalitions, &fresh);
+  } else if (pool_ != nullptr && pool_->num_threads() > 1 &&
+             coalitions.size() > 1) {
     // Fan the misses out over the pool. A failure here is deliberately
     // ignored: the sequential pass below rediscovers it at the same
     // coalition a sequential run would have, so the returned error and

@@ -65,10 +65,23 @@ class UtilityCache {
   /// provided). Useful for the exhaustive phases of IPSS / exact SV.
   /// When `fresh` is non-null it is resized to `coalitions.size()` and
   /// `(*fresh)[i]` records whether evaluating `coalitions[i]` trained a
-  /// new model here (same semantics as Get's `fresh`).
+  /// new model here (same semantics as Get's `fresh`). On failure the
+  /// *first* failing coalition's actual Status is returned (lowest index
+  /// wins), matching what a sequential pass would surface.
   Status Prefetch(const std::vector<Coalition>& coalitions,
                   ThreadPool* pool = nullptr,
                   std::vector<uint8_t>* fresh = nullptr);
+
+  /// Like Prefetch, but routes the misses through one
+  /// UtilityFunction::EvaluateBatchFused dispatch instead of per-coalition
+  /// Evaluate calls: same single-flight and store read/write-through
+  /// semantics, but the underlying utility may stack the coalitions'
+  /// model evaluations into fused GEMM dispatches (values then agree with
+  /// Evaluate within the kernel tolerance contract, see ml/matrix.h).
+  /// Each fused record's cost_seconds is the batch's wall time amortized
+  /// evenly over the coalitions it trained.
+  Status PrefetchFused(const std::vector<Coalition>& coalitions,
+                       std::vector<uint8_t>* fresh = nullptr);
 
   /// Attaches a persistent store as the cache's cross-process backing:
   ///
@@ -91,7 +104,9 @@ class UtilityCache {
 
   /// Drops all memoized entries (e.g. when the underlying utility was
   /// reseeded and old values are stale). Entries already persisted in an
-  /// attached store are dropped from memory only, not from disk.
+  /// attached store are dropped from memory only, not from disk. All
+  /// counters reset, including the unflushed-byte count that paces the
+  /// store's implicit flushes.
   void Clear();
 
   /// Number of memoized entries.
@@ -111,8 +126,16 @@ class UtilityCache {
   /// cost, wherever they were computed. The benches' tau (mean training
   /// cost per model) is recorded_cost_seconds() / size().
   double recorded_cost_seconds() const;
+  /// Bytes appended to the attached store since its last implicit flush
+  /// (0 without a store). Exposed so tests can pin the flush-interval
+  /// accounting across Clear()/AttachStore().
+  size_t unflushed_bytes() const;
 
  private:
+  /// Write-through + byte-counted flush for one freshly computed record;
+  /// called outside the cache mutex (Get and PrefetchFused share it).
+  void WriteThrough(UtilityStore* store, const Coalition& coalition,
+                    const UtilityRecord& record);
   const UtilityFunction* fn_;
   UtilityStore* store_ = nullptr;
   /// Flush the store once this many bytes have been appended since the
@@ -161,22 +184,48 @@ class UtilitySession {
   Result<std::vector<double>> EvaluateBatch(
       const std::vector<Coalition>& coalitions);
 
+  /// Routes EvaluateBatch misses through the utility's fused
+  /// multi-coalition path (UtilityCache::PrefetchFused) instead of
+  /// per-coalition dispatch. Off by default: fused values agree with the
+  /// unfused path only within the kernel tolerance contract, so callers
+  /// opt in per job (`fuse=on`).
+  void set_fused(bool fused) { fused_ = fused; }
+  /// Whether the fused dispatch path is enabled.
+  bool fused() const { return fused_; }
+
+  /// Records that a speculative prefetcher trained `coalition` on this
+  /// session's behalf (its cache Get came back fresh). If the session has
+  /// already evaluated the coalition the training is attributed now;
+  /// otherwise a credit is held and consumed by the first Evaluate of
+  /// that coalition. Single-flight in the cache guarantees at most one
+  /// fresh training per coalition ever, so num_fresh_trainings stays
+  /// exact under any prefetch/evaluate interleaving. Thread-safe against
+  /// concurrent Evaluate/EvaluateBatch calls.
+  void CreditPrefetchedTraining(const Coalition& coalition);
+
   /// Total U(.) queries this run issued (statistics for ValuationResult).
-  size_t num_evaluations() const { return num_evaluations_; }
+  size_t num_evaluations() const;
   /// Distinct coalitions this run needed (= FL trainings a standalone
   /// run would have performed).
-  size_t num_distinct() const { return seen_.size(); }
+  size_t num_distinct() const;
   /// Distinct coalitions this run actually trained itself: evaluations
   /// that missed the shared cache and were computed on this session's
-  /// behalf. `num_distinct() - num_fresh_trainings()` is therefore the
-  /// number of trainings this run *reused* — from earlier runs in the
-  /// process, from concurrent runs sharing the cache, or from an attached
-  /// store. The valuation service reports this as its cross-job dedup
-  /// metric.
-  size_t num_fresh_trainings() const { return fresh_trainings_; }
+  /// behalf (including trainings a speculative prefetcher ran ahead for
+  /// it — see CreditPrefetchedTraining). `num_distinct() -
+  /// num_fresh_trainings()` is therefore the number of trainings this run
+  /// *reused* — from earlier runs in the process, from concurrent runs
+  /// sharing the cache, or from an attached store. The valuation service
+  /// reports this as its cross-job dedup metric.
+  size_t num_fresh_trainings() const;
   /// Sum of the recorded training costs of the distinct coalitions, each
   /// charged exactly once.
-  double charged_seconds() const { return charged_seconds_; }
+  double charged_seconds() const;
+  /// Trainings a speculative prefetcher credited to this session.
+  size_t prefetch_credited() const;
+  /// Credited prefetch trainings whose coalition the session went on to
+  /// evaluate (the prefetcher's hit-ahead count; the rest were
+  /// mis-speculations or arrived after the run finished).
+  size_t prefetch_consumed() const;
 
  private:
   Result<double> EvaluateInternal(const Coalition& coalition,
@@ -184,9 +233,17 @@ class UtilitySession {
 
   UtilityCache* cache_;
   ThreadPool* pool_;
+  bool fused_ = false;
+  /// Guards all accounting below: the service's prefetch thread posts
+  /// credits concurrently with the run thread's evaluations.
+  mutable std::mutex mutex_;
   std::unordered_set<Coalition, CoalitionHash> seen_;
+  /// Prefetched-fresh coalitions not yet evaluated by this session.
+  std::unordered_set<Coalition, CoalitionHash> credits_;
   size_t num_evaluations_ = 0;
   size_t fresh_trainings_ = 0;
+  size_t prefetch_credited_ = 0;
+  size_t prefetch_consumed_ = 0;
   double charged_seconds_ = 0.0;
 };
 

@@ -34,6 +34,10 @@ class LinearRegression : public Model {
   void Predict(const float* features,
                std::vector<float>& output) const override;
   int NumOutputs() const override { return 1; }
+  const float* AffineScorer(const float** bias) const override {
+    *bias = weights_.data() + dim_;
+    return weights_.data();
+  }
 
   /// Exact least-squares fit via the normal equations (ridge-regularized by
   /// `l2` for numerical stability). Replaces the current parameters.

@@ -31,6 +31,12 @@ class LogisticRegression : public Model {
   void Predict(const float* features,
                std::vector<float>& output) const override;
   int NumOutputs() const override { return num_classes_; }
+  // Softmax is monotone per row, so argmax over the affine logits equals
+  // argmax over Predict()'s probabilities.
+  const float* AffineScorer(const float** bias) const override {
+    *bias = params_.data() + static_cast<size_t>(num_classes_) * dim_;
+    return params_.data();
+  }
 
  private:
   /// Writes softmax probabilities for one row into `probs`.

@@ -92,6 +92,21 @@ class Model {
   virtual void Predict(const float* features,
                        std::vector<float>& output) const = 0;
 
+  /// Fused multi-model scoring capability. When the model's per-example
+  /// scores are an affine map logits = W*x + b — with W a NumOutputs() x
+  /// num-features row-major block followed by the NumOutputs() biases,
+  /// and any final activation monotone per row so argmax over the logits
+  /// equals argmax over Predict()'s output — returns the W block and sets
+  /// `*bias` to the bias block. Callers can then stack several models'
+  /// W^T side by side and score them all with one GEMM dispatch (see
+  /// FedAvgUtility::EvaluateBatchFused). Returns nullptr for models
+  /// without an affine scoring head (the default); callers fall back to
+  /// per-example Predict. Pointers are valid until the parameters change.
+  virtual const float* AffineScorer(const float** bias) const {
+    (void)bias;
+    return nullptr;
+  }
+
   /// Average loss over an entire dataset (no gradient returned). Runs in
   /// bounded-size chunks through the selected gradient path, so the
   /// kPerExample mode yields a fully reference-path value and the

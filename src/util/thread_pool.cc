@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/logging.h"
+
 namespace fedshap {
+
+namespace {
+
+/// The pool whose WorkerLoop the current thread is running, if any.
+/// ParallelFor consults it to fall back to an inline loop instead of
+/// deadlocking when re-entered from one of its own workers.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   num_threads = std::max(1, num_threads);
@@ -37,14 +48,21 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
-  if (num_threads() == 1 || count == 1) {
+  // From one of our own workers, queueing and waiting would park the
+  // worker on tasks only this pool can run — with every worker inside a
+  // ParallelFor the pool deadlocks. Inline execution is always safe.
+  if (t_current_pool == this || num_threads() == 1 || count == 1) {
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
+  // A per-call TaskGroup joins exactly these iterations, so concurrent
+  // ParallelFor calls and unrelated background submissions on the same
+  // pool never wait on each other (WaitIdle would drain the whole pool).
+  TaskGroup group(this);
   for (int i = 0; i < count; ++i) {
-    Submit([&fn, i] { fn(i); });
+    group.Run([&fn, i] { fn(i); });
   }
-  WaitIdle();
+  group.Wait();
 }
 
 int ThreadPool::DefaultThreads() {
@@ -114,7 +132,10 @@ int WorkerBudget::TryAcquire(int wanted) {
 void WorkerBudget::Release(int granted) {
   if (granted <= 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  in_use_ -= granted;
+  FEDSHAP_DCHECK(granted <= in_use_);
+  // Clamp rather than go negative: a double-release must not inflate
+  // every later TryAcquire grant past the configured total.
+  in_use_ = std::max(0, in_use_ - granted);
 }
 
 ThreadPool* SharedTrainingPool() {
@@ -123,6 +144,7 @@ ThreadPool* SharedTrainingPool() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_current_pool = this;
   while (true) {
     std::function<void()> task;
     {

@@ -37,7 +37,12 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Runs fn(i) for i in [0, count), distributing across the pool, and
-  /// returns when all iterations finished. Safe to call repeatedly.
+  /// returns when all iterations finished. Waits only for its own
+  /// iterations (via a per-call TaskGroup), so concurrent callers and
+  /// unrelated background tasks on the same pool never block each other.
+  /// Called from one of this pool's own workers it degrades to an inline
+  /// sequential loop instead of deadlocking on itself. Safe to call
+  /// repeatedly.
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
   /// Number of hardware threads, at least 1.
@@ -129,9 +134,15 @@ class WorkerBudget {
   void SetTotal(int total);
 
   /// Grants min(wanted, free) slots without blocking; returns the grant
-  /// (possibly 0). Every grant must be returned via Release.
+  /// (possibly 0). When a SetTotal() shrink left more slots leased than
+  /// the new total, nothing is free and the grant is 0 until enough
+  /// leases drain back under the total. Every grant must be returned via
+  /// Release.
   int TryAcquire(int wanted);
-  /// Returns `granted` slots obtained from TryAcquire.
+  /// Returns `granted` slots obtained from TryAcquire. Returning more
+  /// than is currently leased is a bug (caught by a debug check); release
+  /// clamps at zero rather than driving the accounting negative, so a
+  /// double-release cannot silently inflate later grants.
   void Release(int granted);
 
   /// RAII lease: acquires up to `wanted` slots for the scope.

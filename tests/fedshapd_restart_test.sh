@@ -23,11 +23,16 @@ cat > "$JOBS" <<'EOF'
 # exact-mc walks ~2^8 coalitions: enough store bytes that the segment
 # crash case below can rotate segments at the 4 KiB floor. Job d is the
 # adaptive (Neyman) stratified sweep — the kill can land mid-epoch with
-# the allocation state half-spent, the hardest resume case.
+# the allocation state half-spent, the hardest resume case. Job e runs
+# with speculative prefetch and fused dispatch enabled: the kill and
+# restart must leave its values bit-identical anyway (prefetch only
+# reorders trainings; the linreg utility has no fused fast path, so
+# fuse=on degrades to the exact per-coalition scoring).
 name=a estimator=ipss gamma=24 chunk=4 seed=5 scenario=linreg n=8 scenario-seed=5
 name=b estimator=exact-mc chunk=8 scenario=linreg n=8 scenario-seed=5
 name=c estimator=loo scenario=linreg n=8 scenario-seed=5
 name=d estimator=stratified allocation=neyman gamma=24 chunk=4 seed=5 scenario=linreg n=8 scenario-seed=5
+name=e estimator=perm-mc gamma=32 chunk=4 seed=7 prefetch=8 fuse=on scenario=linreg n=8 scenario-seed=5
 EOF
 
 # Reference: the uninterrupted run.

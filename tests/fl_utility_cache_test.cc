@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
 #include <gtest/gtest.h>
 
+#include "fl/utility_store.h"
 #include "test_util.h"
 #include "util/combinatorics.h"
 #include "util/random.h"
@@ -241,6 +243,74 @@ TEST(UtilityCacheTest, PrefetchPropagatesFailure) {
   EXPECT_FALSE(cache.Prefetch({Coalition()}, &pool).ok());
 }
 
+// Regression: the parallel Prefetch path used to collapse any worker
+// failure into a generic "prefetch failed" status, losing the underlying
+// cause. It must now surface the first failing coalition's real Status,
+// exactly as a sequential pass would.
+TEST(UtilityCacheTest, PrefetchSurfacesUnderlyingError) {
+  FailingUtility fn;
+  UtilityCache cache(&fn);
+  ThreadPool pool(4);
+  std::vector<Coalition> batch = {Coalition(), Coalition::Of({0}),
+                                  Coalition::Of({1}), Coalition::Of({0, 1})};
+  Status parallel_status = cache.Prefetch(batch, &pool);
+  ASSERT_FALSE(parallel_status.ok());
+  EXPECT_EQ(parallel_status.code(), StatusCode::kInternal);
+  EXPECT_NE(parallel_status.ToString().find("deliberate failure"),
+            std::string::npos)
+      << parallel_status.ToString();
+}
+
+// Regression: Clear() used to leave the store write-through's
+// unflushed-byte counter at its pre-Clear value, so the first appends of
+// the next run flushed on a stale schedule.
+TEST(UtilityCacheTest, ClearResetsUnflushedByteAccounting) {
+  const std::string path =
+      ::testing::TempDir() + "fedshap_cache_clear_unflushed";
+  std::filesystem::remove_all(path);
+  CountingUtility fn(5);
+  Result<std::unique_ptr<UtilityStore>> store = UtilityStore::Open(path, 42);
+  ASSERT_TRUE(store.ok());
+  UtilityCache cache(&fn);
+  // A flush interval far above one record: appends accumulate unflushed.
+  cache.AttachStore(store->get(), /*flush_bytes=*/1 << 20);
+  ASSERT_TRUE(cache.Get(Coalition::Of({0, 1})).ok());
+  const size_t per_record = cache.unflushed_bytes();
+  ASSERT_GT(per_record, 0u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.unflushed_bytes(), 0u);
+
+  // The counter restarts from zero: one fresh append of a same-shape
+  // coalition leaves exactly one record's bytes pending, not
+  // one-plus-the-stale-balance.
+  ASSERT_TRUE(cache.Get(Coalition::Of({2, 3})).ok());
+  EXPECT_EQ(cache.unflushed_bytes(), per_record);
+  std::filesystem::remove_all(path);
+}
+
+TEST(UtilityCacheTest, PrefetchFusedComputesEachOnceAndMarksFresh) {
+  CountingUtility fn(6);
+  UtilityCache cache(&fn);
+  std::vector<Coalition> batch;
+  ForEachSubsetOfSize(6, 2, [&](const Coalition& c) { batch.push_back(c); });
+  std::vector<uint8_t> fresh;
+  ASSERT_TRUE(cache.PrefetchFused(batch, &fresh).ok());
+  ASSERT_EQ(fresh.size(), batch.size());
+  for (size_t i = 0; i < fresh.size(); ++i) EXPECT_EQ(fresh[i], 1) << i;
+  EXPECT_EQ(cache.misses(), batch.size());
+  EXPECT_EQ(fn.calls(), static_cast<int>(batch.size()));
+  for (const Coalition& c : batch) {
+    Result<UtilityRecord> record = cache.Get(c);
+    ASSERT_TRUE(record.ok());
+    EXPECT_DOUBLE_EQ(record->utility, 2.0);
+  }
+  // A second fused pass is all hits: nothing retrained, nothing fresh.
+  ASSERT_TRUE(cache.PrefetchFused(batch, &fresh).ok());
+  for (size_t i = 0; i < fresh.size(); ++i) EXPECT_EQ(fresh[i], 0) << i;
+  EXPECT_EQ(fn.calls(), static_cast<int>(batch.size()));
+}
+
 TEST(UtilitySessionTest, CountsEvaluationsAndDistinct) {
   CountingUtility fn(5);
   UtilityCache cache(&fn);
@@ -329,6 +399,131 @@ TEST(UtilitySessionTest, EvaluateBatchPropagatesFailure) {
   UtilitySession session(&cache, &pool);
   EXPECT_FALSE(session.EvaluateBatch({Coalition(), Coalition::Of({0})}).ok());
   EXPECT_EQ(session.num_evaluations(), 0u);
+}
+
+TEST(UtilitySessionTest, PrefetchCreditBeforeEvaluateCountsOnce) {
+  CountingUtility fn(5);
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  const Coalition c = Coalition::Of({0, 1});
+
+  // The prefetcher trains c ahead of demand and posts the credit.
+  bool fresh = false;
+  ASSERT_TRUE(cache.Get(c, &fresh).ok());
+  ASSERT_TRUE(fresh);
+  session.CreditPrefetchedTraining(c);
+  EXPECT_EQ(session.prefetch_credited(), 1u);
+  EXPECT_EQ(session.prefetch_consumed(), 0u);
+  EXPECT_EQ(session.num_fresh_trainings(), 0u);  // not evaluated yet
+
+  // The session's own evaluation is a cache hit, but the training was
+  // run on its behalf: it counts as this run's fresh training, once.
+  ASSERT_TRUE(session.Evaluate(c).ok());
+  ASSERT_TRUE(session.Evaluate(c).ok());  // repeat must not double count
+  EXPECT_EQ(session.num_fresh_trainings(), 1u);
+  EXPECT_EQ(session.num_distinct(), 1u);
+  EXPECT_EQ(session.prefetch_consumed(), 1u);
+  EXPECT_EQ(fn.calls(), 1);
+}
+
+TEST(UtilitySessionTest, PrefetchCreditAfterEvaluateCountsOnce) {
+  CountingUtility fn(5);
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  const Coalition c = Coalition::Of({2});
+
+  // The prefetcher's Get won the training race, but its credit arrives
+  // only after the session already evaluated the coalition (as a hit).
+  bool fresh = false;
+  ASSERT_TRUE(cache.Get(c, &fresh).ok());
+  ASSERT_TRUE(fresh);
+  ASSERT_TRUE(session.Evaluate(c).ok());
+  EXPECT_EQ(session.num_fresh_trainings(), 0u);  // credit not posted yet
+  session.CreditPrefetchedTraining(c);
+  EXPECT_EQ(session.num_fresh_trainings(), 1u);  // attributed on arrival
+  EXPECT_EQ(session.prefetch_consumed(), 1u);
+}
+
+TEST(UtilitySessionTest, MisSpeculatedPrefetchCreditIsNotCounted) {
+  CountingUtility fn(5);
+  UtilityCache cache(&fn);
+  UtilitySession session(&cache);
+  // The prefetcher trained a coalition the run never asks for: credited
+  // but never consumed, and num_fresh_trainings stays <= num_distinct.
+  bool fresh = false;
+  ASSERT_TRUE(cache.Get(Coalition::Of({4}), &fresh).ok());
+  session.CreditPrefetchedTraining(Coalition::Of({4}));
+  ASSERT_TRUE(session.Evaluate(Coalition::Of({0})).ok());
+  EXPECT_EQ(session.prefetch_credited(), 1u);
+  EXPECT_EQ(session.prefetch_consumed(), 0u);
+  EXPECT_EQ(session.num_distinct(), 1u);
+  EXPECT_EQ(session.num_fresh_trainings(), 1u);  // only the real one
+}
+
+// The exactness invariant under a live race: a prefetcher Get/credit
+// thread overlapping the session's own EvaluateBatch of the same
+// coalitions. Whoever wins each single-flight training, every distinct
+// coalition must end up attributed to the session exactly once.
+TEST(UtilitySessionTest, ConcurrentPrefetchAndEvaluateStayExact) {
+  std::vector<Coalition> distinct;
+  ForEachSubsetOfSize(9, 2, [&](const Coalition& c) {
+    distinct.push_back(c);
+  });
+  SlowCountingUtility fn(9);
+  UtilityCache cache(&fn);
+  ThreadPool pool(4);
+  UtilitySession session(&cache, &pool);
+
+  std::thread prefetcher([&] {
+    for (const Coalition& c : distinct) {
+      bool fresh = false;
+      ASSERT_TRUE(cache.Get(c, &fresh).ok());
+      if (fresh) session.CreditPrefetchedTraining(c);
+    }
+  });
+  Result<std::vector<double>> values = session.EvaluateBatch(distinct);
+  prefetcher.join();
+  ASSERT_TRUE(values.ok());
+
+  // Only this session (and its prefetcher) use the cache, so every
+  // training belongs to it: fresh == distinct == cache misses, despite
+  // the race deciding who computed each one.
+  EXPECT_EQ(cache.misses(), distinct.size());
+  EXPECT_EQ(session.num_distinct(), distinct.size());
+  EXPECT_EQ(session.num_fresh_trainings(), distinct.size());
+  EXPECT_EQ(session.prefetch_consumed(), session.prefetch_credited());
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*values)[i],
+                     static_cast<double>(distinct[i].Count()) * 1.5);
+  }
+}
+
+TEST(UtilitySessionTest, FusedBatchMatchesUnfusedValuesAndAccounting) {
+  std::vector<Coalition> batch;
+  ForEachSubsetOfSize(8, 2, [&](const Coalition& c) { batch.push_back(c); });
+  batch.push_back(batch.front());  // repeat exercises hit accounting
+
+  CountingUtility unfused_fn(8);
+  UtilityCache unfused_cache(&unfused_fn);
+  UtilitySession unfused(&unfused_cache);
+  Result<std::vector<double>> expected = unfused.EvaluateBatch(batch);
+  ASSERT_TRUE(expected.ok());
+
+  CountingUtility fused_fn(8);
+  UtilityCache fused_cache(&fused_fn);
+  UtilitySession fused(&fused_cache);
+  fused.set_fused(true);
+  ASSERT_TRUE(fused.fused());
+  Result<std::vector<double>> values = fused.EvaluateBatch(batch);
+  ASSERT_TRUE(values.ok());
+
+  // The base fused dispatch routes through the same Evaluate, so values
+  // are identical here; accounting must match the unfused path exactly.
+  EXPECT_EQ(*values, *expected);
+  EXPECT_EQ(fused.num_evaluations(), unfused.num_evaluations());
+  EXPECT_EQ(fused.num_distinct(), unfused.num_distinct());
+  EXPECT_EQ(fused.num_fresh_trainings(), unfused.num_fresh_trainings());
+  EXPECT_EQ(fused_fn.calls(), unfused_fn.calls());
 }
 
 TEST(UtilitySessionTest, PaperTableOneRoundTrip) {

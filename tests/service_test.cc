@@ -2,6 +2,7 @@
 // ValuationService's cross-job training dedup, cancellation, and the
 // stop -> recover -> bit-identical-resume contract.
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -202,6 +203,106 @@ TEST(ValuationServiceTest, NeymanAllocationJobRunsAndResumesLikeAnyOther) {
     ASSERT_TRUE(result.ok()) << result.status();
     EXPECT_EQ(result->values, isolated.values) << "workers=" << workers;
   }
+}
+
+TEST(JobSpecTest, PrefetchAndFuseKeysRoundTripAndValidate) {
+  JobSpec spec = MakeJob("spec", EstimatorKind::kIpss, LinregScenario(6));
+  spec.prefetch = 12;
+  spec.fuse = true;
+  Result<JobSpec> parsed = JobSpec::FromLine(spec.ToLine());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->prefetch, 12);
+  EXPECT_TRUE(parsed->fuse);
+  EXPECT_EQ(parsed->ToLine(), spec.ToLine());
+
+  // Defaults when the keys are absent: prefetch off, fusion off.
+  Result<JobSpec> plain =
+      JobSpec::FromLine("name=a estimator=ipss gamma=8 scenario=linreg n=4");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->prefetch, 0);
+  EXPECT_FALSE(plain->fuse);
+
+  // Bad values are rejected with InvalidArgument.
+  EXPECT_FALSE(
+      JobSpec::FromLine("name=a estimator=ipss prefetch=-2 "
+                        "scenario=linreg n=4")
+          .ok());
+  EXPECT_FALSE(
+      JobSpec::FromLine("name=a estimator=ipss prefetch=soon "
+                        "scenario=linreg n=4")
+          .ok());
+  EXPECT_FALSE(
+      JobSpec::FromLine("name=a estimator=ipss fuse=maybe "
+                        "scenario=linreg n=4")
+          .ok());
+}
+
+TEST(ValuationServiceTest, PrefetchedJobBitIdenticalWithExactAccounting) {
+  // The speculative prefetcher only reorders who trains what: values must
+  // stay bit-identical to an unprefetched run, and single-flight plus the
+  // credit protocol must keep the training count exact — every distinct
+  // coalition trained exactly once in the whole process, whoever won it.
+  JobSpec job = MakeJob("pre", EstimatorKind::kIpss, LinregScenario(7),
+                        /*gamma=*/28, /*chunk=*/4);
+  ValuationResult reference = RunIsolated(job);
+  ASSERT_EQ(reference.values.size(), 7u);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.paused = true;  // queue the job; let the prefetcher run first
+  ValuationService service(config);
+  job.prefetch = 8;
+  ASSERT_TRUE(service.Submit(job).ok());
+
+  // With the workers paused the prefetch thread has the budget to
+  // itself: wait for it to train ahead of the (not yet started) job.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.stats().prefetch_trainings == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(service.stats().prefetch_trainings, 0u);
+
+  service.Resume();
+  Result<ValuationResult> result = service.Wait(job.name);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->values, reference.values);
+  EXPECT_EQ(result->num_trainings, reference.num_trainings);
+  // The acceptance invariant: trainings the prefetcher ran on the job's
+  // behalf still count as the job's own — fresh accounting is exact, not
+  // deflated by the speculation.
+  EXPECT_EQ(result->num_fresh_trainings, reference.num_fresh_trainings);
+
+  const ServiceStats stats = service.stats();
+  // Exactly-once: prefetched + demand-trained together cover the job's
+  // distinct coalitions with zero duplicates.
+  EXPECT_EQ(stats.trainings_computed, reference.num_trainings);
+  EXPECT_EQ(stats.prefetch_credited, stats.prefetch_trainings);
+  // Everything prefetched came from the job's own announced plan, so the
+  // job went on to evaluate all of it.
+  EXPECT_EQ(stats.prefetch_consumed, stats.prefetch_credited);
+}
+
+TEST(ValuationServiceTest, FusedJobMatchesUnfusedValues) {
+  // fuse=on routes slice batches through EvaluateBatchFused. The linreg
+  // utility has no affine scorer, so the fused dispatch degrades to the
+  // per-coalition path and values stay bit-identical — this pins the
+  // wiring (spec -> session -> cache) end to end.
+  JobSpec job = MakeJob("fuse", EstimatorKind::kExactMc, LinregScenario(6),
+                        /*gamma=*/0, /*chunk=*/8);
+  ValuationResult reference = RunIsolated(job);
+  ASSERT_EQ(reference.values.size(), 6u);
+
+  ServiceConfig config;
+  config.workers = 2;
+  ValuationService service(config);
+  job.fuse = true;
+  ASSERT_TRUE(service.Submit(job).ok());
+  Result<ValuationResult> result = service.Wait(job.name);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->values, reference.values);
+  EXPECT_EQ(result->num_trainings, reference.num_trainings);
 }
 
 TEST(JobSpecTest, EstimatorKindsRoundTripAndClassify) {

@@ -126,6 +126,50 @@ TEST(TaskGroupTest, ConcurrentGroupsShareOnePoolWithoutCrosstalk) {
   EXPECT_EQ(total.load(), 64);
 }
 
+// Regression: ParallelFor used to wait for the whole pool to go idle, so
+// an unrelated long-running task made it block indefinitely. It now waits
+// on a per-call TaskGroup and returns as soon as its own indices finish.
+TEST(ThreadPoolTest, ParallelForIgnoresForeignTasks) {
+  ThreadPool pool(4);
+  std::atomic<bool> release_other{false};
+  pool.Submit([&release_other] {
+    while (!release_other.load()) std::this_thread::yield();
+  });
+  std::atomic<int> covered{0};
+  pool.ParallelFor(32, [&covered](int) { covered.fetch_add(1); });
+  EXPECT_EQ(covered.load(), 32);  // returned while the blocker still runs
+  release_other.store(true);
+  pool.WaitIdle();
+}
+
+// Regression: calling ParallelFor from inside one of the pool's own
+// worker threads used to deadlock once every worker was occupied (each
+// nested call waited for tasks no free worker could run). Nested calls
+// now detect their own pool and run inline.
+TEST(ThreadPoolTest, NestedParallelForFromWorkerRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  // Outer fan-out occupies every worker; each body nests another
+  // ParallelFor on the same pool.
+  pool.ParallelFor(4, [&](int) {
+    pool.ParallelFor(8, [&inner_total](int) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallersDoNotCrosstalk) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&pool, &total] {
+      pool.ParallelFor(25, [&total](int) { total.fetch_add(1); });
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), 4 * 25);
+}
+
 TEST(WorkerBudgetTest, GrantsUpToTotalAndReleases) {
   WorkerBudget budget(4);
   EXPECT_EQ(budget.total(), 4);
@@ -167,6 +211,38 @@ TEST(WorkerBudgetTest, TotalClampedToOne) {
   EXPECT_EQ(budget.total(), 1);
   budget.SetTotal(-5);
   EXPECT_EQ(budget.total(), 1);
+}
+
+// Regression: releasing more slots than were acquired used to drive
+// in_use_ negative, silently inflating every later TryAcquire grant. The
+// debug build now fails loudly; the release build clamps at zero.
+TEST(WorkerBudgetTest, OverReleaseIsCaught) {
+  WorkerBudget budget(4);
+  EXPECT_EQ(budget.TryAcquire(1), 1);
+#ifndef NDEBUG
+  EXPECT_DEATH(budget.Release(2), "");
+#else
+  budget.Release(2);  // clamped, not negative
+  EXPECT_EQ(budget.in_use(), 0);
+  EXPECT_EQ(budget.TryAcquire(100), 4);  // grants never exceed total
+#endif
+}
+
+// Shrinking the budget below the outstanding lease count must not grant
+// new slots (or corrupt accounting) until enough leases drain.
+TEST(WorkerBudgetTest, ShrinkBelowInUseStopsGrantsUntilDrained) {
+  WorkerBudget budget(4);
+  EXPECT_EQ(budget.TryAcquire(3), 3);
+  budget.SetTotal(2);
+  EXPECT_EQ(budget.total(), 2);
+  EXPECT_EQ(budget.TryAcquire(1), 0);  // 3 in use > new total
+  budget.Release(1);
+  EXPECT_EQ(budget.TryAcquire(1), 0);  // still at the new ceiling
+  budget.Release(1);
+  EXPECT_EQ(budget.TryAcquire(1), 1);  // back under: grants resume
+  budget.Release(1);
+  budget.Release(1);
+  EXPECT_EQ(budget.in_use(), 0);
 }
 
 TEST(SharedTrainingPoolTest, IsSingletonAndUsable) {

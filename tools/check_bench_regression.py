@@ -13,7 +13,9 @@ Metric direction is inferred from its name:
     *trainings_to_target* (budget an estimator needs to reach a target
     error — the adaptive-allocation headline), *variance* (across-run
     estimator variance at a fixed seeded budget)
-  - higher-is-better: *speedup*, *dedup*, *per_second*, *throughput*
+  - higher-is-better: *speedup*, *dedup*, *per_second*, *throughput*,
+    *hit_ahead* (fraction of prefetch-credited trainings a job actually
+    consumed — dropping it means the prefetcher speculates uselessly)
   - everything else (counts, bytes, errors) is informational: never gated,
     because trainings counts and byte sizes legitimately change with the
     workload, and correctness counts are gated by the benches themselves.
@@ -42,7 +44,8 @@ import sys
 import tempfile
 
 LOWER_IS_BETTER = ("seconds", "trainings_to_target", "variance")
-HIGHER_IS_BETTER = ("speedup", "dedup", "per_second", "throughput")
+HIGHER_IS_BETTER = ("speedup", "dedup", "per_second", "throughput",
+                    "hit_ahead")
 
 
 def direction_of(metric: str):
@@ -184,6 +187,14 @@ def self_test() -> int:
           direction_of("budget_mapped_bytes") is None)
     check("trainings_to_target_error is lower-better",
           direction_of("trainings_to_target_error") == "lower")
+    check("wall_prefetch_seconds is lower-better",
+          direction_of("wall_prefetch_seconds") == "lower")
+    check("prefetch_speedup is higher-better",
+          direction_of("prefetch_speedup") == "higher")
+    check("hit_ahead_ratio is higher-better",
+          direction_of("hit_ahead_ratio") == "higher")
+    check("trainings_run_ahead is informational",
+          direction_of("trainings_run_ahead") is None)
     check("total_variance is lower-better",
           direction_of("total_variance") == "lower")
     check("errors are informational", direction_of("best_rel_l2") is None)
