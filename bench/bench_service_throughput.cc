@@ -21,6 +21,8 @@
 
 #include "common.h"
 #include "ml/kernel_backend.h"
+#include "service/cluster.h"
+#include "service/cluster_worker.h"
 #include "service/job_spec.h"
 #include "service/valuation_service.h"
 #include "util/stopwatch.h"
@@ -234,6 +236,92 @@ int main(int argc, char** argv) {
                 static_cast<double>(prefetch_stats.prefetch_credited)
           : 0.0;
 
+  // (d) The sharded cluster: the same mix through a coordinator service
+  // whose cache misses are trained by {1, 2, 4} local worker shards
+  // (thread mode), plus one faulted run that SIGKILL-equivalently kills
+  // a worker after its 3rd training — the reassignment path under
+  // bench-scale load. Values must stay bit-identical at every topology.
+  struct ClusterOutcome {
+    int workers = 0;
+    double wall_seconds = 0.0;
+  };
+  std::vector<ClusterOutcome> cluster_runs;
+  size_t faulted_reassigned = 0;
+  size_t faulted_lost = 0;
+  auto run_cluster = [&](int cluster_workers,
+                         const std::vector<std::string>& fault_specs,
+                         double* wall_out, ClusterStats* stats_out) -> bool {
+    LocalClusterOptions cluster_options;
+    cluster_options.num_workers = cluster_workers;
+    cluster_options.fault_specs = fault_specs;
+    cluster_options.dispatcher.heartbeat_timeout_ms = 2000;
+    Result<std::unique_ptr<LocalCluster>> cluster =
+        LocalCluster::Start(cluster_options);
+    if (!cluster.ok()) {
+      std::fprintf(stderr, "cluster start failed: %s\n",
+                   cluster.status().ToString().c_str());
+      return false;
+    }
+    ServiceConfig cluster_config;
+    cluster_config.workers = options.workers;
+    cluster_config.cluster = (*cluster)->dispatcher();
+    bool ok = true;
+    {
+      ValuationService cluster_service(cluster_config);
+      Stopwatch timer;
+      for (const JobSpec& spec : jobs) {
+        if (Status submitted = cluster_service.Submit(spec); !submitted.ok()) {
+          std::fprintf(stderr, "cluster submit failed: %s\n",
+                       submitted.ToString().c_str());
+          return false;
+        }
+      }
+      cluster_service.WaitAll();
+      *wall_out = timer.ElapsedSeconds();
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        Result<JobStatus> status = cluster_service.GetStatus(jobs[i].name);
+        if (!status.ok() || status->state != JobState::kDone) {
+          std::fprintf(stderr, "cluster job %s did not finish\n",
+                       jobs[i].name.c_str());
+          ok = false;
+          continue;
+        }
+        if (status->result.values != isolated[i].result.values) {
+          std::fprintf(stderr, "cluster job %s diverged from isolated\n",
+                       jobs[i].name.c_str());
+          ok = false;
+        }
+      }
+      *stats_out = (*cluster)->dispatcher()->stats();
+    }  // service joins its workers before the cluster goes away
+    (*cluster)->Shutdown();
+    return ok;
+  };
+  for (int cluster_workers : {1, 2, 4}) {
+    ClusterOutcome outcome;
+    outcome.workers = cluster_workers;
+    ClusterStats cluster_stats;
+    if (!run_cluster(cluster_workers, {}, &outcome.wall_seconds,
+                     &cluster_stats)) {
+      all_equal = false;
+    }
+    cluster_runs.push_back(outcome);
+  }
+  {
+    double faulted_wall = 0.0;
+    ClusterStats cluster_stats;
+    if (!run_cluster(2, {"kill-worker:after=3"}, &faulted_wall,
+                     &cluster_stats)) {
+      all_equal = false;
+    }
+    faulted_reassigned = cluster_stats.reassigned_coalitions;
+    faulted_lost = cluster_stats.workers_lost;
+  }
+  const double cluster_speedup =
+      cluster_runs.back().wall_seconds > 0
+          ? cluster_runs.front().wall_seconds / cluster_runs.back().wall_seconds
+          : 0.0;
+
   const ServiceStats stats = service.stats();
   std::printf("\naggregate:\n");
   std::printf("  trainings, %zu isolated runs:   %zu\n", jobs.size(),
@@ -256,6 +344,14 @@ int main(int argc, char** argv) {
               prefetch_wall,
               prefetch_wall > 0 ? shared_wall / prefetch_wall : 0.0,
               prefetch_stats.prefetch_trainings, hit_ahead_ratio);
+  std::printf("  cluster wall by workers:       ");
+  for (const ClusterOutcome& outcome : cluster_runs) {
+    std::printf("%d->%.3fs  ", outcome.workers, outcome.wall_seconds);
+  }
+  std::printf("(%.2fx at %d shards)\n", cluster_speedup,
+              cluster_runs.back().workers);
+  std::printf("  cluster faulted run:           lost=%zu reassigned=%zu\n",
+              faulted_lost, faulted_reassigned);
   std::printf("  values identical to isolated:  %s\n",
               all_equal ? "yes" : "NO");
   if (!options.store_dir.empty()) {
@@ -295,6 +391,17 @@ int main(int argc, char** argv) {
       .Metric("trainings_run_ahead",
               static_cast<double>(prefetch_stats.prefetch_trainings))
       .Metric("hit_ahead_ratio", hit_ahead_ratio);
+  bench::BenchJson::Record& cluster_entry = json.Add("cluster");
+  cluster_entry.Label("scenario", options.scenario);
+  for (const ClusterOutcome& outcome : cluster_runs) {
+    cluster_entry.Metric(
+        "wall_workers_" + std::to_string(outcome.workers) + "_seconds",
+        outcome.wall_seconds);
+  }
+  cluster_entry
+      .Metric("cluster_speedup", cluster_speedup)
+      .Metric("reassigned_coalitions", static_cast<double>(faulted_reassigned))
+      .Metric("workers_lost", static_cast<double>(faulted_lost));
   json.Add("store")
       .Label("scenario", options.scenario)
       .Label("persistent", options.store_dir.empty() ? "no" : "yes")

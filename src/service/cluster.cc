@@ -1,0 +1,380 @@
+#include "service/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fl/utility_store.h"
+#include "util/logging.h"
+#include "util/serialization.h"
+
+namespace fedshap {
+
+namespace {
+
+std::string EncodeAssign(uint64_t task_id, const std::string& key,
+                         const Coalition& coalition) {
+  ByteWriter writer;
+  writer.PutVarint(task_id);
+  writer.PutString(key);
+  PutCoalition(writer, coalition);
+  return std::string(writer.bytes());
+}
+
+std::string EncodeWorkloadAnnounce(const std::string& key,
+                                   const ScenarioSpec& scenario,
+                                   uint64_t fingerprint) {
+  ByteWriter writer;
+  writer.PutString(key);
+  EncodeScenarioSpec(scenario, writer);
+  writer.PutU64(fingerprint);
+  return std::string(writer.bytes());
+}
+
+}  // namespace
+
+ClusterDispatcher::ClusterDispatcher(const Options& options)
+    : options_(options) {}
+
+ClusterDispatcher::~ClusterDispatcher() { Shutdown(); }
+
+void ClusterDispatcher::AddWorker(std::unique_ptr<FrameChannel> channel) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto worker = std::make_unique<WorkerState>();
+  worker->channel = std::move(channel);
+  worker->alive = true;
+  worker->last_seen = std::chrono::steady_clock::now();
+  workers_.push_back(std::move(worker));
+  ++stats_.workers_added;
+  const size_t index = workers_.size() - 1;
+  workers_[index]->receiver = std::thread([this, index] { ReceiverLoop(index); });
+  // The monitor starts with the first worker, not in the constructor, so
+  // a harness may construct the dispatcher, fork subprocess workers, and
+  // only then go multi-threaded.
+  if (!monitor_.joinable()) {
+    monitor_ = std::thread([this] { MonitorLoop(); });
+  }
+}
+
+void ClusterDispatcher::RegisterWorkload(const std::string& key,
+                                         const ScenarioSpec& scenario,
+                                         uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkloadInfo info;
+  info.scenario = scenario;
+  info.fingerprint = fingerprint;
+  workloads_.emplace(key, std::move(info));
+}
+
+int ClusterDispatcher::PickWorkerLocked(const Coalition& coalition) const {
+  if (workers_.empty()) return -1;
+  // The divisor is the total worker count, not the live count: a
+  // coalition's home shard must not move when an unrelated worker dies,
+  // or shard-local store reuse (and the reassignment accounting) would
+  // churn. Dead shards probe linearly to the next live one.
+  const size_t total = workers_.size();
+  const size_t home = static_cast<size_t>(coalition.Hash() % total);
+  for (size_t probe = 0; probe < total; ++probe) {
+    const size_t index = (home + probe) % total;
+    if (workers_[index]->alive) return static_cast<int>(index);
+  }
+  return -1;
+}
+
+Status ClusterDispatcher::AssignLocked(uint64_t task_id, PendingTask& task,
+                                       int worker_index) {
+  WorkerState& worker = *workers_[static_cast<size_t>(worker_index)];
+  if (worker.announced.insert(task.workload_key).second) {
+    auto it = workloads_.find(task.workload_key);
+    if (it == workloads_.end()) {
+      worker.announced.erase(task.workload_key);
+      return Status::InvalidArgument("workload '" + task.workload_key +
+                                     "' was never registered");
+    }
+    Status sent = worker.channel->Send(
+        cluster_proto::kWorkload,
+        EncodeWorkloadAnnounce(task.workload_key, it->second.scenario,
+                               it->second.fingerprint));
+    if (!sent.ok()) {
+      MarkWorkerDeadLocked(static_cast<size_t>(worker_index));
+      return sent;
+    }
+  }
+  Status sent = worker.channel->Send(
+      cluster_proto::kAssign,
+      EncodeAssign(task_id, task.workload_key, task.coalition));
+  if (!sent.ok()) {
+    MarkWorkerDeadLocked(static_cast<size_t>(worker_index));
+    return sent;
+  }
+  task.worker = worker_index;
+  task.sent_at = std::chrono::steady_clock::now();
+  worker.inflight.insert(task_id);
+  ++stats_.tasks_dispatched;
+  return Status::OK();
+}
+
+Result<UtilityRecord> ClusterDispatcher::Evaluate(
+    const std::string& workload_key, const Coalition& coalition,
+    bool* worker_fresh) {
+  if (worker_fresh != nullptr) *worker_fresh = false;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    return Status::FailedPrecondition("cluster dispatcher is shut down");
+  }
+  if (workloads_.find(workload_key) == workloads_.end()) {
+    return Status::InvalidArgument("workload '" + workload_key +
+                                   "' was never registered");
+  }
+  const uint64_t task_id = ++next_task_id_;
+  PendingTask& task = pending_[task_id];
+  task.workload_key = workload_key;
+  task.coalition = coalition;
+  // Dispatch, re-picking while send failures kill workers under us.
+  for (;;) {
+    const int worker_index = PickWorkerLocked(coalition);
+    if (worker_index < 0) {
+      pending_.erase(task_id);
+      return Status::FailedPrecondition("no live cluster workers");
+    }
+    if (AssignLocked(task_id, task, worker_index).ok()) break;
+  }
+  completed_.wait(lock, [&] { return task.done || stopping_; });
+  if (!task.done) {
+    // Shutdown raced the evaluation: detach the task.
+    if (task.worker >= 0 &&
+        static_cast<size_t>(task.worker) < workers_.size()) {
+      workers_[static_cast<size_t>(task.worker)]->inflight.erase(task_id);
+    }
+    pending_.erase(task_id);
+    return Status::FailedPrecondition("cluster dispatcher is shut down");
+  }
+  Status error = task.error;
+  UtilityRecord record = task.record;
+  const bool fresh = task.fresh;
+  pending_.erase(task_id);
+  if (!error.ok()) return error;
+  if (worker_fresh != nullptr) *worker_fresh = fresh;
+  return record;
+}
+
+void ClusterDispatcher::FailTaskLocked(uint64_t task_id, PendingTask& task,
+                                       Status error) {
+  (void)task_id;
+  task.done = true;
+  task.error = std::move(error);
+  completed_.notify_all();
+}
+
+void ClusterDispatcher::MarkWorkerDeadLocked(size_t index) {
+  WorkerState& worker = *workers_[index];
+  if (!worker.alive) return;
+  worker.alive = false;
+  worker.channel->Shutdown();
+  std::set<uint64_t> orphans;
+  orphans.swap(worker.inflight);
+  if (stopping_) return;
+  ++stats_.workers_lost;
+  FEDSHAP_LOG(Warning) << "[cluster] worker " << index << " lost with "
+                       << orphans.size() << " in-flight coalition(s)";
+  // Fail over every orphaned coalition to the next live shard. The
+  // retrained result converges bit-identically: the training is
+  // deterministic in the workload, not in which worker runs it.
+  for (uint64_t task_id : orphans) {
+    auto it = pending_.find(task_id);
+    if (it == pending_.end() || it->second.done) continue;
+    PendingTask& task = it->second;
+    for (;;) {
+      const int next = PickWorkerLocked(task.coalition);
+      if (next < 0) {
+        FailTaskLocked(task_id, task,
+                       Status::FailedPrecondition("no live cluster workers"));
+        break;
+      }
+      if (AssignLocked(task_id, task, next).ok()) {
+        ++stats_.reassigned_coalitions;
+        break;
+      }
+    }
+  }
+}
+
+void ClusterDispatcher::HandleFrame(size_t index, const Frame& frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerState& worker = *workers_[index];
+  worker.last_seen = std::chrono::steady_clock::now();
+  switch (frame.type) {
+    case cluster_proto::kHello:
+    case cluster_proto::kHeartbeat:
+      return;  // liveness only; last_seen is already refreshed
+    case cluster_proto::kResult: {
+      ByteReader reader(frame.payload);
+      Result<uint64_t> task_id = reader.GetVarint();
+      Result<uint64_t> hash = reader.GetU64();
+      Result<double> utility = reader.GetDouble();
+      Result<double> cost = reader.GetDouble();
+      Result<uint8_t> fresh = reader.GetU8();
+      if (!task_id.ok() || !hash.ok() || !utility.ok() || !cost.ok() ||
+          !fresh.ok()) {
+        FEDSHAP_LOG(Warning) << "[cluster] malformed result frame from "
+                             << "worker " << index << "; ignored";
+        return;
+      }
+      auto it = pending_.find(*task_id);
+      if (it == pending_.end() || it->second.done ||
+          it->second.coalition.Hash() != *hash) {
+        // Exactly-once application: a duplicate delivery, a frame for a
+        // task already failed over and completed elsewhere, or a stale
+        // id. The first accepted result won; drop this one.
+        ++stats_.duplicate_results_ignored;
+        return;
+      }
+      PendingTask& task = it->second;
+      task.done = true;
+      task.record = UtilityRecord{*utility, *cost};
+      task.fresh = *fresh != 0;
+      if (task.worker >= 0 &&
+          static_cast<size_t>(task.worker) < workers_.size()) {
+        workers_[static_cast<size_t>(task.worker)]->inflight.erase(*task_id);
+      }
+      ++stats_.results_applied;
+      if (task.fresh) ++stats_.worker_fresh_trainings;
+      completed_.notify_all();
+      return;
+    }
+    case cluster_proto::kError: {
+      ByteReader reader(frame.payload);
+      Result<uint64_t> task_id = reader.GetVarint();
+      Result<std::string> message = reader.GetString();
+      if (!task_id.ok() || !message.ok()) return;
+      auto it = pending_.find(*task_id);
+      if (it == pending_.end() || it->second.done) {
+        ++stats_.duplicate_results_ignored;
+        return;
+      }
+      worker.inflight.erase(*task_id);
+      FailTaskLocked(*task_id, it->second,
+                     Status::Internal("worker " + std::to_string(index) +
+                                      " failed evaluation: " + *message));
+      return;
+    }
+    default:
+      FEDSHAP_LOG(Warning) << "[cluster] unexpected frame type " << frame.type
+                           << " from worker " << index;
+      return;
+  }
+}
+
+void ClusterDispatcher::ReceiverLoop(size_t index) {
+  FrameChannel* channel = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    channel = workers_[index]->channel.get();
+  }
+  for (;;) {
+    Result<std::optional<Frame>> received = channel->Recv(250);
+    if (!received.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      MarkWorkerDeadLocked(index);
+      return;
+    }
+    if (!received->has_value()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      continue;
+    }
+    HandleFrame(index, **received);
+  }
+}
+
+void ClusterDispatcher::MonitorLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  int tick_ms = 100;
+  if (options_.task_retry_ms > 0) {
+    tick_ms = std::min(tick_ms, std::max(10, options_.task_retry_ms / 2));
+  }
+  if (options_.heartbeat_timeout_ms > 0) {
+    tick_ms =
+        std::min(tick_ms, std::max(10, options_.heartbeat_timeout_ms / 4));
+  }
+  while (!stopping_) {
+    monitor_wake_.wait_for(lock, std::chrono::milliseconds(tick_ms));
+    if (stopping_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      if (!workers_[i]->alive) continue;
+      const auto silent = std::chrono::duration_cast<std::chrono::milliseconds>(
+          now - workers_[i]->last_seen);
+      if (silent.count() > options_.heartbeat_timeout_ms) {
+        FEDSHAP_LOG(Warning) << "[cluster] worker " << i << " heartbeat "
+                             << "silent for " << silent.count() << "ms";
+        MarkWorkerDeadLocked(i);
+      }
+    }
+    if (options_.task_retry_ms > 0) {
+      for (auto& [task_id, task] : pending_) {
+        if (task.done || task.worker < 0) continue;
+        const auto waited =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - task.sent_at);
+        if (waited.count() <= options_.task_retry_ms) continue;
+        // A lost result frame: re-send to the task's worker (its cache
+        // makes the re-run a hit). A dead worker was already failed over
+        // by MarkWorkerDeadLocked, so alive is expected here.
+        if (workers_[static_cast<size_t>(task.worker)]->alive &&
+            AssignLocked(task_id, task, task.worker).ok()) {
+          ++stats_.retried_tasks;
+        }
+      }
+    }
+  }
+}
+
+size_t ClusterDispatcher::live_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t live = 0;
+  for (const auto& worker : workers_) {
+    if (worker->alive) ++live;
+  }
+  return live;
+}
+
+ClusterStats ClusterDispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ClusterDispatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    stopping_ = true;
+    for (auto& worker : workers_) {
+      if (worker->alive) {
+        (void)worker->channel->Send(cluster_proto::kShutdown, "");
+      }
+      worker->channel->Shutdown();
+    }
+    for (auto& [task_id, task] : pending_) {
+      if (!task.done) {
+        FailTaskLocked(task_id, task,
+                       Status::FailedPrecondition(
+                           "cluster dispatcher is shut down"));
+      }
+    }
+    completed_.notify_all();
+    monitor_wake_.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->receiver.joinable()) worker->receiver.join();
+  }
+  if (monitor_.joinable()) monitor_.join();
+}
+
+Result<double> ClusterUtility::Evaluate(const Coalition& coalition) const {
+  FEDSHAP_ASSIGN_OR_RETURN(UtilityRecord record,
+                           dispatcher_->Evaluate(workload_key_, coalition));
+  return record.utility;
+}
+
+}  // namespace fedshap

@@ -1,0 +1,203 @@
+#ifndef FEDSHAP_SERVICE_CLUSTER_H_
+#define FEDSHAP_SERVICE_CLUSTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fl/utility.h"
+#include "fl/utility_cache.h"
+#include "service/job_spec.h"
+#include "util/coalition.h"
+#include "util/framing.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// \file
+/// Coordinator side of the sharded valuation cluster.
+///
+/// The coordinator owns all estimator state (plan cursors, moments,
+/// snapshots) and its UtilityCache stays the single source of truth for
+/// hit/miss and fresh-training accounting. Only the leaf operation — one
+/// coalition training — is shipped out: a cache miss becomes an Assign
+/// frame to the worker that owns the coalition's shard, and the worker's
+/// framed result is applied back into the coordinator cache. Estimator
+/// math therefore consumes utilities in exactly the single-process plan
+/// order regardless of how result frames race on the wire, which is what
+/// keeps values bit-identical at any topology (see
+/// docs/ARCHITECTURE.md, "Sharded valuation cluster").
+
+/// Cluster protocol frame types (FrameChannel `type` field). Payloads are
+/// ByteWriter-encoded; see cluster.cc for the per-message layout.
+namespace cluster_proto {
+inline constexpr uint32_t kHello = 1;      ///< worker->coord: shard, pid
+inline constexpr uint32_t kWorkload = 2;   ///< coord->worker: key, spec, fp
+inline constexpr uint32_t kAssign = 3;     ///< coord->worker: task, coalition
+inline constexpr uint32_t kResult = 4;     ///< worker->coord: task, utility
+inline constexpr uint32_t kError = 5;      ///< worker->coord: task, message
+inline constexpr uint32_t kHeartbeat = 6;  ///< worker->coord: liveness
+inline constexpr uint32_t kShutdown = 7;   ///< coord->worker: drain and exit
+}  // namespace cluster_proto
+
+/// Counters describing one dispatcher's life so far. All monotonic.
+struct ClusterStats {
+  size_t workers_added = 0;     ///< AddWorker calls.
+  size_t workers_lost = 0;      ///< Workers declared dead (EOF or timeout).
+  size_t tasks_dispatched = 0;  ///< Assign frames sent, including re-sends.
+  size_t results_applied = 0;   ///< Result frames accepted exactly-once.
+  size_t duplicate_results_ignored = 0;  ///< Late/duplicate frames dropped.
+  size_t reassigned_coalitions = 0;  ///< In-flight tasks moved off a dead
+                                     ///< worker.
+  size_t retried_tasks = 0;  ///< Tasks re-sent after the task timeout
+                             ///< (dropped-frame recovery).
+  size_t worker_fresh_trainings = 0;  ///< Results flagged fresh by the
+                                      ///< worker that trained them.
+};
+
+/// Coordinator-side dispatcher: owns the worker connections, the
+/// coalition->shard map and the in-flight task table.
+///
+/// Sharding is by `Coalition::Hash() % workers_added`: the divisor is the
+/// total number of workers ever added, never the live count, so a
+/// coalition's home shard is stable across worker deaths and every
+/// worker's store only ever sees its own shard's coalitions. When a
+/// worker dies its in-flight tasks fail over to the next live shard;
+/// results arriving late for an already-completed task (duplicate
+/// delivery, a resurrected frame) are ignored idempotently — a task id is
+/// completed at most once, and the coordinator cache's single-flight
+/// keyed by coalition fingerprint makes retrained duplicates converge on
+/// the same record.
+///
+/// Thread-safe; Evaluate() may be called from many coordinator threads.
+class ClusterDispatcher {
+ public:
+  struct Options {
+    /// A worker silent for longer than this is declared dead and its
+    /// in-flight coalitions are reassigned. Workers heartbeat every
+    /// ~200ms, so the default tolerates long GC-less trainings.
+    int heartbeat_timeout_ms = 10000;
+    /// When > 0, a task unanswered for this long is re-sent to its
+    /// worker (recovers a dropped result frame: the worker's cache makes
+    /// the re-run a hit). 0 disables timeout-driven retry.
+    int task_retry_ms = 0;
+  };
+
+  ClusterDispatcher() : ClusterDispatcher(Options()) {}
+  explicit ClusterDispatcher(const Options& options);
+  ~ClusterDispatcher();
+
+  ClusterDispatcher(const ClusterDispatcher&) = delete;
+  ClusterDispatcher& operator=(const ClusterDispatcher&) = delete;
+
+  /// Adopts a connected worker channel; its shard index is the number of
+  /// workers added before it. Starts the per-worker receiver thread.
+  void AddWorker(std::unique_ptr<FrameChannel> channel);
+
+  /// Announces a workload: workers rebuild the utility from `scenario`
+  /// on first assignment and must match `fingerprint` bit-for-bit.
+  void RegisterWorkload(const std::string& key, const ScenarioSpec& scenario,
+                        uint64_t fingerprint);
+
+  /// Ships one coalition evaluation to its shard's worker and blocks for
+  /// the framed result, surviving worker deaths by reassignment. Fails
+  /// only when no live worker remains or the dispatcher is shut down.
+  /// `worker_fresh` (optional) reports whether the worker trained fresh.
+  Result<UtilityRecord> Evaluate(const std::string& workload_key,
+                                 const Coalition& coalition,
+                                 bool* worker_fresh = nullptr);
+
+  /// Workers currently considered alive.
+  size_t live_workers() const;
+
+  ClusterStats stats() const;
+
+  /// Sends Shutdown to every live worker, fails all pending tasks and
+  /// joins the receiver/monitor threads. Idempotent; the destructor
+  /// calls it.
+  void Shutdown();
+
+ private:
+  struct WorkerState {
+    std::unique_ptr<FrameChannel> channel;
+    std::thread receiver;
+    bool alive = false;
+    std::chrono::steady_clock::time_point last_seen;
+    std::set<std::string> announced;  // workload keys already sent
+    std::set<uint64_t> inflight;      // task ids assigned here
+  };
+  struct WorkloadInfo {
+    ScenarioSpec scenario;
+    uint64_t fingerprint = 0;
+  };
+  struct PendingTask {
+    std::string workload_key;
+    Coalition coalition;
+    int worker = -1;
+    std::chrono::steady_clock::time_point sent_at;
+    bool done = false;
+    Status error;
+    UtilityRecord record{0.0, 0.0};
+    bool fresh = false;
+  };
+
+  void ReceiverLoop(size_t index);
+  void MonitorLoop();
+  void HandleFrame(size_t index, const Frame& frame);
+  // All *Locked methods require mutex_ held.
+  int PickWorkerLocked(const Coalition& coalition) const;
+  Status AssignLocked(uint64_t task_id, PendingTask& task, int worker);
+  void MarkWorkerDeadLocked(size_t index);
+  void FailTaskLocked(uint64_t task_id, PendingTask& task, Status error);
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable completed_;
+  std::condition_variable monitor_wake_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::map<std::string, WorkloadInfo> workloads_;
+  std::unordered_map<uint64_t, PendingTask> pending_;
+  uint64_t next_task_id_ = 0;
+  ClusterStats stats_;
+  std::thread monitor_;
+  bool stopping_ = false;
+  bool shut_down_ = false;
+};
+
+/// A UtilityFunction whose evaluations are computed by the cluster: the
+/// coordinator's per-workload cache wraps one of these instead of the
+/// locally built utility, so every cache miss becomes a remote training
+/// on the coalition's shard. Identity (fingerprint, client count) is
+/// taken from the locally built utility — the remote workers rebuild the
+/// exact same workload, which the Workload handshake verifies.
+class ClusterUtility final : public UtilityFunction {
+ public:
+  ClusterUtility(ClusterDispatcher* dispatcher, std::string workload_key,
+                 int num_clients, uint64_t fingerprint)
+      : dispatcher_(dispatcher),
+        workload_key_(std::move(workload_key)),
+        num_clients_(num_clients),
+        fingerprint_(fingerprint) {}
+
+  int num_clients() const override { return num_clients_; }
+  uint64_t Fingerprint() const override { return fingerprint_; }
+  Result<double> Evaluate(const Coalition& coalition) const override;
+
+ private:
+  ClusterDispatcher* dispatcher_;
+  std::string workload_key_;
+  int num_clients_;
+  uint64_t fingerprint_;
+};
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_SERVICE_CLUSTER_H_

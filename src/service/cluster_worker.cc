@@ -1,0 +1,355 @@
+#include "service/cluster_worker.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/serialization.h"
+
+namespace fedshap {
+
+namespace {
+
+std::string EncodeResult(uint64_t task_id, uint64_t coalition_hash,
+                         const UtilityRecord& record, bool fresh) {
+  ByteWriter writer;
+  writer.PutVarint(task_id);
+  writer.PutU64(coalition_hash);
+  writer.PutDouble(record.utility);
+  writer.PutDouble(record.cost_seconds);
+  writer.PutU8(fresh ? 1 : 0);
+  return std::string(writer.bytes());
+}
+
+std::string EncodeError(uint64_t task_id, const std::string& message) {
+  ByteWriter writer;
+  writer.PutVarint(task_id);
+  writer.PutString(message);
+  return std::string(writer.bytes());
+}
+
+// Liveness beats sent from a side thread so a long training in the serve
+// loop never looks like a dead worker to the coordinator.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(FrameChannel* channel, int interval_ms,
+                  const std::atomic<uint64_t>* trainings)
+      : channel_(channel), interval_ms_(interval_ms), trainings_(trainings) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~HeartbeatThread() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      wake_.wait_for(lock, std::chrono::milliseconds(interval_ms_));
+      if (stop_) return;
+      ByteWriter writer;
+      writer.PutVarint(trainings_->load());
+      if (!channel_->Send(cluster_proto::kHeartbeat, writer.bytes()).ok()) {
+        return;  // coordinator gone; the serve loop will see EOF too
+      }
+    }
+  }
+
+  FrameChannel* channel_;
+  const int interval_ms_;
+  const std::atomic<uint64_t>* trainings_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+ClusterWorker::ClusterWorker(FrameChannel* channel,
+                             const ClusterWorkerOptions& options)
+    : channel_(channel),
+      options_(options),
+      faults_(options.faults != nullptr ? options.faults
+                                        : FaultInjector::Global()) {}
+
+Status ClusterWorker::HandleWorkload(const Frame& frame) {
+  ByteReader reader(frame.payload);
+  FEDSHAP_ASSIGN_OR_RETURN(std::string key, reader.GetString());
+  FEDSHAP_ASSIGN_OR_RETURN(ScenarioSpec scenario, DecodeScenarioSpec(reader));
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t fingerprint, reader.GetU64());
+  if (workloads_.count(key) != 0) return Status::OK();  // re-announce
+  WorkloadContext context;
+  FEDSHAP_ASSIGN_OR_RETURN(context.utility, scenario.Build());
+  if (context.utility->Fingerprint() != fingerprint) {
+    // The worker rebuilt a different workload than the coordinator: an
+    // environment skew that would silently corrupt values. Refuse.
+    return Status::Internal(
+        "workload fingerprint mismatch for '" + key +
+        "': worker built a different utility than the coordinator");
+  }
+  context.cache = std::make_unique<UtilityCache>(context.utility.get());
+  if (!options_.store_dir.empty()) {
+    const std::string stem = options_.store_dir + "/shard-" +
+                             std::to_string(options_.shard) + "/utilities";
+    FEDSHAP_ASSIGN_OR_RETURN(
+        context.store,
+        OpenAndAttachStore(stem, /*resume=*/true, *context.utility,
+                           *context.cache, options_.store_flush_bytes));
+  }
+  workloads_.emplace(std::move(key), std::move(context));
+  return Status::OK();
+}
+
+Status ClusterWorker::SendResultFrame(const std::string& payload) {
+  if (faults_ != nullptr && faults_->Fire(FaultSite::kDropFrame)) {
+    FEDSHAP_LOG(Warning) << "[cluster-worker " << options_.shard
+                         << "] fault: dropping result frame";
+    return Status::OK();
+  }
+  if (faults_ != nullptr && faults_->Fire(FaultSite::kReorderFrame)) {
+    FEDSHAP_LOG(Warning) << "[cluster-worker " << options_.shard
+                         << "] fault: holding result frame back";
+    held_results_.push_back(payload);
+    return Status::OK();
+  }
+  FEDSHAP_RETURN_NOT_OK(channel_->Send(cluster_proto::kResult, payload));
+  if (faults_ != nullptr && faults_->Fire(FaultSite::kDupFrame)) {
+    FEDSHAP_LOG(Warning) << "[cluster-worker " << options_.shard
+                         << "] fault: duplicating result frame";
+    FEDSHAP_RETURN_NOT_OK(channel_->Send(cluster_proto::kResult, payload));
+  }
+  // A held-back frame ships after the one that overtook it.
+  std::vector<std::string> held;
+  held.swap(held_results_);
+  for (const std::string& frame_payload : held) {
+    FEDSHAP_RETURN_NOT_OK(
+        channel_->Send(cluster_proto::kResult, frame_payload));
+  }
+  return Status::OK();
+}
+
+Result<bool> ClusterWorker::HandleAssign(const Frame& frame) {
+  ByteReader reader(frame.payload);
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t task_id, reader.GetVarint());
+  FEDSHAP_ASSIGN_OR_RETURN(std::string key, reader.GetString());
+  FEDSHAP_ASSIGN_OR_RETURN(Coalition coalition, GetCoalition(reader));
+  auto it = workloads_.find(key);
+  if (it == workloads_.end()) {
+    FEDSHAP_RETURN_NOT_OK(channel_->Send(
+        cluster_proto::kError,
+        EncodeError(task_id, "workload '" + key + "' not announced")));
+    return false;
+  }
+  bool fresh = false;
+  Result<UtilityRecord> record = it->second.cache->Get(coalition, &fresh);
+  if (!record.ok()) {
+    FEDSHAP_RETURN_NOT_OK(
+        channel_->Send(cluster_proto::kError,
+                       EncodeError(task_id, record.status().ToString())));
+    return false;
+  }
+  if (fresh) {
+    ++fresh_trainings_;
+    if (faults_ != nullptr && faults_->Fire(FaultSite::kKillWorker)) {
+      // Simulated crash after the training but before the result frame:
+      // the work is lost in flight, exactly the window reassignment must
+      // cover. No store flush, no goodbye — just a dead socket.
+      FEDSHAP_LOG(Warning) << "[cluster-worker " << options_.shard
+                           << "] fault: dying after " << fresh_trainings_
+                           << " trainings";
+      channel_->Shutdown();
+      return true;
+    }
+  }
+  FEDSHAP_RETURN_NOT_OK(
+      SendResultFrame(EncodeResult(task_id, coalition.Hash(), *record, fresh)));
+  return false;
+}
+
+Status ClusterWorker::Run() {
+  {
+    ByteWriter hello;
+    hello.PutVarint(static_cast<uint64_t>(options_.shard));
+    hello.PutVarint(static_cast<uint64_t>(::getpid()));
+    FEDSHAP_RETURN_NOT_OK(channel_->Send(cluster_proto::kHello, hello.bytes()));
+  }
+  std::atomic<uint64_t> trainings{0};
+  HeartbeatThread heartbeat(channel_, options_.heartbeat_interval_ms,
+                            &trainings);
+  for (;;) {
+    Result<std::optional<Frame>> received =
+        channel_->Recv(options_.heartbeat_interval_ms);
+    if (!received.ok()) {
+      // Coordinator gone (or our own injected death closed the socket).
+      return Status::OK();
+    }
+    if (!received->has_value()) {
+      // Idle beat: flush any reorder-held frames so a holdback can only
+      // delay a result, never strand it.
+      if (!held_results_.empty()) {
+        std::vector<std::string> held;
+        held.swap(held_results_);
+        for (const std::string& payload : held) {
+          FEDSHAP_RETURN_NOT_OK(
+              channel_->Send(cluster_proto::kResult, payload));
+        }
+      }
+      continue;
+    }
+    const Frame& frame = **received;
+    switch (frame.type) {
+      case cluster_proto::kWorkload: {
+        Status handled = HandleWorkload(frame);
+        if (!handled.ok()) {
+          FEDSHAP_LOG(Error) << "[cluster-worker " << options_.shard << "] "
+                             << handled.ToString();
+          return handled;
+        }
+        break;
+      }
+      case cluster_proto::kAssign: {
+        Result<bool> killed = HandleAssign(frame);
+        if (!killed.ok()) {
+          FEDSHAP_LOG(Error) << "[cluster-worker " << options_.shard << "] "
+                             << killed.status().ToString();
+          return killed.status();
+        }
+        trainings.store(fresh_trainings_);
+        if (*killed) return Status::OK();
+        break;
+      }
+      case cluster_proto::kShutdown:
+        for (auto& [key, context] : workloads_) {
+          if (context.store != nullptr) (void)context.store->Flush();
+        }
+        return Status::OK();
+      default:
+        break;  // future message types are ignorable by old workers
+    }
+  }
+}
+
+Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
+    const LocalClusterOptions& options) {
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("cluster needs at least one worker");
+  }
+  // The FEDSHAP_FAULT_SPEC env script targets exactly one worker — the
+  // shard FEDSHAP_FAULT_SHARD names (default 0) — so "kill-worker"
+  // injects one deterministic death instead of wiping the cluster.
+  const char* env_spec = std::getenv("FEDSHAP_FAULT_SPEC");
+  const bool env_faults = env_spec != nullptr && env_spec[0] != '\0';
+  int env_target = 0;
+  if (const char* shard = std::getenv("FEDSHAP_FAULT_SHARD")) {
+    env_target = std::atoi(shard);
+  }
+  std::unique_ptr<LocalCluster> cluster(new LocalCluster());
+  // The dispatcher spins up no thread until AddWorker, so in fork mode
+  // every child is created while this process is still single-threaded
+  // (with respect to the cluster; see ClusterDispatcher::AddWorker).
+  cluster->dispatcher_ =
+      std::make_unique<ClusterDispatcher>(options.dispatcher);
+  std::vector<std::unique_ptr<FrameChannel>> coordinator_ends;
+  for (int i = 0; i < options.num_workers; ++i) {
+    FEDSHAP_ASSIGN_OR_RETURN(auto pair, CreateChannelPair());
+    auto handle = std::make_unique<WorkerHandle>();
+    const std::string fault_spec =
+        static_cast<size_t>(i) < options.fault_specs.size()
+            ? options.fault_specs[static_cast<size_t>(i)]
+            : std::string();
+    ClusterWorkerOptions worker_options;
+    worker_options.shard = i;
+    worker_options.store_dir = options.store_dir;
+    worker_options.store_flush_bytes = options.store_flush_bytes;
+    worker_options.heartbeat_interval_ms = options.heartbeat_interval_ms;
+    if (options.fork_workers) {
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        return Status::Internal("fork of cluster worker failed");
+      }
+      if (pid == 0) {
+        // Child: drop every coordinator-side fd inherited from the
+        // parent, or a dead coordinator would never read as EOF.
+        coordinator_ends.clear();
+        std::unique_ptr<FrameChannel> mine = std::move(pair.second);
+        pair.first.reset();
+        if (!fault_spec.empty()) {
+          Result<std::unique_ptr<FaultInjector>> parsed =
+              FaultInjector::Parse(fault_spec);
+          if (parsed.ok()) {
+            FaultInjector::SetGlobal(std::move(parsed).value());
+          }
+        } else if (env_faults && i != env_target) {
+          FaultInjector::SetGlobal(nullptr);  // script targets another shard
+        }
+        ClusterWorker worker(mine.get(), worker_options);
+        Status served = worker.Run();
+        ::_exit(served.ok() ? 0 : 1);
+      }
+      handle->pid = pid;
+      pair.second.reset();  // parent keeps only the coordinator end
+    } else {
+      if (!fault_spec.empty()) {
+        FEDSHAP_ASSIGN_OR_RETURN(handle->faults,
+                                 FaultInjector::Parse(fault_spec));
+        worker_options.faults = handle->faults.get();
+      } else if (env_faults && i != env_target) {
+        // Non-targeted thread workers get a never-firing injector so the
+        // process-global env script cannot reach them.
+        FEDSHAP_ASSIGN_OR_RETURN(handle->faults, FaultInjector::Parse(""));
+        worker_options.faults = handle->faults.get();
+      }
+      handle->channel = std::move(pair.second);
+      FrameChannel* channel = handle->channel.get();
+      handle->thread = std::thread([channel, worker_options] {
+        ClusterWorker worker(channel, worker_options);
+        (void)worker.Run();
+      });
+    }
+    coordinator_ends.push_back(std::move(pair.first));
+    cluster->workers_.push_back(std::move(handle));
+  }
+  for (auto& end : coordinator_ends) {
+    cluster->dispatcher_->AddWorker(std::move(end));
+  }
+  return cluster;
+}
+
+void LocalCluster::KillWorker(int index) {
+  if (index < 0 || static_cast<size_t>(index) >= workers_.size()) return;
+  WorkerHandle& handle = *workers_[static_cast<size_t>(index)];
+  if (handle.pid > 0) {
+    ::kill(handle.pid, SIGKILL);
+  } else if (handle.channel != nullptr) {
+    handle.channel->Shutdown();
+  }
+}
+
+void LocalCluster::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  if (dispatcher_ != nullptr) dispatcher_->Shutdown();
+  for (auto& handle : workers_) {
+    if (handle->thread.joinable()) handle->thread.join();
+    if (handle->pid > 0) {
+      int wstatus = 0;
+      ::waitpid(handle->pid, &wstatus, 0);
+    }
+  }
+}
+
+LocalCluster::~LocalCluster() { Shutdown(); }
+
+}  // namespace fedshap

@@ -1,0 +1,130 @@
+#ifndef FEDSHAP_SERVICE_CLUSTER_WORKER_H_
+#define FEDSHAP_SERVICE_CLUSTER_WORKER_H_
+
+#include <sys/types.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fl/utility.h"
+#include "fl/utility_cache.h"
+#include "fl/utility_store.h"
+#include "service/cluster.h"
+#include "util/fault_injector.h"
+#include "util/framing.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Configuration of one cluster worker process/thread.
+struct ClusterWorkerOptions {
+  /// This worker's shard index; names its store directory and log lines.
+  int shard = 0;
+  /// Root of the worker store tier; "" keeps trainings in memory only.
+  /// Each worker persists under `<store_dir>/shard-<shard>` — sharding by
+  /// coalition hash means a coalition always lands on the same shard, so
+  /// the per-shard stores partition the cluster-wide training set without
+  /// two writers ever sharing a segment file.
+  std::string store_dir;
+  /// Byte-counted store flush interval (see UtilityCache::AttachStore).
+  size_t store_flush_bytes = 1;
+  /// Interval of the liveness heartbeat the worker sends while (possibly
+  /// long) trainings keep its main loop busy.
+  int heartbeat_interval_ms = 200;
+  /// Scripted faults for this worker; null falls back to
+  /// FaultInjector::Global() (the FEDSHAP_FAULT_SPEC env hook).
+  FaultInjector* faults = nullptr;
+};
+
+/// The worker half of the cluster: builds workloads announced by the
+/// coordinator, trains assigned coalitions through its own UtilityCache
+/// (optionally store-backed) and streams framed results back. Runs until
+/// the coordinator sends Shutdown, the channel closes, or an injected
+/// kill-worker fault fires.
+class ClusterWorker {
+ public:
+  ClusterWorker(FrameChannel* channel, const ClusterWorkerOptions& options);
+
+  /// Blocks in the serve loop. Returns OK on a clean shutdown or
+  /// injected death; an error Status on protocol/build failures.
+  Status Run();
+
+ private:
+  struct WorkloadContext {
+    std::unique_ptr<UtilityFunction> utility;
+    std::unique_ptr<UtilityCache> cache;
+    std::unique_ptr<UtilityStore> store;
+  };
+
+  Status HandleWorkload(const Frame& frame);
+  // Returns true when an injected kill-worker fault ends the serve loop.
+  Result<bool> HandleAssign(const Frame& frame);
+  Status SendResultFrame(const std::string& payload);
+
+  FrameChannel* channel_;
+  ClusterWorkerOptions options_;
+  FaultInjector* faults_;
+  std::map<std::string, WorkloadContext> workloads_;
+  std::vector<std::string> held_results_;  // reorder-frame holdbacks
+  uint64_t fresh_trainings_ = 0;
+};
+
+/// One-host cluster harness shared by tests, the bench and fedshapd:
+/// spawns N workers — std::threads by default, fork()ed subprocesses on
+/// request — over socketpairs and wires them into an owned
+/// ClusterDispatcher. Start() forks before any dispatcher thread exists,
+/// so subprocess workers never inherit a mid-operation lock.
+struct LocalClusterOptions {
+  int num_workers = 2;
+  /// false: workers are threads in this process (fast, shares the
+  /// process's kernel backend). true: workers are fork()ed children —
+  /// real process deaths, used by the fault harness and fedshapd.
+  bool fork_workers = false;
+  std::string store_dir;  ///< Worker store tier root; "" = memory only.
+  size_t store_flush_bytes = 1;
+  int heartbeat_interval_ms = 200;
+  /// Per-worker fault specs (FaultInjector::Parse syntax); shorter
+  /// vectors leave the remaining workers fault-free. In fork mode the
+  /// spec is installed as the child's global injector, so store-flush
+  /// sites fire in the child too.
+  std::vector<std::string> fault_specs;
+  ClusterDispatcher::Options dispatcher;
+};
+
+class LocalCluster {
+ public:
+  static Result<std::unique_ptr<LocalCluster>> Start(
+      const LocalClusterOptions& options);
+  ~LocalCluster();
+
+  ClusterDispatcher* dispatcher() { return dispatcher_.get(); }
+
+  /// Forcibly kills worker `index`: SIGKILL for a subprocess worker, a
+  /// socket shutdown (the worker sees EOF and exits) for a thread
+  /// worker. The dispatcher notices via EOF/heartbeat and fails over.
+  void KillWorker(int index);
+
+  /// Stops the dispatcher and reaps every worker. Idempotent.
+  void Shutdown();
+
+ private:
+  LocalCluster() = default;
+
+  struct WorkerHandle {
+    std::unique_ptr<FrameChannel> channel;  // worker end (thread mode)
+    std::unique_ptr<FaultInjector> faults;  // thread mode only
+    std::thread thread;
+    pid_t pid = -1;
+  };
+
+  std::unique_ptr<ClusterDispatcher> dispatcher_;
+  std::vector<std::unique_ptr<WorkerHandle>> workers_;
+  bool shut_down_ = false;
+};
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_SERVICE_CLUSTER_WORKER_H_

@@ -437,6 +437,49 @@ Result<std::vector<JobSpec>> ParseJobFile(std::string_view contents) {
   return specs;
 }
 
+namespace {
+constexpr uint8_t kScenarioSpecCodecVersion = 1;
+}  // namespace
+
+void EncodeScenarioSpec(const ScenarioSpec& spec, ByteWriter& writer) {
+  writer.PutU8(kScenarioSpecCodecVersion);
+  writer.PutString(spec.kind);
+  writer.PutVarint(static_cast<uint64_t>(spec.n));
+  writer.PutString(spec.partition);
+  writer.PutVarint(spec.seed);
+  writer.PutVarint(static_cast<uint64_t>(spec.fl_rounds));
+  writer.PutVarint(static_cast<uint64_t>(spec.local_epochs));
+  writer.PutVarint(static_cast<uint64_t>(spec.batch_size));
+  writer.PutDouble(spec.learning_rate);
+  writer.PutVarint(static_cast<uint64_t>(spec.samples_per_client));
+  writer.PutDouble(spec.noise_scale);
+}
+
+Result<ScenarioSpec> DecodeScenarioSpec(ByteReader& reader) {
+  FEDSHAP_ASSIGN_OR_RETURN(uint8_t version, reader.GetU8());
+  if (version == 0 || version > kScenarioSpecCodecVersion) {
+    return Status::InvalidArgument("unsupported ScenarioSpec codec version " +
+                                   std::to_string(version));
+  }
+  ScenarioSpec spec;
+  FEDSHAP_ASSIGN_OR_RETURN(spec.kind, reader.GetString());
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t n, reader.GetVarint());
+  spec.n = static_cast<int>(n);
+  FEDSHAP_ASSIGN_OR_RETURN(spec.partition, reader.GetString());
+  FEDSHAP_ASSIGN_OR_RETURN(spec.seed, reader.GetVarint());
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t rounds, reader.GetVarint());
+  spec.fl_rounds = static_cast<int>(rounds);
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t epochs, reader.GetVarint());
+  spec.local_epochs = static_cast<int>(epochs);
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t batch, reader.GetVarint());
+  spec.batch_size = static_cast<int>(batch);
+  FEDSHAP_ASSIGN_OR_RETURN(spec.learning_rate, reader.GetDouble());
+  FEDSHAP_ASSIGN_OR_RETURN(uint64_t samples, reader.GetVarint());
+  spec.samples_per_client = static_cast<int>(samples);
+  FEDSHAP_ASSIGN_OR_RETURN(spec.noise_scale, reader.GetDouble());
+  return spec;
+}
+
 Result<std::unique_ptr<ResumableEstimator>> MakeSweep(const JobSpec& spec,
                                                       int n) {
   switch (spec.estimator) {

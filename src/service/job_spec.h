@@ -10,6 +10,7 @@
 #include "core/valuation_result.h"
 #include "fl/utility.h"
 #include "fl/utility_cache.h"
+#include "util/serialization.h"
 #include "util/status.h"
 
 namespace fedshap {
@@ -158,6 +159,14 @@ struct JobSpec {
 /// Parses a whole job file / stdin stream: one job per non-empty,
 /// non-comment line. Duplicate names within the batch are rejected.
 Result<std::vector<JobSpec>> ParseJobFile(std::string_view contents);
+
+/// Binary ScenarioSpec codec for the cluster wire protocol: the
+/// coordinator announces each workload to its workers as an encoded
+/// spec, and every worker rebuilds the identical utility from it (the
+/// fingerprint check in the cluster handshake verifies this). Versioned
+/// so a field added later still decodes old frames.
+void EncodeScenarioSpec(const ScenarioSpec& spec, ByteWriter& writer);
+Result<ScenarioSpec> DecodeScenarioSpec(ByteReader& reader);
 
 /// Creates the resumable sweep for `spec`. Requires
 /// IsResumable(spec.estimator); `n` is the workload's client count.

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "service/cluster.h"
 #include "util/logging.h"
 #include "util/serialization.h"
 #include "util/thread_pool.h"
@@ -94,7 +95,20 @@ ValuationService::GetOrBuildWorkload(const ScenarioSpec& scenario) {
   workload->key = key;
   FEDSHAP_ASSIGN_OR_RETURN(workload->utility, scenario.Build());
   workload->fingerprint = workload->utility->Fingerprint();
-  workload->cache = std::make_unique<UtilityCache>(workload->utility.get());
+  if (config_.cluster != nullptr) {
+    // Coordinator mode: the cache fronts a ClusterUtility, so every miss
+    // ships to the coalition's shard instead of training here. The cache
+    // stays the single source of truth for hits and fresh-training
+    // accounting, which is why values and counts match the clusterless
+    // run bit-for-bit.
+    config_.cluster->RegisterWorkload(key, scenario, workload->fingerprint);
+    workload->remote = std::make_unique<ClusterUtility>(
+        config_.cluster, key, workload->utility->num_clients(),
+        workload->fingerprint);
+    workload->cache = std::make_unique<UtilityCache>(workload->remote.get());
+  } else {
+    workload->cache = std::make_unique<UtilityCache>(workload->utility.get());
+  }
   if (!config_.state_dir.empty()) {
     // One store per workload under the service's state directory; always
     // opened in resume mode — a service exists to accumulate and reuse
@@ -354,10 +368,18 @@ void ValuationService::Stop() {
   runnable_.notify_all();
   state_changed_.notify_all();
   prefetch_ready_.notify_all();
+  // Serialize the join/flush phase: Stop() may be called concurrently
+  // (an explicit Stop racing the destructor, or a caller racing an
+  // in-flight speculative training), and std::thread::join is not safe
+  // to race with itself.
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // The prefetcher must be parked before the stores are flushed (and,
+  // in the destructor that follows, closed): a speculative training is
+  // a write-through into the very store being shut down.
   if (prefetcher_.joinable()) prefetcher_.join();
   std::lock_guard<std::mutex> lock(mutex_);
   FlushStoresLocked();

@@ -123,6 +123,8 @@ struct ServiceStats {
 };
 
 /// Configuration of a ValuationService.
+class ClusterDispatcher;
+
 struct ServiceConfig {
   /// Worker threads executing job slices; this is the number of jobs
   /// that make progress concurrently (within a slice, evaluation is
@@ -146,6 +148,13 @@ struct ServiceConfig {
   /// caller Recover() and inspect/cancel jobs (fedshapd --status) without
   /// recovered jobs starting to execute.
   bool paused = false;
+  /// When set, the service runs as a cluster coordinator: every
+  /// per-workload cache miss is shipped to the dispatcher's sharded
+  /// workers instead of training locally. Estimator state, checkpoints
+  /// and the fresh-training accounting stay on the coordinator, so
+  /// values are bit-identical to a clusterless run at any worker count.
+  /// Not owned; must outlive the service.
+  ClusterDispatcher* cluster = nullptr;
 };
 
 /// The multi-tenant valuation job service. Thread-safe: all public
@@ -228,6 +237,11 @@ class ValuationService {
     std::string key;                       ///< ScenarioSpec::CanonicalKey().
     uint64_t fingerprint = 0;              ///< Utility content fingerprint.
     std::unique_ptr<UtilityFunction> utility;
+    /// Cluster mode only: the ClusterUtility the cache wraps instead of
+    /// `utility`, routing misses to the sharded workers. `utility` is
+    /// still built locally — it provides the fingerprint the handshake
+    /// verifies and the identity the store binds to.
+    std::unique_ptr<UtilityFunction> remote;
     std::unique_ptr<UtilityCache> cache;   ///< Shared across jobs.
     std::unique_ptr<UtilityStore> store;   ///< Null without a state dir.
   };
@@ -301,6 +315,9 @@ class ValuationService {
 
   const ServiceConfig config_;
   mutable std::mutex mutex_;
+  /// Serializes Stop()'s join/flush phase so concurrent Stop() calls
+  /// (e.g. an explicit Stop racing the destructor) are safe.
+  std::mutex stop_mutex_;
   std::condition_variable runnable_;      ///< Signals queue activity.
   std::condition_variable state_changed_; ///< Signals job transitions.
   std::map<std::string, std::unique_ptr<Job>> jobs_;

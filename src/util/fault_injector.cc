@@ -1,0 +1,204 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace fedshap {
+namespace {
+
+constexpr std::string_view kSiteNames[kNumFaultSites] = {
+    "kill-worker", "drop-frame", "dup-frame", "reorder-frame",
+    "torn-store-write"};
+
+// SplitMix64: one 64-bit mixing round. Hashing (seed, ordinal) through it
+// gives each event an independent uniform draw that depends only on the
+// spec, never on wall-clock or thread interleaving.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseProbability(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  std::string buf(text);
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (!(value >= 0.0 && value <= 1.0)) return false;
+  *out = value;
+  return true;
+}
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) end = text.size();
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::string_view FaultSiteName(FaultSite site) {
+  return kSiteNames[static_cast<int>(site)];
+}
+
+Result<std::unique_ptr<FaultInjector>> FaultInjector::Parse(
+    std::string_view spec) {
+  std::unique_ptr<FaultInjector> injector(new FaultInjector());
+  injector->spec_ = std::string(spec);
+  for (std::string_view clause : Split(spec, ';')) {
+    if (clause.empty()) continue;
+    const size_t colon = clause.find(':');
+    const std::string_view name = clause.substr(0, colon);
+    int site = -1;
+    for (int i = 0; i < kNumFaultSites; ++i) {
+      if (name == kSiteNames[i]) site = i;
+    }
+    if (site < 0) {
+      return Status::InvalidArgument("unknown fault site '" +
+                                     std::string(name) + "'");
+    }
+    Rule& rule = injector->rules_[static_cast<size_t>(site)];
+    if (rule.armed) {
+      return Status::InvalidArgument("duplicate fault clause for '" +
+                                     std::string(name) + "'");
+    }
+    rule.armed = true;
+    bool has_p = false;
+    bool has_seed = false;
+    if (colon != std::string_view::npos) {
+      for (std::string_view param : Split(clause.substr(colon + 1), ',')) {
+        const size_t eq = param.find('=');
+        if (eq == std::string_view::npos) {
+          return Status::InvalidArgument("fault parameter '" +
+                                         std::string(param) +
+                                         "' is not key=value");
+        }
+        const std::string_view key = param.substr(0, eq);
+        const std::string_view value = param.substr(eq + 1);
+        bool ok = false;
+        if (key == "nth") {
+          ok = ParseU64(value, &rule.nth) && rule.nth >= 1;
+        } else if (key == "after") {
+          ok = ParseU64(value, &rule.after);
+          rule.has_after = ok;
+        } else if (key == "p") {
+          ok = ParseProbability(value, &rule.probability);
+          has_p = ok;
+        } else if (key == "seed") {
+          ok = ParseU64(value, &rule.seed);
+          has_seed = ok;
+        } else {
+          return Status::InvalidArgument("unknown fault parameter '" +
+                                         std::string(key) + "'");
+        }
+        if (!ok) {
+          return Status::InvalidArgument("bad fault parameter '" +
+                                         std::string(param) + "'");
+        }
+      }
+    }
+    const int triggers =
+        (rule.nth > 0 ? 1 : 0) + (rule.has_after ? 1 : 0) + (has_p ? 1 : 0);
+    if (triggers > 1) {
+      return Status::InvalidArgument(
+          "fault clause '" + std::string(name) +
+          "' mixes nth/after/p triggers; pick exactly one");
+    }
+    if (has_seed && !has_p) {
+      return Status::InvalidArgument("fault parameter seed= requires p=");
+    }
+    if (triggers == 0) rule.has_after = true;  // bare site == after=0
+  }
+  return injector;
+}
+
+namespace {
+std::unique_ptr<FaultInjector>& GlobalSlot() {
+  static std::unique_ptr<FaultInjector> slot;
+  return slot;
+}
+std::once_flag g_global_once;
+}  // namespace
+
+FaultInjector* FaultInjector::Global() {
+  std::call_once(g_global_once, [] {
+    const char* spec = std::getenv("FEDSHAP_FAULT_SPEC");
+    if (spec == nullptr || spec[0] == '\0') return;
+    Result<std::unique_ptr<FaultInjector>> parsed = Parse(spec);
+    if (!parsed.ok()) {
+      FEDSHAP_LOG(Error) << "ignoring invalid FEDSHAP_FAULT_SPEC: "
+                         << parsed.status().ToString();
+      return;
+    }
+    GlobalSlot() = std::move(parsed).value();
+  });
+  return GlobalSlot().get();
+}
+
+void FaultInjector::SetGlobal(std::unique_ptr<FaultInjector> injector) {
+  // Ensure the env-parsing once-flag is consumed so a later Global() does
+  // not overwrite what a test installed here.
+  Global();
+  GlobalSlot() = std::move(injector);
+}
+
+bool FaultInjector::Fire(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Rule& rule = rules_[static_cast<size_t>(site)];
+  const uint64_t ordinal = ++rule.events;
+  if (!rule.armed) return false;
+  bool fires = false;
+  if (rule.nth > 0) {
+    fires = ordinal == rule.nth;
+  } else if (rule.has_after) {
+    fires = ordinal > rule.after;
+  } else if (rule.probability >= 0.0) {
+    const uint64_t draw = Mix64(rule.seed ^ Mix64(ordinal));
+    // Map the top 53 bits to [0, 1): exact doubles, uniform enough.
+    const double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    fires = unit < rule.probability;
+  }
+  if (fires) ++rule.fired;
+  return fires;
+}
+
+uint64_t FaultInjector::events(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rules_[static_cast<size_t>(site)].events;
+}
+
+uint64_t FaultInjector::fired(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rules_[static_cast<size_t>(site)].fired;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Rule& rule : rules_) {
+    rule.events = 0;
+    rule.fired = 0;
+  }
+}
+
+}  // namespace fedshap

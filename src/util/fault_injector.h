@@ -1,0 +1,93 @@
+#ifndef FEDSHAP_UTIL_FAULT_INJECTOR_H_
+#define FEDSHAP_UTIL_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace fedshap {
+
+/// Places in the runtime where a scripted fault can fire. Each site is a
+/// deterministic event stream: the Nth call to Fire() for a site is the
+/// Nth event, regardless of which thread makes it.
+enum class FaultSite {
+  kKillWorker = 0,     ///< Cluster worker dies after finishing a training.
+  kDropFrame,          ///< A result frame is silently not sent.
+  kDupFrame,          ///< A result frame is sent twice.
+  kReorderFrame,       ///< A result frame is held back behind the next one.
+  kTornStoreWrite,     ///< A store append writes only a record prefix.
+};
+inline constexpr int kNumFaultSites = 5;
+
+/// Stable spec name for a site ("kill-worker", "drop-frame", ...).
+std::string_view FaultSiteName(FaultSite site);
+
+/// Deterministic, replayable fault script for the cluster test harness.
+///
+/// A spec is a `;`-separated list of `site:param=value[,param=value]`
+/// clauses, e.g. `kill-worker:after=3;drop-frame:nth=2`. Parameters:
+///
+///   - `nth=K`    fire exactly on the Kth event at that site (1-based).
+///   - `after=N`  fire on every event once N events have completed
+///                (i.e. from event N+1 onward). `after=0` fires always.
+///   - `p=P,seed=S` fire on each event with probability P, decided by a
+///                hash of (S, event ordinal): the decision sequence is a
+///                pure function of the seed, so a run is replayable.
+///
+/// Exactly one of `nth`, `after`, or `p` must be given per clause; a bare
+/// `site` clause means `after=0`. Fire() is thread-safe; event ordinals
+/// are assigned under a lock so concurrent callers see a total order.
+class FaultInjector {
+ public:
+  /// Parses `spec`; empty spec yields an injector that never fires.
+  static Result<std::unique_ptr<FaultInjector>> Parse(std::string_view spec);
+
+  /// Process-wide injector parsed from FEDSHAP_FAULT_SPEC at first use
+  /// (null when the variable is unset or empty). An invalid spec is
+  /// logged and treated as unset. SetGlobal replaces it (tests, forked
+  /// cluster workers); passing null clears it.
+  static FaultInjector* Global();
+  static void SetGlobal(std::unique_ptr<FaultInjector> injector);
+
+  /// Records one event at `site`; returns true when the scripted fault
+  /// fires for this event.
+  bool Fire(FaultSite site);
+
+  /// Total events recorded / faults fired at `site`.
+  uint64_t events(FaultSite site) const;
+  uint64_t fired(FaultSite site) const;
+
+  /// The spec string this injector was parsed from.
+  const std::string& spec() const { return spec_; }
+
+  /// Zeroes all event and fired counters (the script itself is kept).
+  void Reset();
+
+ private:
+  struct Rule {
+    bool armed = false;
+    // Exactly one of the three trigger kinds is active when armed.
+    uint64_t nth = 0;         // 0 = not an nth rule
+    bool has_after = false;
+    uint64_t after = 0;
+    double probability = -1.0;  // < 0 = not a probabilistic rule
+    uint64_t seed = 0;
+    uint64_t events = 0;
+    uint64_t fired = 0;
+  };
+
+  FaultInjector() = default;
+
+  mutable std::mutex mutex_;
+  std::array<Rule, kNumFaultSites> rules_;
+  std::string spec_;
+};
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_FAULT_INJECTOR_H_

@@ -1,0 +1,173 @@
+#include "util/framing.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "util/serialization.h"
+
+namespace fedshap {
+namespace {
+
+// Local control frames are tiny; anything near this bound means a
+// desynchronized stream, not a legitimate message.
+constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+void PutU32Le(char* out, uint32_t value) {
+  out[0] = static_cast<char>(value & 0xff);
+  out[1] = static_cast<char>((value >> 8) & 0xff);
+  out[2] = static_cast<char>((value >> 16) & 0xff);
+  out[3] = static_cast<char>((value >> 24) & 0xff);
+}
+
+uint32_t GetU32Le(const char* in) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(in);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+FrameChannel::~FrameChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FrameChannel::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status FrameChannel::Send(uint32_t type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  char header[12];
+  PutU32Le(header, static_cast<uint32_t>(payload.size()));
+  PutU32Le(header + 4, type);
+  PutU32Le(header + 8, Crc32(payload));
+  std::string buffer;
+  buffer.reserve(sizeof(header) + payload.size());
+  buffer.append(header, sizeof(header));
+  buffer.append(payload.data(), payload.size());
+
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  size_t sent = 0;
+  while (sent < buffer.size()) {
+    // MSG_NOSIGNAL: a peer that died must surface as EPIPE, not SIGPIPE.
+    ssize_t n = ::send(fd_, buffer.data() + sent, buffer.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("frame send failed: ") +
+                              ::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FrameChannel::ReadExact(char* out, size_t len, int timeout_ms,
+                               bool* timed_out, bool* clean_eof) {
+  *timed_out = false;
+  *clean_eof = false;
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      timeout_ms < 0 ? Clock::time_point::max()
+                     : Clock::now() + std::chrono::milliseconds(timeout_ms);
+  size_t got = 0;
+  while (got < len) {
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      wait_ms = static_cast<int>(left.count());
+      if (wait_ms < 0) wait_ms = 0;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("frame poll failed: ") +
+                              ::strerror(errno));
+    }
+    if (ready == 0) {
+      *timed_out = true;
+      return Status::OK();
+    }
+    ssize_t n = ::recv(fd_, out + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("frame recv failed: ") +
+                              ::strerror(errno));
+    }
+    if (n == 0) {
+      *clean_eof = true;
+      return Status::OK();
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Frame>> FrameChannel::Recv(int timeout_ms) {
+  char header[12];
+  bool timed_out = false;
+  bool clean_eof = false;
+  // Peek for the first byte within the caller's timeout; a timeout before
+  // any byte of a frame is a normal idle tick, not an error.
+  FEDSHAP_RETURN_NOT_OK(
+      ReadExact(header, 1, timeout_ms, &timed_out, &clean_eof));
+  if (timed_out) return std::optional<Frame>();
+  if (clean_eof) return Status::NotFound("frame channel closed by peer");
+  // The rest of the frame must follow promptly on a local socket; a stall
+  // here means the peer died mid-write (a torn frame).
+  constexpr int kRestOfFrameTimeoutMs = 10000;
+  FEDSHAP_RETURN_NOT_OK(ReadExact(header + 1, sizeof(header) - 1,
+                                  kRestOfFrameTimeoutMs, &timed_out,
+                                  &clean_eof));
+  if (timed_out || clean_eof) {
+    return Status::OutOfRange("torn frame header");
+  }
+  const uint32_t payload_len = GetU32Le(header);
+  const uint32_t type = GetU32Le(header + 4);
+  const uint32_t crc = GetU32Le(header + 8);
+  if (payload_len > kMaxFramePayload) {
+    return Status::OutOfRange("frame payload length implausible");
+  }
+  Frame frame;
+  frame.type = type;
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    FEDSHAP_RETURN_NOT_OK(ReadExact(frame.payload.data(), payload_len,
+                                    kRestOfFrameTimeoutMs, &timed_out,
+                                    &clean_eof));
+    if (timed_out || clean_eof) {
+      return Status::OutOfRange("torn frame payload");
+    }
+  }
+  if (Crc32(frame.payload) != crc) {
+    return Status::OutOfRange("frame payload CRC mismatch");
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+Result<std::pair<std::unique_ptr<FrameChannel>, std::unique_ptr<FrameChannel>>>
+CreateChannelPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::Internal(std::string("socketpair failed: ") +
+                            ::strerror(errno));
+  }
+  return std::make_pair(std::make_unique<FrameChannel>(fds[0]),
+                        std::make_unique<FrameChannel>(fds[1]));
+}
+
+}  // namespace fedshap

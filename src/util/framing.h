@@ -1,0 +1,74 @@
+#ifndef FEDSHAP_UTIL_FRAMING_H_
+#define FEDSHAP_UTIL_FRAMING_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace fedshap {
+
+/// One message on a FrameChannel: a small integer type tag plus an opaque
+/// payload (typically ByteWriter-encoded).
+struct Frame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+/// Length-prefixed, CRC-framed message stream over a local stream socket.
+///
+/// Wire format per frame, all integers little-endian:
+///
+///   [payload_len u32][type u32][crc32(payload) u32][payload bytes]
+///
+/// The CRC covers the payload, so a torn or corrupted frame surfaces as an
+/// error instead of silently desynchronizing the stream — the cluster
+/// treats any framing error as a dead peer. Send() is thread-safe (frames
+/// from concurrent senders never interleave); Recv() must be called from
+/// one thread at a time. The channel owns its fd and closes it on
+/// destruction.
+class FrameChannel {
+ public:
+  explicit FrameChannel(int fd) : fd_(fd) {}
+  ~FrameChannel();
+
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+
+  /// Writes one frame. Fails when the peer has closed the connection.
+  Status Send(uint32_t type, std::string_view payload);
+
+  /// Reads one frame, waiting up to `timeout_ms` for it to begin
+  /// (negative = wait forever). Returns nullopt on timeout, NotFound on a
+  /// clean peer close at a frame boundary, and an error Status on a torn
+  /// or CRC-corrupt frame.
+  Result<std::optional<Frame>> Recv(int timeout_ms);
+
+  /// Shuts down both directions of the socket, unblocking any thread in
+  /// Recv() (sees EOF) or Send() (sees an error). Idempotent.
+  void Shutdown();
+
+  int fd() const { return fd_; }
+
+ private:
+  Status ReadExact(char* out, size_t len, int timeout_ms, bool* timed_out,
+                   bool* clean_eof);
+
+  int fd_;
+  std::mutex send_mutex_;
+};
+
+/// A connected pair of local stream sockets (socketpair), as channels.
+/// Either end may be handed to another thread or kept across fork() for a
+/// subprocess worker.
+Result<std::pair<std::unique_ptr<FrameChannel>, std::unique_ptr<FrameChannel>>>
+CreateChannelPair();
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_FRAMING_H_

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "util/fault_injector.h"
 #include "util/serialization.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -117,6 +118,19 @@ Result<uint64_t> SegmentWriter::Append(std::string_view payload) {
   ByteWriter frame;
   frame.PutU32(static_cast<uint32_t>(payload.size()));
   frame.PutU32(Crc32(payload));
+  FaultInjector* faults = FaultInjector::Global();
+  if (faults != nullptr && faults->Fire(FaultSite::kTornStoreWrite)) {
+    // Scripted torn write: persist the frame header plus a payload prefix
+    // — exactly what a crash mid-append leaves behind — then close the
+    // file so this writer behaves like the dead process. Reopening the
+    // segment must truncate the torn tail back to `offset`.
+    FEDSHAP_RETURN_NOT_OK(WriteRaw(frame.bytes()));
+    FEDSHAP_RETURN_NOT_OK(WriteRaw(payload.substr(0, payload.size() / 2)));
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::Internal("fault injected: torn write to segment " + path_);
+  }
   FEDSHAP_RETURN_NOT_OK(WriteRaw(frame.bytes()));
   FEDSHAP_RETURN_NOT_OK(WriteRaw(payload));
   return offset;

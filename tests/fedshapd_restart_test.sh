@@ -1,9 +1,20 @@
 #!/bin/sh
-# End-to-end crash-recovery test of the fedshapd binary: a run halted
-# mid-job (--kill-after, the in-process stand-in for kill -9: the process
-# exits with jobs unfinished and only the state directory survives) must,
-# after a restart over the same state directory, finish every job with
-# values bit-identical to an uninterrupted run.
+# End-to-end smoke test of the fedshapd binary. The heavy scenario
+# matrix (kill+recover coordinator, worker death and reassignment,
+# duplicate/dropped/reordered result frames, store-tier restarts) lives
+# in tests/service_cluster_test.cc on ClusterFixture; this script keeps
+# the thin slice only a real process can check: flag parsing, exit
+# codes, state-directory layout on disk, and the fork()ed cluster path
+# through main().
+#
+#   1. crash-recovery: a run halted mid-job (--kill-after, the
+#      in-process stand-in for kill -9; exit code 17) must, restarted
+#      over the same state directory, finish every job bit-identical to
+#      an uninterrupted run.
+#   2. cluster smoke: the same jobs through --cluster-workers=2
+#      --cluster-mode=fork with a scripted kill-worker fault
+#      (FEDSHAP_FAULT_SPEC) must survive the worker death — reassigning
+#      its coalitions — and still print bit-identical values.
 #
 # Usage: fedshapd_restart_test.sh <fedshapd-binary> <scratch-dir>
 
@@ -19,30 +30,25 @@ mkdir -p "$DIR" || exit 1
 
 JOBS="$DIR/jobs.txt"
 cat > "$JOBS" <<'EOF'
-# Three resumable sweeps and a one-shot over one shared workload. n=8 so
-# exact-mc walks ~2^8 coalitions: enough store bytes that the segment
-# crash case below can rotate segments at the 4 KiB floor. Job d is the
+# Resumable sweeps and a one-shot over one shared workload. Job d is the
 # adaptive (Neyman) stratified sweep — the kill can land mid-epoch with
 # the allocation state half-spent, the hardest resume case. Job e runs
-# with speculative prefetch and fused dispatch enabled: the kill and
-# restart must leave its values bit-identical anyway (prefetch only
-# reorders trainings; the linreg utility has no fused fast path, so
-# fuse=on degrades to the exact per-coalition scoring).
+# with speculative prefetch enabled: kills and worker deaths must leave
+# its values bit-identical anyway (prefetch only reorders trainings).
 name=a estimator=ipss gamma=24 chunk=4 seed=5 scenario=linreg n=8 scenario-seed=5
-name=b estimator=exact-mc chunk=8 scenario=linreg n=8 scenario-seed=5
-name=c estimator=loo scenario=linreg n=8 scenario-seed=5
+name=b estimator=loo scenario=linreg n=8 scenario-seed=5
 name=d estimator=stratified allocation=neyman gamma=24 chunk=4 seed=5 scenario=linreg n=8 scenario-seed=5
-name=e estimator=perm-mc gamma=32 chunk=4 seed=7 prefetch=8 fuse=on scenario=linreg n=8 scenario-seed=5
+name=e estimator=perm-mc gamma=32 chunk=4 seed=7 prefetch=8 scenario=linreg n=8 scenario-seed=5
 EOF
 
-# Reference: the uninterrupted run.
+# Reference: the uninterrupted single-process run.
 "$BIN" --state-dir="$DIR/ref" --jobs="$JOBS" --workers=1 --quiet \
     --print-values > "$DIR/ref.out" || { echo "reference run failed"; exit 1; }
 grep '^values' "$DIR/ref.out" | sort > "$DIR/ref.values"
 [ -s "$DIR/ref.values" ] || { echo "reference produced no values"; exit 1; }
 
-# Crash simulation: halt after 2 slices; fedshapd signals the halt with
-# exit code 17.
+# Case 1 — crash simulation: halt after 2 slices; fedshapd signals the
+# halt with exit code 17.
 "$BIN" --state-dir="$DIR/crash" --jobs="$JOBS" --workers=1 \
     --kill-after=2 --quiet > "$DIR/crash1.out"
 status=$?
@@ -66,42 +72,36 @@ if ! diff "$DIR/ref.values" "$DIR/crash.values"; then
 fi
 echo "kill+restart resumed all jobs bit-identically"
 
-# Segmented-store crash case: the smallest allowed segment rotation
-# size (4 KiB floor) forces the workload store to seal segments while
-# the job runs, and the kill lands with that machinery mid-flight. The
-# restart must still recover and finish every job bit-identically —
-# sealed segments, the manifest, and torn-tail truncation are what make
-# that safe.
-FEDSHAP_STORE_SEGMENT_BYTES=4096 \
-    "$BIN" --state-dir="$DIR/seg" --jobs="$JOBS" --workers=1 \
-    --kill-after=2 --quiet > "$DIR/seg1.out"
-status=$?
-if [ "$status" -ne 17 ]; then
-    echo "expected halt exit code 17 in segment crash case, got $status"
-    cat "$DIR/seg1.out"
+# Case 2 — sharded cluster with a scripted worker death: two fork()ed
+# worker subprocesses, the one owning shard 0 dies after its 3rd fresh
+# training (FEDSHAP_FAULT_SPEC; FEDSHAP_FAULT_SHARD targets the script).
+# The coordinator must reassign the dead worker's coalitions to the
+# survivor and print values bit-identical to the single-process
+# reference — the acceptance invariant of the cluster work.
+FEDSHAP_FAULT_SPEC='kill-worker:after=3' FEDSHAP_FAULT_SHARD=0 \
+    "$BIN" --state-dir="$DIR/cluster" --jobs="$JOBS" --workers=1 \
+    --cluster-workers=2 --cluster-mode=fork --quiet --print-values \
+    > "$DIR/cluster.out" \
+    || { echo "cluster run failed"; cat "$DIR/cluster.out"; exit 1; }
+grep '^values' "$DIR/cluster.out" | sort > "$DIR/cluster.values"
+
+if ! diff "$DIR/ref.values" "$DIR/cluster.values"; then
+    echo "cluster values differ from the single-process run"
     exit 1
 fi
 
-FEDSHAP_STORE_SEGMENT_BYTES=4096 \
-    "$BIN" --state-dir="$DIR/seg" --jobs="$JOBS" --workers=2 --quiet \
-    --print-values \
-    > "$DIR/seg2.out" || { echo "segment-store resume failed"; cat "$DIR/seg2.out"; exit 1; }
-grep '^values' "$DIR/seg2.out" | sort > "$DIR/seg.values"
-
-if ! diff "$DIR/ref.values" "$DIR/seg.values"; then
-    echo "segment-store resumed values differ from the uninterrupted run"
+# The fault must actually have fired and been survived: the summary
+# line reports the lost worker and at least one reassigned coalition.
+CLUSTER_LINE=$(grep '^\[fedshapd\] cluster ' "$DIR/cluster.out")
+echo "$CLUSTER_LINE"
+if echo "$CLUSTER_LINE" | grep -q 'lost=0'; then
+    echo "cluster case never lost its scripted worker"
     exit 1
 fi
-
-# The tiny rotation size must actually have exercised the segment
-# machinery: the final summary's store line reports sealed segments
-# and/or completed compactions.
-if ! grep '^\[fedshapd\] store ' "$DIR/seg2.out" \
-        | grep -qv 'segments=0 .*compactions=0'; then
-    echo "segment crash case never sealed a segment or compacted:"
-    grep '^\[fedshapd\] store ' "$DIR/seg2.out"
+if echo "$CLUSTER_LINE" | grep -q 'reassigned=0'; then
+    echo "cluster case lost a worker but reassigned nothing"
     exit 1
 fi
-echo "kill+restart with forced segment rotation resumed bit-identically"
+echo "cluster survived a worker death bit-identically"
 rm -rf "$DIR"
 exit 0

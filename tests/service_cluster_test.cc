@@ -1,0 +1,457 @@
+// The cluster invariance suite: a coordinator ValuationService with N
+// sharded workers must produce bit-identical values and exact training
+// accounting versus a single-process run — at every topology, and under
+// every scripted fault (worker death mid-training, dropped / duplicated
+// / reordered result frames, a killed-and-recovered coordinator). This
+// is the C++ home of the scenarios tests/fedshapd_restart_test.sh used
+// to drive through the binary; the shell test remains as a smoke
+// wrapper over fedshapd itself.
+
+#include <csignal>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster_fixture.h"
+#include "service/cluster.h"
+#include "service/cluster_worker.h"
+#include "service/job_spec.h"
+#include "service/valuation_service.h"
+#include "util/coalition.h"
+
+namespace fedshap {
+namespace {
+
+std::string StateDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "fedshap_cluster_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ScenarioSpec LinregScenario(int n, uint64_t seed = 11) {
+  ScenarioSpec scenario;
+  scenario.kind = "linreg";
+  scenario.n = n;
+  scenario.seed = seed;
+  return scenario;
+}
+
+JobSpec MakeJob(const std::string& name, EstimatorKind estimator,
+                const ScenarioSpec& scenario, int gamma = 24, int chunk = 4) {
+  JobSpec spec;
+  spec.name = name;
+  spec.estimator = estimator;
+  spec.gamma = gamma;
+  spec.seed = 5;
+  spec.checkpoint_every = chunk;
+  spec.scenario = scenario;
+  return spec;
+}
+
+/// The clusterless baseline: one job in a private single-worker
+/// in-memory service.
+Coalition FromMask(uint32_t mask) {
+  Coalition coalition;
+  for (int i = 0; i < 32; ++i) {
+    if ((mask >> i) & 1u) coalition.Add(i);
+  }
+  return coalition;
+}
+
+ValuationResult RunIsolated(const JobSpec& spec) {
+  ServiceConfig config;
+  config.workers = 1;
+  ValuationService service(config);
+  EXPECT_TRUE(service.Submit(spec).ok());
+  Result<ValuationResult> result = service.Wait(spec.name);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(result).value() : ValuationResult{};
+}
+
+// ---------------------------------------------------------------------------
+// The invariance property: cluster == single process, bit for bit
+// ---------------------------------------------------------------------------
+
+// {1,2,4} workers x {ipss, adaptive-neyman stratified, perm-mc} x
+// prefetch {off, 8}: every combination must reproduce the isolated
+// run's values bitwise, with identical evaluation/training/fresh
+// counts (the coordinator cache is authoritative for accounting, so a
+// cold cluster run trains exactly the isolated run's distinct
+// coalitions — on the workers).
+TEST(ClusterInvarianceTest, BitIdenticalAcrossTopologiesEstimatorsPrefetch) {
+  struct EstimatorCase {
+    const char* tag;
+    EstimatorKind kind;
+    const char* allocation;  // nullptr = spec default
+  };
+  const EstimatorCase estimators[] = {
+      {"ipss", EstimatorKind::kIpss, nullptr},
+      {"neyman", EstimatorKind::kStratified, "neyman"},
+      {"permmc", EstimatorKind::kPermMc, nullptr},
+  };
+  const ScenarioSpec scenario = LinregScenario(8);
+  for (const EstimatorCase& est : estimators) {
+    for (int prefetch : {0, 8}) {
+      JobSpec job = MakeJob("job", est.kind, scenario);
+      if (est.allocation != nullptr) job.allocation = est.allocation;
+      job.prefetch = prefetch;
+      const ValuationResult reference = RunIsolated(job);
+      ASSERT_EQ(reference.values.size(), 8u);
+      for (int workers : {1, 2, 4}) {
+        ClusterFixture::Options options;
+        options.num_workers = workers;
+        auto fixture = ClusterFixture::Start(options);
+        ASSERT_NE(fixture, nullptr);
+        Result<ValuationResult> result = fixture->Run(job);
+        ASSERT_TRUE(result.ok()) << result.status();
+        const std::string topology = std::string(est.tag) + " prefetch=" +
+                                     std::to_string(prefetch) + " workers=" +
+                                     std::to_string(workers);
+        ExpectBitIdentical(reference, *result, topology);
+        const ClusterStats stats = fixture->cluster_stats();
+        // Every fresh training ran remotely, none twice.
+        EXPECT_EQ(stats.results_applied, reference.num_fresh_trainings)
+            << topology;
+        EXPECT_EQ(stats.worker_fresh_trainings, reference.num_fresh_trainings)
+            << topology;
+        EXPECT_EQ(stats.workers_lost, 0u) << topology;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault scripts: the scenarios the harness exists for
+// ---------------------------------------------------------------------------
+
+// A worker dies mid-job after its 3rd fresh training (kill-worker fault
+// = channel torn down with no store flush, the simulated crash). The
+// dispatcher reassigns its in-flight coalition, subsequent shard-0
+// coalitions fail over to the surviving worker, and the job finishes
+// bit-identical with exact fresh accounting — the dead worker's lost
+// partial work is invisible because the coordinator cache, not the
+// workers, counts fresh trainings.
+TEST(ClusterFaultTest, WorkerDeathReassignsAndStaysBitIdentical) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 2;
+  options.fault_specs = {"kill-worker:after=3"};
+  options.heartbeat_timeout_ms = 1000;
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "worker-death");
+
+  const ClusterStats stats = fixture->cluster_stats();
+  EXPECT_EQ(stats.workers_lost, 1u);
+  EXPECT_GE(stats.reassigned_coalitions, 1u);
+  EXPECT_EQ(fixture->cluster().dispatcher()->live_workers(), 1u);
+  // Exactly-once application: one result per fresh training, even
+  // though the dying worker's in-flight coalition was dispatched twice.
+  EXPECT_EQ(stats.results_applied, reference.num_fresh_trainings);
+  EXPECT_GT(stats.tasks_dispatched, stats.results_applied);
+}
+
+// Every worker death in sequence until one remains; the job must still
+// finish bit-identical (the last shard serves every coalition).
+TEST(ClusterFaultTest, CascadingWorkerDeathsConvergeOnLastShard) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 4;
+  options.fault_specs = {"kill-worker:after=1", "kill-worker:after=2",
+                         "kill-worker:after=3"};
+  options.heartbeat_timeout_ms = 1000;
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "cascading-deaths");
+  EXPECT_EQ(fixture->cluster_stats().workers_lost, 3u);
+  EXPECT_EQ(fixture->cluster().dispatcher()->live_workers(), 1u);
+}
+
+// A result frame delivered twice (dup-frame fault): the second copy hits
+// a completed task id and is dropped — results_applied stays exactly the
+// fresh-training count and accounting does not double.
+TEST(ClusterFaultTest, DuplicateDeliveryAppliesExactlyOnce) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 2;
+  options.fault_specs = {"dup-frame:nth=2", "dup-frame:nth=4"};
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "dup-frame");
+
+  const ClusterStats stats = fixture->cluster_stats();
+  EXPECT_GE(stats.duplicate_results_ignored, 1u);
+  EXPECT_EQ(stats.results_applied, reference.num_fresh_trainings);
+}
+
+// A dropped result frame (drop-frame fault): the task timeout re-sends
+// the assignment, the worker's cache turns the re-run into a hit, and
+// the job completes bit-identical — the lost frame costs one retry, not
+// correctness.
+TEST(ClusterFaultTest, DroppedResultFrameRecoveredByRetry) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 2;
+  options.fault_specs = {"drop-frame:nth=2"};
+  options.task_retry_ms = 200;
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "drop-frame");
+
+  const ClusterStats stats = fixture->cluster_stats();
+  EXPECT_GE(stats.retried_tasks, 1u);
+  EXPECT_EQ(stats.results_applied, reference.num_fresh_trainings);
+}
+
+// Reordered result frames (reorder-frame fault holds frames back and
+// flushes them behind later sends / idle beats): arrival order is not
+// plan order, values must not care.
+TEST(ClusterFaultTest, ReorderedResultFramesDoNotChangeValues) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 2;
+  options.fault_specs = {"reorder-frame:p=0.3,seed=9",
+                         "reorder-frame:p=0.3,seed=10"};
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "reorder-frame");
+}
+
+// ---------------------------------------------------------------------------
+// Subprocess workers: real process deaths
+// ---------------------------------------------------------------------------
+
+// Fork-mode cluster at the dispatcher level: SIGKILL one child worker
+// between evaluations, then keep evaluating. Coalitions homed on the
+// dead shard probe over to the survivor; every evaluation still
+// returns the exact utility (linreg is closed-form, so the expected
+// value is recomputable locally).
+TEST(ClusterSubprocessTest, SigkilledWorkerFailsOverToSurvivor) {
+  const ScenarioSpec scenario = LinregScenario(6);
+  Result<std::unique_ptr<UtilityFunction>> local = scenario.Build();
+  ASSERT_TRUE(local.ok()) << local.status();
+
+  LocalClusterOptions options;
+  options.num_workers = 2;
+  options.fork_workers = true;
+  options.dispatcher.heartbeat_timeout_ms = 1000;
+  Result<std::unique_ptr<LocalCluster>> cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  (*cluster)->dispatcher()->RegisterWorkload("w", scenario,
+                                             (*local)->Fingerprint());
+
+  auto evaluate_all = [&](int count) {
+    for (uint32_t mask = 1; mask <= static_cast<uint32_t>(count); ++mask) {
+      const Coalition coalition = FromMask(mask);
+      Result<UtilityRecord> remote =
+          (*cluster)->dispatcher()->Evaluate("w", coalition);
+      ASSERT_TRUE(remote.ok()) << remote.status();
+      Result<double> expected = (*local)->Evaluate(coalition);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(remote->utility, *expected) << "mask " << mask;
+    }
+  };
+  evaluate_all(10);
+  EXPECT_EQ((*cluster)->dispatcher()->live_workers(), 2u);
+
+  (*cluster)->KillWorker(0);  // real SIGKILL on the child process
+  evaluate_all(20);           // includes shard-0 coalitions -> failover
+  EXPECT_EQ((*cluster)->dispatcher()->live_workers(), 1u);
+  EXPECT_EQ((*cluster)->dispatcher()->stats().workers_lost, 1u);
+  (*cluster)->Shutdown();
+}
+
+// The full acceptance scenario through subprocess workers: 2 fork()ed
+// workers, one scripted to die mid-job, versus the isolated run.
+TEST(ClusterSubprocessTest, ForkedWorkerDeathStaysBitIdentical) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 2;
+  options.fork_workers = true;
+  options.fault_specs = {"kill-worker:after=3"};
+  options.heartbeat_timeout_ms = 1000;
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "forked-worker-death");
+  EXPECT_EQ(fixture->cluster_stats().workers_lost, 1u);
+  EXPECT_GE(fixture->cluster_stats().reassigned_coalitions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator kill + recover (the restart_test.sh resume scenario)
+// ---------------------------------------------------------------------------
+
+// The coordinator halts mid-job (max_slices hook = the deterministic
+// stand-in for kill -9 on fedshapd), its cluster dies with it; a new
+// coordinator over a fresh cluster recovers the checkpoint and resumes
+// to the bit-identical result. Worker stores are per-incarnation here —
+// recovery correctness must come from the coordinator's own checkpoint
+// + store tier, never from worker-side state.
+TEST(ClusterRecoveryTest, CoordinatorKillRecoverResumesBitIdentical) {
+  const std::string dir = StateDir("recover");
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8), 32);
+  const ValuationResult reference = RunIsolated(job);
+
+  {
+    ClusterFixture::Options options;
+    options.num_workers = 2;
+    options.state_dir = dir;
+    options.max_slices = 2;  // halt with the job mid-sweep
+    auto fixture = ClusterFixture::Start(options);
+    ASSERT_NE(fixture, nullptr);
+    ASSERT_TRUE(fixture->service().Submit(job).ok());
+    EXPECT_FALSE(fixture->service().WaitAll());  // halted, job unfinished
+  }
+
+  {
+    ClusterFixture::Options options;
+    options.num_workers = 2;
+    options.state_dir = dir;
+    auto fixture = ClusterFixture::Start(options);
+    ASSERT_NE(fixture, nullptr);
+    ASSERT_TRUE(fixture->service().Recover().ok());
+    ASSERT_TRUE(fixture->service().WaitAll());
+    Result<ValuationResult> result = fixture->service().Wait(job.name);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->values.size(), reference.values.size());
+    for (size_t i = 0; i < reference.values.size(); ++i) {
+      EXPECT_EQ(result->values[i], reference.values[i]) << "client " << i;
+    }
+    // Trainings done before the kill were persisted by the coordinator
+    // store tier, so the resumed run recomputes strictly fewer fresh.
+    // (A resumed session accounts only the post-checkpoint portion, so
+    // its counters are bounded by the uninterrupted run's, not equal.)
+    EXPECT_LT(result->num_fresh_trainings, reference.num_fresh_trainings);
+    EXPECT_LE(result->num_trainings, reference.num_trainings);
+  }
+}
+
+// Worker stores shared across cluster incarnations: a second cluster
+// over the same store_dir serves every coalition read-through, zero
+// worker-side retraining.
+TEST(ClusterRecoveryTest, WorkerStoreTierSurvivesClusterRestart) {
+  const std::string dir = StateDir("stores");
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  ValuationResult first;
+  {
+    ClusterFixture::Options options;
+    options.num_workers = 2;
+    options.store_dir = dir + "/workers";
+    auto fixture = ClusterFixture::Start(options);
+    ASSERT_NE(fixture, nullptr);
+    Result<ValuationResult> result = fixture->Run(job);
+    ASSERT_TRUE(result.ok()) << result.status();
+    first = std::move(result).value();
+    EXPECT_EQ(fixture->cluster_stats().worker_fresh_trainings,
+              first.num_fresh_trainings);
+  }
+  {
+    ClusterFixture::Options options;
+    options.num_workers = 2;
+    options.store_dir = dir + "/workers";
+    auto fixture = ClusterFixture::Start(options);
+    ASSERT_NE(fixture, nullptr);
+    Result<ValuationResult> result = fixture->Run(job);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ExpectBitIdentical(first, *result, "restarted-store-tier");
+    // The coordinator cache was cold (fresh == first run's), but every
+    // worker training was a store hit: zero worker-side fresh work.
+    EXPECT_EQ(fixture->cluster_stats().worker_fresh_trainings, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher edge semantics
+// ---------------------------------------------------------------------------
+
+TEST(ClusterDispatcherTest, EvaluateFailsCleanlyWithNoLiveWorkers) {
+  const ScenarioSpec scenario = LinregScenario(4);
+  Result<std::unique_ptr<UtilityFunction>> local = scenario.Build();
+  ASSERT_TRUE(local.ok());
+
+  LocalClusterOptions options;
+  options.num_workers = 1;
+  options.dispatcher.heartbeat_timeout_ms = 1000;
+  Result<std::unique_ptr<LocalCluster>> cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  (*cluster)->dispatcher()->RegisterWorkload("w", scenario,
+                                             (*local)->Fingerprint());
+  (*cluster)->KillWorker(0);
+  // The lone worker is gone: evaluation must fail with a clear error,
+  // not hang. (The dispatcher may need a beat to observe the EOF.)
+  Result<UtilityRecord> record =
+      (*cluster)->dispatcher()->Evaluate("w", Coalition::Of({0, 1}));
+  EXPECT_FALSE(record.ok());
+  (*cluster)->Shutdown();
+}
+
+TEST(ClusterDispatcherTest, UnknownWorkloadIsAnError) {
+  LocalClusterOptions options;
+  options.num_workers = 1;
+  Result<std::unique_ptr<LocalCluster>> cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  Result<UtilityRecord> record =
+      (*cluster)->dispatcher()->Evaluate("nope", Coalition::Of({0}));
+  EXPECT_FALSE(record.ok());
+  (*cluster)->Shutdown();
+}
+
+// ScenarioSpec wire codec: round-trip identity and version rejection —
+// the handshake the workload announce rides on.
+TEST(ClusterProtocolTest, ScenarioSpecCodecRoundTrips) {
+  ScenarioSpec spec;
+  spec.kind = "digits";
+  spec.n = 7;
+  spec.partition = "skew";
+  spec.seed = 99;
+  spec.fl_rounds = 5;
+  spec.local_epochs = 2;
+  spec.batch_size = 8;
+  spec.learning_rate = 0.125;
+  spec.samples_per_client = 33;
+  spec.noise_scale = 0.5;
+
+  ByteWriter writer;
+  EncodeScenarioSpec(spec, writer);
+  ByteReader reader(writer.bytes());
+  Result<ScenarioSpec> decoded = DecodeScenarioSpec(reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->CanonicalKey(), spec.CanonicalKey());
+  EXPECT_EQ(decoded->learning_rate, spec.learning_rate);
+  EXPECT_EQ(decoded->noise_scale, spec.noise_scale);
+
+  ByteWriter bad;
+  bad.PutU8(99);  // unknown future version
+  ByteReader bad_reader(bad.bytes());
+  EXPECT_FALSE(DecodeScenarioSpec(bad_reader).ok());
+}
+
+}  // namespace
+}  // namespace fedshap

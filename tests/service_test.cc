@@ -615,5 +615,37 @@ TEST(ValuationServiceTest, ValuationResultEncodingRoundTrips) {
   EXPECT_FALSE(DecodeValuationResult("garbage").ok());
 }
 
+// ---------------------------------------------------------------------------
+// Shutdown ordering
+// ---------------------------------------------------------------------------
+
+// Regression: Stop() must park the prefetcher thread *before* flushing
+// (and, in the destructor, closing) the stores — a prefetch training
+// in flight during shutdown must never write through a dying store —
+// and concurrent Stop() calls (an explicit Stop racing the destructor's)
+// must not double-join the worker threads. Repeatedly stops a service
+// from two threads at staggered points of a prefetch-heavy job; the
+// sanitizer jobs make this a use-after-free / double-join probe.
+TEST(ValuationServiceTest, StopRacesInFlightPrefetchCleanly) {
+  const std::string dir = StateDir("stop_race");
+  for (int round = 0; round < 20; ++round) {
+    std::filesystem::remove_all(dir);
+    ServiceConfig config;
+    config.workers = 2;
+    config.state_dir = dir;  // stores attached => Stop flushes them
+    ValuationService service(config);
+    JobSpec job =
+        MakeJob("pre", EstimatorKind::kIpss, LinregScenario(7), 28, 4);
+    job.prefetch = 8;
+    ASSERT_TRUE(service.Submit(job).ok());
+    // Stagger the stop point across rounds so some rounds catch the
+    // prefetcher mid-plan and some catch it idle.
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * round));
+    std::thread stopper([&service] { service.Stop(); });
+    service.Stop();
+    stopper.join();
+  }  // the destructor runs Stop() once more on an already-stopped service
+}
+
 }  // namespace
 }  // namespace fedshap

@@ -43,7 +43,8 @@ import os
 import sys
 import tempfile
 
-LOWER_IS_BETTER = ("seconds", "trainings_to_target", "variance")
+LOWER_IS_BETTER = ("seconds", "trainings_to_target", "variance",
+                   "reassigned")
 HIGHER_IS_BETTER = ("speedup", "dedup", "per_second", "throughput",
                     "hit_ahead")
 
@@ -197,6 +198,12 @@ def self_test() -> int:
           direction_of("trainings_run_ahead") is None)
     check("total_variance is lower-better",
           direction_of("total_variance") == "lower")
+    check("cluster_speedup is higher-better",
+          direction_of("cluster_speedup") == "higher")
+    check("reassigned_coalitions is lower-better",
+          direction_of("reassigned_coalitions") == "lower")
+    check("workers_lost is informational",
+          direction_of("workers_lost") is None)
     check("errors are informational", direction_of("best_rel_l2") is None)
 
     args = argparse.Namespace(threshold=0.25, min_seconds=0.01)
@@ -249,6 +256,23 @@ def self_test() -> int:
         write(base_dir, "BENCH_a.json", [small])
         write(cur_dir, "BENCH_a.json", [dict(small, total_variance=0.0009)])
         check("small variance regressions still gate", run_gate(args) == 1)
+
+        # The cluster phase: a collapsed sharding speedup or a jump in
+        # reassigned coalitions (the faulted run losing more work) gates;
+        # matching counts pass.
+        cluster = {"name": "cluster", "scenario": "linreg",
+                   "cluster_speedup": 2.0, "reassigned_coalitions": 3.0,
+                   "workers_lost": 1.0}
+        write(base_dir, "BENCH_a.json", [cluster])
+        write(cur_dir, "BENCH_a.json", [dict(cluster)])
+        check("unchanged cluster metrics pass", run_gate(args) == 0)
+        write(cur_dir, "BENCH_a.json", [dict(cluster, cluster_speedup=1.0)])
+        check("halved cluster_speedup fails", run_gate(args) == 1)
+        write(cur_dir, "BENCH_a.json",
+              [dict(cluster, reassigned_coalitions=9.0)])
+        check("grown reassigned_coalitions fails", run_gate(args) == 1)
+        write(cur_dir, "BENCH_a.json", [dict(cluster, workers_lost=5.0)])
+        check("workers_lost is not gated", run_gate(args) == 0)
 
         args.baseline = os.path.join(tmp, "missing")
         check("missing baseline dir passes", run_gate(args) == 0)

@@ -9,6 +9,7 @@
 ///
 /// Usage:
 ///   fedshapd --state-dir=DIR [--jobs=FILE|-] [--workers=N]
+///            [--cluster-workers=N] [--cluster-mode=thread|fork]
 ///            [--status] [--cancel=NAME] [--purge=NAME]
 ///            [--kill-after=N] [--print-values] [--quiet]
 ///
@@ -18,6 +19,14 @@
 ///   --state-dir=DIR   durable service state ("" = memory-only session)
 ///   --jobs=FILE       job file to submit ("-" = read stdin)
 ///   --workers=N       concurrent job slices (default 2)
+///   --cluster-workers=N  run as a sharded cluster on this host: every
+///                     utility training is dispatched to one of N cluster
+///                     workers by coalition shard (0 = off, the default).
+///                     Values are bit-identical to a clusterless run.
+///   --cluster-mode=thread|fork  cluster workers as threads (default) or
+///                     fork()ed subprocesses (real process isolation; the
+///                     FEDSHAP_FAULT_SPEC env fault script applies per
+///                     child, see docs/OPERATIONS.md)
 ///   --status          print the job table and exit (nothing runs)
 ///   --cancel=NAME     cancel one job and exit
 ///   --purge=NAME      remove one terminal job's state and exit
@@ -40,6 +49,8 @@
 #include <vector>
 
 #include "ml/kernel_backend.h"
+#include "service/cluster.h"
+#include "service/cluster_worker.h"
 #include "service/job_spec.h"
 #include "service/valuation_service.h"
 #include "util/serialization.h"
@@ -54,6 +65,8 @@ struct CliOptions {
   std::string cancel_name;
   std::string purge_name;
   int workers = 2;
+  int cluster_workers = 0;
+  bool cluster_fork = false;
   size_t kill_after = 0;
   bool status_only = false;
   bool print_values = false;
@@ -70,6 +83,17 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.jobs_file = arg.substr(7);
     } else if (arg.rfind("--workers=", 0) == 0) {
       options.workers = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--cluster-workers=", 0) == 0) {
+      options.cluster_workers = std::atoi(arg.c_str() + 18);
+    } else if (arg.rfind("--cluster-mode=", 0) == 0) {
+      const std::string mode = arg.substr(15);
+      if (mode == "fork") {
+        options.cluster_fork = true;
+      } else if (mode != "thread") {
+        std::fprintf(stderr,
+                     "fedshapd: --cluster-mode must be thread or fork\n");
+        std::exit(1);
+      }
     } else if (arg.rfind("--cancel=", 0) == 0) {
       options.cancel_name = arg.substr(9);
     } else if (arg.rfind("--purge=", 0) == 0) {
@@ -129,11 +153,36 @@ void PrintValues(const JobStatus& status) {
 
 int RunService(const CliOptions& options,
                const std::vector<JobSpec>& new_jobs) {
+  // The cluster starts before the service: in fork mode the workers must
+  // be forked while this process has no service threads yet.
+  std::unique_ptr<LocalCluster> cluster;
+  if (options.cluster_workers > 0 && !options.status_only &&
+      options.cancel_name.empty() && options.purge_name.empty()) {
+    LocalClusterOptions cluster_options;
+    cluster_options.num_workers = options.cluster_workers;
+    cluster_options.fork_workers = options.cluster_fork;
+    if (!options.state_dir.empty()) {
+      cluster_options.store_dir = options.state_dir + "/cluster";
+    }
+    // Recover a result frame lost to a dying worker within a couple of
+    // seconds; the worker-side cache makes the re-run a hit.
+    cluster_options.dispatcher.task_retry_ms = 2000;
+    Result<std::unique_ptr<LocalCluster>> started =
+        LocalCluster::Start(cluster_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "fedshapd: cluster start: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    cluster = std::move(started).value();
+  }
+
   ServiceConfig config;
   config.workers = options.workers;
   config.state_dir = options.state_dir;
   config.max_slices = options.kill_after;
   config.paused = true;
+  if (cluster != nullptr) config.cluster = cluster->dispatcher();
   ValuationService service(config);
 
   Status recovered = service.Recover();
@@ -244,6 +293,19 @@ int RunService(const CliOptions& options,
               stats.slices_executed, stats.workloads,
               stats.trainings_computed, stats.trainings_preloaded);
   PrintStoreLine(stats);
+  if (cluster != nullptr) {
+    const ClusterStats cluster_stats = cluster->dispatcher()->stats();
+    std::printf("[fedshapd] cluster workers=%d live=%zu dispatched=%zu "
+                "reassigned=%zu duplicates=%zu retried=%zu lost=%zu "
+                "worker-trainings=%zu\n",
+                options.cluster_workers, cluster->dispatcher()->live_workers(),
+                cluster_stats.tasks_dispatched,
+                cluster_stats.reassigned_coalitions,
+                cluster_stats.duplicate_results_ignored,
+                cluster_stats.retried_tasks, cluster_stats.workers_lost,
+                cluster_stats.worker_fresh_trainings);
+    cluster->Shutdown();
+  }
 
   if (!all_terminal) {
     std::printf("[fedshapd] halted with jobs in flight; rerun with the "
