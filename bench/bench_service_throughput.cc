@@ -248,13 +248,8 @@ int main(int argc, char** argv) {
   std::vector<ClusterOutcome> cluster_runs;
   size_t faulted_reassigned = 0;
   size_t faulted_lost = 0;
-  auto run_cluster = [&](int cluster_workers,
-                         const std::vector<std::string>& fault_specs,
+  auto run_cluster = [&](const LocalClusterOptions& cluster_options,
                          double* wall_out, ClusterStats* stats_out) -> bool {
-    LocalClusterOptions cluster_options;
-    cluster_options.num_workers = cluster_workers;
-    cluster_options.fault_specs = fault_specs;
-    cluster_options.dispatcher.heartbeat_timeout_ms = 2000;
     Result<std::unique_ptr<LocalCluster>> cluster =
         LocalCluster::Start(cluster_options);
     if (!cluster.ok()) {
@@ -297,12 +292,18 @@ int main(int argc, char** argv) {
     (*cluster)->Shutdown();
     return ok;
   };
+  auto base_cluster_options = [](int cluster_workers) {
+    LocalClusterOptions cluster_options;
+    cluster_options.num_workers = cluster_workers;
+    cluster_options.dispatcher.heartbeat_timeout_ms = 2000;
+    return cluster_options;
+  };
   for (int cluster_workers : {1, 2, 4}) {
     ClusterOutcome outcome;
     outcome.workers = cluster_workers;
     ClusterStats cluster_stats;
-    if (!run_cluster(cluster_workers, {}, &outcome.wall_seconds,
-                     &cluster_stats)) {
+    if (!run_cluster(base_cluster_options(cluster_workers),
+                     &outcome.wall_seconds, &cluster_stats)) {
       all_equal = false;
     }
     cluster_runs.push_back(outcome);
@@ -310,8 +311,9 @@ int main(int argc, char** argv) {
   {
     double faulted_wall = 0.0;
     ClusterStats cluster_stats;
-    if (!run_cluster(2, {"kill-worker:after=3"}, &faulted_wall,
-                     &cluster_stats)) {
+    LocalClusterOptions faulted_options = base_cluster_options(2);
+    faulted_options.fault_specs = {"kill-worker:after=3"};
+    if (!run_cluster(faulted_options, &faulted_wall, &cluster_stats)) {
       all_equal = false;
     }
     faulted_reassigned = cluster_stats.reassigned_coalitions;
@@ -321,6 +323,51 @@ int main(int argc, char** argv) {
       cluster_runs.back().wall_seconds > 0
           ? cluster_runs.front().wall_seconds / cluster_runs.back().wall_seconds
           : 0.0;
+
+  // (e) Loopback TCP: the same mix through the real listener/connector
+  // and registration handshake — once clean (the transport's overhead
+  // against the 2-shard socketpair run), once with an injected mid-run
+  // partition (the reconnect/recovery path under bench-scale load), and
+  // once with the lone worker killed mid-run and a short grace window
+  // (degraded mode: the coordinator trains the remainder locally).
+  // Values must stay bit-identical in all three.
+  double tcp_wall = 0.0;
+  ClusterStats tcp_stats;
+  {
+    LocalClusterOptions tcp_options = base_cluster_options(2);
+    tcp_options.transport = ClusterTransport::kTcp;
+    if (!run_cluster(tcp_options, &tcp_wall, &tcp_stats)) all_equal = false;
+  }
+  const double socketpair_wall = cluster_runs[1].wall_seconds;  // 2 workers
+  const double tcp_overhead_ratio =
+      socketpair_wall > 0 ? tcp_wall / socketpair_wall : 0.0;
+  double tcp_partition_wall = 0.0;
+  ClusterStats tcp_partition_stats;
+  {
+    LocalClusterOptions partition_options = base_cluster_options(1);
+    partition_options.transport = ClusterTransport::kTcp;
+    partition_options.fault_specs = {"partition:nth=3"};
+    partition_options.reconnect_base_ms = 25;
+    partition_options.reconnect_cap_ms = 400;
+    partition_options.dispatcher.task_retry_ms = 200;
+    partition_options.dispatcher.degraded_grace_ms = 10000;  // heal, not
+                                                             // degrade
+    if (!run_cluster(partition_options, &tcp_partition_wall,
+                     &tcp_partition_stats)) {
+      all_equal = false;
+    }
+  }
+  double degraded_wall = 0.0;
+  ClusterStats degraded_stats;
+  {
+    LocalClusterOptions degraded_options = base_cluster_options(1);
+    degraded_options.fault_specs = {"kill-worker:after=2"};
+    degraded_options.dispatcher.heartbeat_timeout_ms = 500;
+    degraded_options.dispatcher.degraded_grace_ms = 100;
+    if (!run_cluster(degraded_options, &degraded_wall, &degraded_stats)) {
+      all_equal = false;
+    }
+  }
 
   const ServiceStats stats = service.stats();
   std::printf("\naggregate:\n");
@@ -352,6 +399,15 @@ int main(int argc, char** argv) {
               cluster_runs.back().workers);
   std::printf("  cluster faulted run:           lost=%zu reassigned=%zu\n",
               faulted_lost, faulted_reassigned);
+  std::printf("  wall, loopback TCP (2 shards): %.3fs (%.2fx vs socketpair)\n",
+              tcp_wall, tcp_overhead_ratio);
+  std::printf("  tcp partitioned run:           %.3fs, reconnects=%zu, "
+              "recovery=%.3fs\n",
+              tcp_partition_wall, tcp_partition_stats.worker_reconnects,
+              tcp_partition_stats.recovery_seconds_total);
+  std::printf("  degraded run:                  %.3fs, %zu coalition(s) "
+              "trained on the coordinator\n",
+              degraded_wall, degraded_stats.degraded_evaluations);
   std::printf("  values identical to isolated:  %s\n",
               all_equal ? "yes" : "NO");
   if (!options.store_dir.empty()) {
@@ -402,6 +458,16 @@ int main(int argc, char** argv) {
       .Metric("cluster_speedup", cluster_speedup)
       .Metric("reassigned_coalitions", static_cast<double>(faulted_reassigned))
       .Metric("workers_lost", static_cast<double>(faulted_lost));
+  json.Add("tcp")
+      .Label("scenario", options.scenario)
+      .Metric("wall_tcp_seconds", tcp_wall)
+      .Metric("tcp_overhead_ratio", tcp_overhead_ratio)
+      .Metric("reconnects",
+              static_cast<double>(tcp_partition_stats.worker_reconnects))
+      .Metric("partition_recovery_seconds",
+              tcp_partition_stats.recovery_seconds_total)
+      .Metric("degraded_coalitions",
+              static_cast<double>(degraded_stats.degraded_evaluations));
   json.Add("store")
       .Label("scenario", options.scenario)
       .Label("persistent", options.store_dir.empty() ? "no" : "yes")

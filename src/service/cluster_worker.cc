@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <utility>
@@ -34,6 +35,13 @@ std::string EncodeError(uint64_t task_id, const std::string& message) {
   return std::string(writer.bytes());
 }
 
+// Errors that end the session but not the worker: the connection is gone
+// (or stalled past its send deadline) and a reconnect may succeed.
+bool IsConnectionLoss(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
 // Liveness beats sent from a side thread so a long training in the serve
 // loop never looks like a dead worker to the coordinator.
 class HeartbeatThread {
@@ -60,6 +68,8 @@ class HeartbeatThread {
       if (stop_) return;
       ByteWriter writer;
       writer.PutVarint(trainings_->load());
+      // Plain Send, never the fault hook: heartbeats are not part of the
+      // deterministic per-site event streams the tests script.
       if (!channel_->Send(cluster_proto::kHeartbeat, writer.bytes()).ok()) {
         return;  // coordinator gone; the serve loop will see EOF too
       }
@@ -84,6 +94,14 @@ ClusterWorker::ClusterWorker(FrameChannel* channel,
       faults_(options.faults != nullptr ? options.faults
                                         : FaultInjector::Global()) {}
 
+void ClusterWorker::AttachChannel(FrameChannel* channel) {
+  channel_ = channel;
+  held_results_.clear();
+  welcomed_ = false;
+  shutdown_received_ = false;
+  killed_by_fault_ = false;
+}
+
 Status ClusterWorker::HandleWorkload(const Frame& frame) {
   ByteReader reader(frame.payload);
   FEDSHAP_ASSIGN_OR_RETURN(std::string key, reader.GetString());
@@ -99,6 +117,7 @@ Status ClusterWorker::HandleWorkload(const Frame& frame) {
         "workload fingerprint mismatch for '" + key +
         "': worker built a different utility than the coordinator");
   }
+  context.fingerprint = fingerprint;
   context.cache = std::make_unique<UtilityCache>(context.utility.get());
   if (!options_.store_dir.empty()) {
     const std::string stem = options_.store_dir + "/shard-" +
@@ -110,6 +129,14 @@ Status ClusterWorker::HandleWorkload(const Frame& frame) {
   }
   workloads_.emplace(std::move(key), std::move(context));
   return Status::OK();
+}
+
+Status ClusterWorker::SendControl(uint32_t type, const std::string& payload) {
+  Status sent = channel_->Send(type, payload);
+  if (!sent.ok() && !IsConnectionLoss(sent)) {
+    return Status::Unavailable("connection lost: " + sent.message());
+  }
+  return sent;
 }
 
 Status ClusterWorker::SendResultFrame(const std::string& payload) {
@@ -124,18 +151,23 @@ Status ClusterWorker::SendResultFrame(const std::string& payload) {
     held_results_.push_back(payload);
     return Status::OK();
   }
-  FEDSHAP_RETURN_NOT_OK(channel_->Send(cluster_proto::kResult, payload));
+  // Result frames go through the channel's network-fault hook: this is
+  // where a scripted partition / delay-frame / corrupt-frame fires, at a
+  // deterministic result ordinal.
+  FEDSHAP_RETURN_NOT_OK(
+      channel_->SendFaulted(cluster_proto::kResult, payload, faults_));
   if (faults_ != nullptr && faults_->Fire(FaultSite::kDupFrame)) {
     FEDSHAP_LOG(Warning) << "[cluster-worker " << options_.shard
                          << "] fault: duplicating result frame";
-    FEDSHAP_RETURN_NOT_OK(channel_->Send(cluster_proto::kResult, payload));
+    FEDSHAP_RETURN_NOT_OK(
+        channel_->SendFaulted(cluster_proto::kResult, payload, faults_));
   }
   // A held-back frame ships after the one that overtook it.
   std::vector<std::string> held;
   held.swap(held_results_);
   for (const std::string& frame_payload : held) {
     FEDSHAP_RETURN_NOT_OK(
-        channel_->Send(cluster_proto::kResult, frame_payload));
+        channel_->SendFaulted(cluster_proto::kResult, frame_payload, faults_));
   }
   return Status::OK();
 }
@@ -147,7 +179,7 @@ Result<bool> ClusterWorker::HandleAssign(const Frame& frame) {
   FEDSHAP_ASSIGN_OR_RETURN(Coalition coalition, GetCoalition(reader));
   auto it = workloads_.find(key);
   if (it == workloads_.end()) {
-    FEDSHAP_RETURN_NOT_OK(channel_->Send(
+    FEDSHAP_RETURN_NOT_OK(SendControl(
         cluster_proto::kError,
         EncodeError(task_id, "workload '" + key + "' not announced")));
     return false;
@@ -156,8 +188,8 @@ Result<bool> ClusterWorker::HandleAssign(const Frame& frame) {
   Result<UtilityRecord> record = it->second.cache->Get(coalition, &fresh);
   if (!record.ok()) {
     FEDSHAP_RETURN_NOT_OK(
-        channel_->Send(cluster_proto::kError,
-                       EncodeError(task_id, record.status().ToString())));
+        SendControl(cluster_proto::kError,
+                    EncodeError(task_id, record.status().ToString())));
     return false;
   }
   if (fresh) {
@@ -179,11 +211,27 @@ Result<bool> ClusterWorker::HandleAssign(const Frame& frame) {
 }
 
 Status ClusterWorker::Run() {
+  welcomed_ = false;
+  shutdown_received_ = false;
+  killed_by_fault_ = false;
   {
-    ByteWriter hello;
-    hello.PutVarint(static_cast<uint64_t>(options_.shard));
-    hello.PutVarint(static_cast<uint64_t>(::getpid()));
-    FEDSHAP_RETURN_NOT_OK(channel_->Send(cluster_proto::kHello, hello.bytes()));
+    // Open the session with the registration handshake: protocol
+    // version, the shard we want back (or -1 for "assign one"), and the
+    // fingerprints of every workload already built — on a reconnect the
+    // coordinator validates these and skips re-announcing.
+    WorkerRegistration registration;
+    registration.shard = options_.shard;
+    registration.pid = static_cast<uint64_t>(::getpid());
+    for (const auto& [key, context] : workloads_) {
+      registration.workloads.emplace_back(key, context.fingerprint);
+    }
+    Status sent = channel_->Send(cluster_proto::kRegister,
+                                 EncodeWorkerRegistration(registration));
+    if (!sent.ok()) {
+      return IsConnectionLoss(sent)
+                 ? sent
+                 : Status::Unavailable("connection lost: " + sent.message());
+    }
   }
   std::atomic<uint64_t> trainings{0};
   HeartbeatThread heartbeat(channel_, options_.heartbeat_interval_ms,
@@ -203,13 +251,36 @@ Status ClusterWorker::Run() {
         held.swap(held_results_);
         for (const std::string& payload : held) {
           FEDSHAP_RETURN_NOT_OK(
-              channel_->Send(cluster_proto::kResult, payload));
+              channel_->SendFaulted(cluster_proto::kResult, payload, faults_));
         }
       }
       continue;
     }
     const Frame& frame = **received;
     switch (frame.type) {
+      case cluster_proto::kWelcome: {
+        ByteReader reader(frame.payload);
+        Result<uint64_t> version = reader.GetVarint();
+        Result<uint64_t> shard = reader.GetVarint();
+        if (!version.ok() || !shard.ok()) {
+          return Status::Internal("malformed Welcome frame");
+        }
+        if (options_.shard < 0) options_.shard = static_cast<int>(*shard);
+        welcomed_ = true;
+        FEDSHAP_LOG(Info) << "[cluster-worker " << options_.shard
+                          << "] registered with coordinator (protocol v"
+                          << *version << ")";
+        break;
+      }
+      case cluster_proto::kReject: {
+        ByteReader reader(frame.payload);
+        Result<std::string> message = reader.GetString();
+        // Fatal by design: a version or fingerprint mismatch will not
+        // heal by redialing the same coordinator.
+        return Status::InvalidArgument(
+            "registration rejected by coordinator: " +
+            (message.ok() ? *message : std::string("(unreadable reason)")));
+      }
       case cluster_proto::kWorkload: {
         Status handled = HandleWorkload(frame);
         if (!handled.ok()) {
@@ -222,23 +293,123 @@ Status ClusterWorker::Run() {
       case cluster_proto::kAssign: {
         Result<bool> killed = HandleAssign(frame);
         if (!killed.ok()) {
+          if (IsConnectionLoss(killed.status())) {
+            FEDSHAP_LOG(Warning)
+                << "[cluster-worker " << options_.shard
+                << "] connection lost: " << killed.status().message();
+            return Status::OK();  // session over; the worker survives
+          }
           FEDSHAP_LOG(Error) << "[cluster-worker " << options_.shard << "] "
                              << killed.status().ToString();
           return killed.status();
         }
         trainings.store(fresh_trainings_);
-        if (*killed) return Status::OK();
+        if (*killed) {
+          killed_by_fault_ = true;
+          return Status::OK();
+        }
         break;
       }
       case cluster_proto::kShutdown:
         for (auto& [key, context] : workloads_) {
           if (context.store != nullptr) (void)context.store->Flush();
         }
+        shutdown_received_ = true;
         return Status::OK();
       default:
         break;  // future message types are ignorable by old workers
     }
   }
+}
+
+TcpWorkerClient::TcpWorkerClient(const TcpWorkerClientOptions& options)
+    : options_(options), worker_(nullptr, options.worker) {}
+
+TcpWorkerClient::~TcpWorkerClient() { Stop(); }
+
+bool TcpWorkerClient::BackoffWait(int attempt) {
+  const int wait_ms =
+      ReconnectBackoffMs(attempt, options_.backoff_base_ms,
+                         options_.backoff_cap_ms, options_.backoff_seed);
+  std::unique_lock<std::mutex> lock(mutex_);
+  backoff_history_.push_back(wait_ms);
+  wake_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                 [&] { return stopping_; });
+  return !stopping_;
+}
+
+Status TcpWorkerClient::Run() {
+  int attempt = 0;
+  int consecutive_dial_failures = 0;
+  bool ever_welcomed = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return Status::OK();
+    }
+    Result<std::unique_ptr<FrameChannel>> dialed = TcpConnect(
+        options_.endpoint, options_.connect_timeout_ms, options_.worker.faults);
+    if (!dialed.ok()) {
+      ++consecutive_dial_failures;
+      FEDSHAP_LOG(Warning) << "[cluster-worker] dial "
+                           << options_.endpoint.ToString() << " failed ("
+                           << consecutive_dial_failures
+                           << "): " << dialed.status().message();
+      if (options_.max_connect_failures > 0 &&
+          consecutive_dial_failures >= options_.max_connect_failures) {
+        return dialed.status();
+      }
+      if (!BackoffWait(attempt++)) return Status::OK();
+      continue;
+    }
+    consecutive_dial_failures = 0;
+    std::unique_ptr<FrameChannel> channel = std::move(*dialed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return Status::OK();
+      active_channel_ = channel.get();
+      if (ever_welcomed) ++reconnects_;
+    }
+    worker_.AttachChannel(channel.get());
+    Status served = worker_.Run();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      active_channel_ = nullptr;
+    }
+    if (worker_.welcomed()) {
+      // A registered session resets the backoff schedule: the next
+      // outage starts from the base wait again.
+      ever_welcomed = true;
+      attempt = 0;
+    }
+    if (!served.ok() && !IsConnectionLoss(served)) {
+      return served;  // Reject / build mismatch: retrying cannot help
+    }
+    if (worker_.shutdown_received()) return Status::OK();
+    if (worker_.killed_by_fault()) return Status::OK();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return Status::OK();
+    }
+    if (!BackoffWait(attempt++)) return Status::OK();
+  }
+}
+
+void TcpWorkerClient::Stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopping_ = true;
+  if (active_channel_ != nullptr) active_channel_->Shutdown();
+  wake_.notify_all();
+}
+
+size_t TcpWorkerClient::reconnects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reconnects_;
+}
+
+std::vector<int> TcpWorkerClient::backoff_history() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backoff_history_;
 }
 
 Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
@@ -256,14 +427,26 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
     env_target = std::atoi(shard);
   }
   std::unique_ptr<LocalCluster> cluster(new LocalCluster());
-  // The dispatcher spins up no thread until AddWorker, so in fork mode
-  // every child is created while this process is still single-threaded
-  // (with respect to the cluster; see ClusterDispatcher::AddWorker).
+  // The dispatcher spins up no thread until a worker attaches (or the
+  // accept loop starts), so in fork mode every child is created while
+  // this process is still single-threaded with respect to the cluster.
   cluster->dispatcher_ =
       std::make_unique<ClusterDispatcher>(options.dispatcher);
+
+  const bool tcp = options.transport == ClusterTransport::kTcp;
+  std::unique_ptr<TcpListener> listener;
+  TcpEndpoint endpoint{"127.0.0.1", 0};
+  if (tcp) {
+    // Bind before forking (a bound fd is fork-safe; the accept loop
+    // thread starts only after every child exists). Children inherit a
+    // copy of the listening fd; harmless, they never accept on it and it
+    // dies with them.
+    FEDSHAP_ASSIGN_OR_RETURN(listener, TcpListener::Listen(endpoint));
+    endpoint.port = listener->port();
+  }
+
   std::vector<std::unique_ptr<FrameChannel>> coordinator_ends;
   for (int i = 0; i < options.num_workers; ++i) {
-    FEDSHAP_ASSIGN_OR_RETURN(auto pair, CreateChannelPair());
     auto handle = std::make_unique<WorkerHandle>();
     const std::string fault_spec =
         static_cast<size_t>(i) < options.fault_specs.size()
@@ -274,7 +457,20 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
     worker_options.store_dir = options.store_dir;
     worker_options.store_flush_bytes = options.store_flush_bytes;
     worker_options.heartbeat_interval_ms = options.heartbeat_interval_ms;
+
+    TcpWorkerClientOptions client_options;
+    client_options.endpoint = endpoint;
+    client_options.connect_timeout_ms = options.connect_timeout_ms;
+    client_options.backoff_base_ms = options.reconnect_base_ms;
+    client_options.backoff_cap_ms = options.reconnect_cap_ms;
+    client_options.backoff_seed = static_cast<uint64_t>(i);
+
     if (options.fork_workers) {
+      std::pair<std::unique_ptr<FrameChannel>, std::unique_ptr<FrameChannel>>
+          pair;
+      if (!tcp) {
+        FEDSHAP_ASSIGN_OR_RETURN(pair, CreateChannelPair());
+      }
       pid_t pid = ::fork();
       if (pid < 0) {
         return Status::Internal("fork of cluster worker failed");
@@ -283,6 +479,7 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
         // Child: drop every coordinator-side fd inherited from the
         // parent, or a dead coordinator would never read as EOF.
         coordinator_ends.clear();
+        listener.reset();
         std::unique_ptr<FrameChannel> mine = std::move(pair.second);
         pair.first.reset();
         if (!fault_spec.empty()) {
@@ -294,12 +491,21 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
         } else if (env_faults && i != env_target) {
           FaultInjector::SetGlobal(nullptr);  // script targets another shard
         }
+        if (tcp) {
+          client_options.worker = worker_options;
+          TcpWorkerClient client(client_options);
+          Status served = client.Run();
+          ::_exit(served.ok() ? 0 : 1);
+        }
         ClusterWorker worker(mine.get(), worker_options);
         Status served = worker.Run();
         ::_exit(served.ok() ? 0 : 1);
       }
       handle->pid = pid;
-      pair.second.reset();  // parent keeps only the coordinator end
+      if (!tcp) {
+        pair.second.reset();  // parent keeps only the coordinator end
+        coordinator_ends.push_back(std::move(pair.first));
+      }
     } else {
       if (!fault_spec.empty()) {
         FEDSHAP_ASSIGN_OR_RETURN(handle->faults,
@@ -311,18 +517,44 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
         FEDSHAP_ASSIGN_OR_RETURN(handle->faults, FaultInjector::Parse(""));
         worker_options.faults = handle->faults.get();
       }
-      handle->channel = std::move(pair.second);
-      FrameChannel* channel = handle->channel.get();
-      handle->thread = std::thread([channel, worker_options] {
-        ClusterWorker worker(channel, worker_options);
-        (void)worker.Run();
-      });
+      if (tcp) {
+        client_options.worker = worker_options;
+        handle->client = std::make_unique<TcpWorkerClient>(client_options);
+        TcpWorkerClient* client = handle->client.get();
+        handle->thread = std::thread([client] { (void)client->Run(); });
+      } else {
+        FEDSHAP_ASSIGN_OR_RETURN(auto pair, CreateChannelPair());
+        handle->channel = std::move(pair.second);
+        FrameChannel* channel = handle->channel.get();
+        handle->thread = std::thread([channel, worker_options] {
+          ClusterWorker worker(channel, worker_options);
+          (void)worker.Run();
+        });
+        coordinator_ends.push_back(std::move(pair.first));
+      }
     }
-    coordinator_ends.push_back(std::move(pair.first));
     cluster->workers_.push_back(std::move(handle));
   }
   for (auto& end : coordinator_ends) {
     cluster->dispatcher_->AddWorker(std::move(end));
+  }
+  if (tcp) {
+    cluster->dispatcher_->ServeListener(std::move(listener));
+    // Registration is asynchronous over TCP: wait until every shard is
+    // live so callers see a stable shard map from the first Evaluate.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options.start_timeout_ms);
+    while (cluster->dispatcher_->live_workers() <
+           static_cast<size_t>(options.num_workers)) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        cluster->Shutdown();
+        return Status::DeadlineExceeded(
+            "cluster workers failed to register within " +
+            std::to_string(options.start_timeout_ms) + "ms");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
   }
   return cluster;
 }
@@ -332,6 +564,8 @@ void LocalCluster::KillWorker(int index) {
   WorkerHandle& handle = *workers_[static_cast<size_t>(index)];
   if (handle.pid > 0) {
     ::kill(handle.pid, SIGKILL);
+  } else if (handle.client != nullptr) {
+    handle.client->Stop();  // stays down: no further reconnects
   } else if (handle.channel != nullptr) {
     handle.channel->Shutdown();
   }
@@ -342,10 +576,26 @@ void LocalCluster::Shutdown() {
   shut_down_ = true;
   if (dispatcher_ != nullptr) dispatcher_->Shutdown();
   for (auto& handle : workers_) {
+    // A TCP client mid-backoff never saw the Shutdown frame; stop it
+    // before joining or it would redial a closed listener forever.
+    if (handle->client != nullptr) handle->client->Stop();
     if (handle->thread.joinable()) handle->thread.join();
     if (handle->pid > 0) {
+      // Bounded reap: a subprocess TCP worker that was mid-backoff when
+      // the listener closed would otherwise redial forever.
       int wstatus = 0;
-      ::waitpid(handle->pid, &wstatus, 0);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      for (;;) {
+        const pid_t reaped = ::waitpid(handle->pid, &wstatus, WNOHANG);
+        if (reaped == handle->pid || reaped < 0) break;
+        if (std::chrono::steady_clock::now() > deadline) {
+          ::kill(handle->pid, SIGKILL);
+          ::waitpid(handle->pid, &wstatus, 0);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
     }
   }
 }

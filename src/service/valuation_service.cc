@@ -100,11 +100,12 @@ ValuationService::GetOrBuildWorkload(const ScenarioSpec& scenario) {
     // ships to the coalition's shard instead of training here. The cache
     // stays the single source of truth for hits and fresh-training
     // accounting, which is why values and counts match the clusterless
-    // run bit-for-bit.
+    // run bit-for-bit. The locally built utility doubles as the degraded
+    // fallback: when no worker is schedulable past the grace window, the
+    // coalition trains right here and the job keeps converging.
     config_.cluster->RegisterWorkload(key, scenario, workload->fingerprint);
     workload->remote = std::make_unique<ClusterUtility>(
-        config_.cluster, key, workload->utility->num_clients(),
-        workload->fingerprint);
+        config_.cluster, key, workload->utility.get());
     workload->cache = std::make_unique<UtilityCache>(workload->remote.get());
   } else {
     workload->cache = std::make_unique<UtilityCache>(workload->utility.get());

@@ -10,7 +10,8 @@ namespace {
 
 constexpr std::string_view kSiteNames[kNumFaultSites] = {
     "kill-worker", "drop-frame", "dup-frame", "reorder-frame",
-    "torn-store-write"};
+    "torn-store-write", "partition", "delay-frame", "corrupt-frame",
+    "refuse-connect"};
 
 // SplitMix64: one 64-bit mixing round. Hashing (seed, ordinal) through it
 // gives each event an independent uniform draw that depends only on the
@@ -102,6 +103,10 @@ Result<std::unique_ptr<FaultInjector>> FaultInjector::Parse(
         } else if (key == "after") {
           ok = ParseU64(value, &rule.after);
           rule.has_after = ok;
+        } else if (key == "until") {
+          ok = ParseU64(value, &rule.until) && rule.until >= 1;
+        } else if (key == "ms") {
+          ok = ParseU64(value, &rule.ms);
         } else if (key == "p") {
           ok = ParseProbability(value, &rule.probability);
           has_p = ok;
@@ -118,12 +123,12 @@ Result<std::unique_ptr<FaultInjector>> FaultInjector::Parse(
         }
       }
     }
-    const int triggers =
-        (rule.nth > 0 ? 1 : 0) + (rule.has_after ? 1 : 0) + (has_p ? 1 : 0);
+    const int triggers = (rule.nth > 0 ? 1 : 0) + (rule.has_after ? 1 : 0) +
+                         (rule.until > 0 ? 1 : 0) + (has_p ? 1 : 0);
     if (triggers > 1) {
       return Status::InvalidArgument(
           "fault clause '" + std::string(name) +
-          "' mixes nth/after/p triggers; pick exactly one");
+          "' mixes nth/after/until/p triggers; pick exactly one");
     }
     if (has_seed && !has_p) {
       return Status::InvalidArgument("fault parameter seed= requires p=");
@@ -171,6 +176,8 @@ bool FaultInjector::Fire(FaultSite site) {
   bool fires = false;
   if (rule.nth > 0) {
     fires = ordinal == rule.nth;
+  } else if (rule.until > 0) {
+    fires = ordinal <= rule.until;
   } else if (rule.has_after) {
     fires = ordinal > rule.after;
   } else if (rule.probability >= 0.0) {
@@ -191,6 +198,11 @@ uint64_t FaultInjector::events(FaultSite site) const {
 uint64_t FaultInjector::fired(FaultSite site) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return rules_[static_cast<size_t>(site)].fired;
+}
+
+uint64_t FaultInjector::param_ms(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rules_[static_cast<size_t>(site)].ms;
 }
 
 void FaultInjector::Reset() {

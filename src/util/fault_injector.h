@@ -21,8 +21,14 @@ enum class FaultSite {
   kDupFrame,          ///< A result frame is sent twice.
   kReorderFrame,       ///< A result frame is held back behind the next one.
   kTornStoreWrite,     ///< A store append writes only a record prefix.
+  kPartition,          ///< The connection is torn down instead of sending
+                       ///< (a network partition; both directions die).
+  kDelayFrame,         ///< The frame send is delayed by `ms=` milliseconds.
+  kCorruptFrame,       ///< One payload byte is flipped after the CRC is
+                       ///< computed; the receiver rejects the frame.
+  kRefuseConnect,      ///< An outbound connect fails as if refused.
 };
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 9;
 
 /// Stable spec name for a site ("kill-worker", "drop-frame", ...).
 std::string_view FaultSiteName(FaultSite site);
@@ -35,13 +41,18 @@ std::string_view FaultSiteName(FaultSite site);
 ///   - `nth=K`    fire exactly on the Kth event at that site (1-based).
 ///   - `after=N`  fire on every event once N events have completed
 ///                (i.e. from event N+1 onward). `after=0` fires always.
+///   - `until=K`  fire on every event up to and including the Kth — the
+///                "broken for a while, then heals" pattern the circuit
+///                breaker and reconnect suites script.
 ///   - `p=P,seed=S` fire on each event with probability P, decided by a
 ///                hash of (S, event ordinal): the decision sequence is a
 ///                pure function of the seed, so a run is replayable.
 ///
-/// Exactly one of `nth`, `after`, or `p` must be given per clause; a bare
-/// `site` clause means `after=0`. Fire() is thread-safe; event ordinals
-/// are assigned under a lock so concurrent callers see a total order.
+/// Exactly one of `nth`, `after`, `until`, or `p` must be given per
+/// clause; a bare `site` clause means `after=0`. A clause may also carry
+/// `ms=M` (a site-specific magnitude: the delay of `delay-frame`),
+/// readable via param_ms(). Fire() is thread-safe; event ordinals are
+/// assigned under a lock so concurrent callers see a total order.
 class FaultInjector {
  public:
   /// Parses `spec`; empty spec yields an injector that never fires.
@@ -62,6 +73,9 @@ class FaultInjector {
   uint64_t events(FaultSite site) const;
   uint64_t fired(FaultSite site) const;
 
+  /// The clause's `ms=` magnitude for `site` (0 when not given).
+  uint64_t param_ms(FaultSite site) const;
+
   /// The spec string this injector was parsed from.
   const std::string& spec() const { return spec_; }
 
@@ -75,8 +89,10 @@ class FaultInjector {
     uint64_t nth = 0;         // 0 = not an nth rule
     bool has_after = false;
     uint64_t after = 0;
+    uint64_t until = 0;       // 0 = not an until rule
     double probability = -1.0;  // < 0 = not a probabilistic rule
     uint64_t seed = 0;
+    uint64_t ms = 0;          // site-specific magnitude (delay-frame)
     uint64_t events = 0;
     uint64_t fired = 0;
   };

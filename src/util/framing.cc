@@ -1,6 +1,7 @@
 #include "util/framing.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
@@ -8,7 +9,9 @@
 
 #include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "util/logging.h"
 #include "util/serialization.h"
 
 namespace fedshap {
@@ -34,6 +37,16 @@ uint32_t GetU32Le(const char* in) {
 
 }  // namespace
 
+FrameChannel::FrameChannel(int fd) : fd_(fd) {
+  // Non-blocking mode: both directions gate on poll() with explicit
+  // deadlines, so neither a stalled reader nor a slow writer can park a
+  // thread in the kernel indefinitely.
+  if (fd_ >= 0) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) (void)::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
 FrameChannel::~FrameChannel() {
   if (fd_ >= 0) ::close(fd_);
 }
@@ -42,9 +55,76 @@ void FrameChannel::Shutdown() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
+Status FrameChannel::WriteAll(const char* data, size_t len) {
+  using Clock = std::chrono::steady_clock;
+  const int timeout_ms = send_timeout_ms_;
+  const Clock::time_point deadline =
+      timeout_ms < 0 ? Clock::time_point::max()
+                     : Clock::now() + std::chrono::milliseconds(timeout_ms);
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that died must surface as EPIPE, not SIGPIPE —
+    // a fork-mode worker has no signal handler to survive one.
+    ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return Status::Internal(std::string("frame send failed: ") +
+                              ::strerror(errno));
+    }
+    // Buffer full (or interrupted): wait for writability within what is
+    // left of the send deadline.
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      wait_ms = static_cast<int>(left.count());
+      if (wait_ms <= 0) {
+        return Status::DeadlineExceeded(
+            "frame send stalled: peer not draining");
+      }
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0 && errno != EINTR) {
+      return Status::Internal(std::string("frame poll failed: ") +
+                              ::strerror(errno));
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("frame send stalled: peer not draining");
+    }
+  }
+  return Status::OK();
+}
+
 Status FrameChannel::Send(uint32_t type, std::string_view payload) {
+  return SendFaulted(type, payload, nullptr);
+}
+
+Status FrameChannel::SendFaulted(uint32_t type, std::string_view payload,
+                                 FaultInjector* faults) {
   if (payload.size() > kMaxFramePayload) {
     return Status::InvalidArgument("frame payload too large");
+  }
+  bool corrupt = false;
+  if (faults != nullptr) {
+    if (faults->Fire(FaultSite::kPartition)) {
+      FEDSHAP_LOG(Warning) << "[frame] fault: partitioning connection";
+      Shutdown();
+      return Status::Unavailable("injected network partition");
+    }
+    if (faults->Fire(FaultSite::kDelayFrame)) {
+      const uint64_t delay = faults->param_ms(FaultSite::kDelayFrame);
+      FEDSHAP_LOG(Warning) << "[frame] fault: delaying frame " << delay
+                           << "ms";
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    corrupt = faults->Fire(FaultSite::kCorruptFrame);
   }
   char header[12];
   PutU32Le(header, static_cast<uint32_t>(payload.size()));
@@ -54,21 +134,15 @@ Status FrameChannel::Send(uint32_t type, std::string_view payload) {
   buffer.reserve(sizeof(header) + payload.size());
   buffer.append(header, sizeof(header));
   buffer.append(payload.data(), payload.size());
+  if (corrupt && !payload.empty()) {
+    // The CRC above covered the clean payload; flipping a byte now means
+    // the receiver's check must reject this frame.
+    FEDSHAP_LOG(Warning) << "[frame] fault: corrupting frame payload";
+    buffer[sizeof(header)] = static_cast<char>(buffer[sizeof(header)] ^ 0x40);
+  }
 
   std::lock_guard<std::mutex> lock(send_mutex_);
-  size_t sent = 0;
-  while (sent < buffer.size()) {
-    // MSG_NOSIGNAL: a peer that died must surface as EPIPE, not SIGPIPE.
-    ssize_t n = ::send(fd_, buffer.data() + sent, buffer.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(std::string("frame send failed: ") +
-                              ::strerror(errno));
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return Status::OK();
+  return WriteAll(buffer.data(), buffer.size());
 }
 
 Status FrameChannel::ReadExact(char* out, size_t len, int timeout_ms,
@@ -104,7 +178,9 @@ Status FrameChannel::ReadExact(char* out, size_t len, int timeout_ms,
     }
     ssize_t n = ::recv(fd_, out + got, len - got, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      // EAGAIN after POLLIN is possible (spurious wakeup, or a peer
+      // reset raced the poll); go wait again rather than fail.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Status::Internal(std::string("frame recv failed: ") +
                               ::strerror(errno));
     }

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <utility>
 
+#include "util/fault_injector.h"
 #include "util/status.h"
 
 namespace fedshap {
@@ -20,7 +21,8 @@ struct Frame {
   std::string payload;
 };
 
-/// Length-prefixed, CRC-framed message stream over a local stream socket.
+/// Length-prefixed, CRC-framed message stream over a stream socket
+/// (a socketpair end or a connected TCP socket; see util/tcp_transport.h).
 ///
 /// Wire format per frame, all integers little-endian:
 ///
@@ -32,22 +34,49 @@ struct Frame {
 /// from concurrent senders never interleave); Recv() must be called from
 /// one thread at a time. The channel owns its fd and closes it on
 /// destruction.
+///
+/// Both directions are bounded and signal-safe: the fd runs in
+/// non-blocking mode and every read/write waits in poll() with a
+/// deadline, so a stalled peer (full socket buffer, half-open TCP
+/// connection) surfaces as DeadlineExceeded within send_timeout_ms
+/// instead of wedging the calling thread forever, and a peer that died
+/// mid-write raises EPIPE (MSG_NOSIGNAL), never SIGPIPE — which would be
+/// fatal to fork-mode cluster workers.
 class FrameChannel {
  public:
-  explicit FrameChannel(int fd) : fd_(fd) {}
+  explicit FrameChannel(int fd);
   ~FrameChannel();
 
   FrameChannel(const FrameChannel&) = delete;
   FrameChannel& operator=(const FrameChannel&) = delete;
 
-  /// Writes one frame. Fails when the peer has closed the connection.
+  /// Writes one frame, waiting at most send_timeout_ms for socket-buffer
+  /// space (DeadlineExceeded on expiry — the peer is stalled, not just
+  /// slow). Fails when the peer has closed the connection.
   Status Send(uint32_t type, std::string_view payload);
+
+  /// Send with scripted network faults. When `faults` is non-null, one
+  /// event is recorded per armed network site and a firing site acts
+  /// before (partition, delay-frame) or during (corrupt-frame) the write:
+  ///
+  ///   - partition: tears the connection down (both directions) and
+  ///     fails with Unavailable — the injected network split.
+  ///   - delay-frame (ms=M): sleeps M ms, then sends normally.
+  ///   - corrupt-frame: flips one payload byte after the CRC was
+  ///     computed, so the receiver rejects the frame as torn.
+  Status SendFaulted(uint32_t type, std::string_view payload,
+                     FaultInjector* faults);
 
   /// Reads one frame, waiting up to `timeout_ms` for it to begin
   /// (negative = wait forever). Returns nullopt on timeout, NotFound on a
   /// clean peer close at a frame boundary, and an error Status on a torn
   /// or CRC-corrupt frame.
   Result<std::optional<Frame>> Recv(int timeout_ms);
+
+  /// Bounds how long Send() may wait for the peer to drain its socket
+  /// buffer. Negative = wait forever (not recommended off-box).
+  void set_send_timeout_ms(int timeout_ms) { send_timeout_ms_ = timeout_ms; }
+  int send_timeout_ms() const { return send_timeout_ms_; }
 
   /// Shuts down both directions of the socket, unblocking any thread in
   /// Recv() (sees EOF) or Send() (sees an error). Idempotent.
@@ -58,8 +87,13 @@ class FrameChannel {
  private:
   Status ReadExact(char* out, size_t len, int timeout_ms, bool* timed_out,
                    bool* clean_eof);
+  Status WriteAll(const char* data, size_t len);
 
   int fd_;
+  /// Default send deadline: long enough for any legitimately slow peer
+  /// on a LAN, short enough that a wedged one is detected the same order
+  /// of magnitude as the heartbeat timeout.
+  int send_timeout_ms_ = 10000;
   std::mutex send_mutex_;
 };
 

@@ -20,6 +20,9 @@ enum class StatusCode {
   kAlreadyExists,       ///< Entity with that identity already present.
   kInternal,            ///< Invariant violation; a bug, not bad input.
   kNotImplemented,      ///< Operation not supported by this build/type.
+  kUnavailable,         ///< Transient resource loss (dead peer, no worker);
+                        ///< retrying or degrading locally may succeed.
+  kDeadlineExceeded,    ///< Operation exceeded its time budget.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -67,6 +70,14 @@ class Status {
   /// Shorthand for Status(StatusCode::kNotImplemented, msg).
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  /// Shorthand for Status(StatusCode::kUnavailable, msg).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Shorthand for Status(StatusCode::kDeadlineExceeded, msg).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True when the status carries no error.

@@ -1,0 +1,258 @@
+#include "util/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace fedshap {
+namespace {
+
+// SplitMix64 (same mixing round the FaultInjector uses): gives the
+// backoff jitter an independent uniform draw per (seed, attempt).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Internal(std::string("fcntl(O_NONBLOCK) failed: ") +
+                            ::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void SetSocketOptions(int fd) {
+  int one = 1;
+  // Nagle off: the protocol is small latency-sensitive frames.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Keepalive on: a host that vanished without a FIN must eventually
+  // surface as a dead socket instead of an eternal half-open stall.
+  (void)::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+}
+
+Result<struct sockaddr_in> ResolveIpv4(const TcpEndpoint& endpoint) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(endpoint.port));
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) == 1) {
+    return addr;
+  }
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(endpoint.host.c_str(), nullptr, &hints,
+                               &result);
+  if (rc != 0 || result == nullptr) {
+    return Status::InvalidArgument("cannot resolve host '" + endpoint.host +
+                                   "': " + ::gai_strerror(rc));
+  }
+  addr.sin_addr =
+      reinterpret_cast<struct sockaddr_in*>(result->ai_addr)->sin_addr;
+  ::freeaddrinfo(result);
+  return addr;
+}
+
+}  // namespace
+
+Result<TcpEndpoint> TcpEndpoint::Parse(const std::string& host_port) {
+  const size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == host_port.size()) {
+    return Status::InvalidArgument("endpoint '" + host_port +
+                                   "' is not host:port");
+  }
+  TcpEndpoint endpoint;
+  endpoint.host = host_port.substr(0, colon);
+  for (size_t i = colon + 1; i < host_port.size(); ++i) {
+    const char c = host_port[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("endpoint '" + host_port +
+                                     "' has a non-numeric port");
+    }
+    endpoint.port = endpoint.port * 10 + (c - '0');
+    if (endpoint.port > 65535) {
+      return Status::InvalidArgument("endpoint '" + host_port +
+                                     "' port out of range");
+    }
+  }
+  return endpoint;
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
+    const TcpEndpoint& endpoint) {
+  FEDSHAP_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveIpv4(endpoint));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            ::strerror(errno));
+  }
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = ::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("bind " + endpoint.ToString() + " failed: " +
+                               error);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string error = ::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen failed: " + error);
+  }
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  int port = endpoint.port;
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port = ntohs(bound.sin_port);
+  }
+  if (Status nb = SetNonBlocking(fd); !nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  return std::unique_ptr<TcpListener>(new TcpListener(fd, port));
+}
+
+TcpListener::~TcpListener() {
+  // close() only, never shutdown(2): close is descriptor-scoped, so a
+  // forked child dropping its inherited listener leaves the parent's
+  // LISTEN state intact; and the fd is only released here, once no
+  // Accept() caller can be live — closing from Shutdown() would race
+  // the acceptor thread's poll/accept on this descriptor.
+  ::close(fd_);
+}
+
+void TcpListener::Shutdown() {
+  if (!shut_down_.exchange(true)) {
+    // shutdown(2) on the listening socket wakes a blocked accept/poll
+    // and makes further accepts fail, without freeing the fd number.
+    (void)::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+Result<std::unique_ptr<FrameChannel>> TcpListener::Accept(int timeout_ms) {
+  if (shut_down_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("listener is shut down");
+  }
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("accept poll failed: ") +
+                              ::strerror(errno));
+    }
+    if (ready == 0) return std::unique_ptr<FrameChannel>();
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;  // the dialer gave up between poll and accept
+      }
+      if (shut_down_.load(std::memory_order_acquire)) {
+        // A concurrent Shutdown() invalidated the socket (accept sees
+        // EINVAL after shutdown(2)); report it as the shutdown it is.
+        return Status::FailedPrecondition("listener is shut down");
+      }
+      return Status::Internal(std::string("accept failed: ") +
+                              ::strerror(errno));
+    }
+    SetSocketOptions(fd);
+    return std::make_unique<FrameChannel>(fd);
+  }
+}
+
+Result<std::unique_ptr<FrameChannel>> TcpConnect(const TcpEndpoint& endpoint,
+                                                 int connect_timeout_ms,
+                                                 FaultInjector* faults) {
+  FaultInjector* injector =
+      faults != nullptr ? faults : FaultInjector::Global();
+  if (injector != nullptr && injector->Fire(FaultSite::kRefuseConnect)) {
+    return Status::Unavailable("injected connection refusal to " +
+                               endpoint.ToString());
+  }
+  FEDSHAP_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveIpv4(endpoint));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            ::strerror(errno));
+  }
+  if (Status nb = SetNonBlocking(fd); !nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    const std::string error = ::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("connect " + endpoint.ToString() +
+                               " failed: " + error);
+  }
+  // Non-blocking connect: wait for writability, then read the final
+  // verdict from SO_ERROR (POLLOUT fires for success and failure alike).
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  pfd.revents = 0;
+  int ready;
+  do {
+    ready = ::poll(&pfd, 1, connect_timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) {
+    const std::string error = ::strerror(errno);
+    ::close(fd);
+    return Status::Internal("connect poll failed: " + error);
+  }
+  if (ready == 0) {
+    ::close(fd);
+    return Status::DeadlineExceeded("connect " + endpoint.ToString() +
+                                    " timed out");
+  }
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+      so_error != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect " + endpoint.ToString() +
+                               " failed: " + ::strerror(so_error));
+  }
+  SetSocketOptions(fd);
+  return std::make_unique<FrameChannel>(fd);
+}
+
+int ReconnectBackoffMs(int attempt, int base_ms, int cap_ms, uint64_t seed) {
+  if (base_ms < 1) base_ms = 1;
+  if (cap_ms < base_ms) cap_ms = base_ms;
+  if (attempt < 0) attempt = 0;
+  // min(cap, base << attempt) without shift overflow.
+  int64_t wait = base_ms;
+  for (int i = 0; i < attempt && wait < cap_ms; ++i) wait *= 2;
+  if (wait > cap_ms) wait = cap_ms;
+  const uint64_t draw =
+      Mix64(seed ^ Mix64(static_cast<uint64_t>(attempt) + 1));
+  const int jitter = static_cast<int>(draw % static_cast<uint64_t>(base_ms));
+  return static_cast<int>(wait) + jitter;
+}
+
+}  // namespace fedshap

@@ -1,0 +1,91 @@
+#ifndef FEDSHAP_UTIL_TCP_TRANSPORT_H_
+#define FEDSHAP_UTIL_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/fault_injector.h"
+#include "util/framing.h"
+#include "util/status.h"
+
+namespace fedshap {
+
+/// \file
+/// TCP transport behind the FrameChannel abstraction. The CRC-framed
+/// cluster protocol is transport-agnostic; this file provides the only
+/// pieces that are not: a listener, a deadline-bounded connector, and the
+/// deterministic reconnect-backoff schedule the worker client follows.
+/// Every accepted or connected socket comes back as a plain FrameChannel
+/// (non-blocking, bounded sends, SIGPIPE-safe), with TCP_NODELAY (the
+/// protocol is small request/response frames; Nagle only adds latency)
+/// and SO_KEEPALIVE (a silently vanished peer must eventually read as a
+/// dead socket, not an eternal stall) already set.
+
+/// A "host:port" endpoint. Parse() accepts "host:port" with a numeric
+/// port; host may be a dotted IPv4 address or a name ("localhost").
+struct TcpEndpoint {
+  std::string host;
+  int port = 0;
+
+  static Result<TcpEndpoint> Parse(const std::string& host_port);
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+};
+
+/// A listening TCP socket handing out FrameChannels.
+class TcpListener {
+ public:
+  /// Binds and listens on `endpoint` (SO_REUSEADDR; port 0 picks a free
+  /// port, readable back via port()).
+  static Result<std::unique_ptr<TcpListener>> Listen(
+      const TcpEndpoint& endpoint);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Accepts one connection, waiting up to `timeout_ms` (negative =
+  /// forever). Returns null on timeout, a connected FrameChannel
+  /// otherwise. Fails once Shutdown() ran.
+  Result<std::unique_ptr<FrameChannel>> Accept(int timeout_ms);
+
+  /// The port actually bound (resolves port 0).
+  int port() const { return port_; }
+
+  /// Disables the listening socket (shutdown(2), not close: the
+  /// descriptor stays owned until the destructor so a concurrent
+  /// Accept() cannot land on a recycled fd); a blocked Accept() fails
+  /// promptly. Idempotent, safe to call from any thread.
+  void Shutdown();
+
+ private:
+  TcpListener(int fd, int port) : fd_(fd), port_(port) {}
+
+  const int fd_;
+  const int port_;
+  std::atomic<bool> shut_down_{false};
+};
+
+/// Dials `endpoint`, waiting at most `connect_timeout_ms` for the
+/// three-way handshake (non-blocking connect + poll; DeadlineExceeded on
+/// expiry, Unavailable when refused). When `faults` (or, if null, the
+/// process-global injector) arms `refuse-connect`, a firing event fails
+/// the dial with Unavailable before any packet is sent — the scripted
+/// unreachable-coordinator case.
+Result<std::unique_ptr<FrameChannel>> TcpConnect(const TcpEndpoint& endpoint,
+                                                 int connect_timeout_ms,
+                                                 FaultInjector* faults =
+                                                     nullptr);
+
+/// The reconnect schedule: capped exponential backoff with deterministic
+/// seeded jitter. Attempt 0 waits ~base_ms, attempt k waits
+/// min(cap_ms, base_ms << k) plus a jitter in [0, base_ms) drawn by
+/// hashing (seed, attempt) — a pure function, so a worker's backoff
+/// sequence is replayable from its seed and two workers with different
+/// seeds never thunder in lockstep.
+int ReconnectBackoffMs(int attempt, int base_ms, int cap_ms, uint64_t seed);
+
+}  // namespace fedshap
+
+#endif  // FEDSHAP_UTIL_TCP_TRANSPORT_H_

@@ -29,6 +29,9 @@ class ClusterFixture {
   struct Options {
     int num_workers = 2;
     bool fork_workers = false;
+    /// kSocketPair or kTcp: the same suites run over both transports —
+    /// the framed protocol is transport-agnostic, and the tests prove it.
+    ClusterTransport transport = ClusterTransport::kSocketPair;
     int service_workers = 1;
     std::string state_dir;   ///< Coordinator state dir ("" = in-memory).
     std::string store_dir;   ///< Worker store tier root ("" = memory).
@@ -38,6 +41,15 @@ class ClusterFixture {
     /// converge in milliseconds instead of the production 10s.
     int heartbeat_timeout_ms = 2000;
     int task_retry_ms = 0;
+    int rpc_deadline_ms = 0;
+    int max_task_attempts = 5;
+    int breaker_trip_threshold = 3;
+    int breaker_cooldown_ms = 1000;
+    int degraded_grace_ms = 0;
+    /// TCP reconnect schedule (kTcp only); tight so partition tests heal
+    /// in milliseconds.
+    int reconnect_base_ms = 25;
+    int reconnect_cap_ms = 400;
     size_t max_slices = 0;  ///< Service halt hook (coordinator-kill tests).
   };
 
@@ -45,11 +57,21 @@ class ClusterFixture {
     LocalClusterOptions cluster_options;
     cluster_options.num_workers = options.num_workers;
     cluster_options.fork_workers = options.fork_workers;
+    cluster_options.transport = options.transport;
     cluster_options.store_dir = options.store_dir;
     cluster_options.fault_specs = options.fault_specs;
+    cluster_options.reconnect_base_ms = options.reconnect_base_ms;
+    cluster_options.reconnect_cap_ms = options.reconnect_cap_ms;
     cluster_options.dispatcher.heartbeat_timeout_ms =
         options.heartbeat_timeout_ms;
     cluster_options.dispatcher.task_retry_ms = options.task_retry_ms;
+    cluster_options.dispatcher.rpc_deadline_ms = options.rpc_deadline_ms;
+    cluster_options.dispatcher.max_task_attempts = options.max_task_attempts;
+    cluster_options.dispatcher.breaker_trip_threshold =
+        options.breaker_trip_threshold;
+    cluster_options.dispatcher.breaker_cooldown_ms =
+        options.breaker_cooldown_ms;
+    cluster_options.dispatcher.degraded_grace_ms = options.degraded_grace_ms;
     Result<std::unique_ptr<LocalCluster>> cluster =
         LocalCluster::Start(cluster_options);
     EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();

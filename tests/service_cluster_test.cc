@@ -21,6 +21,8 @@
 #include "service/job_spec.h"
 #include "service/valuation_service.h"
 #include "util/coalition.h"
+#include "util/framing.h"
+#include "util/tcp_transport.h"
 
 namespace fedshap {
 namespace {
@@ -421,6 +423,299 @@ TEST(ClusterDispatcherTest, UnknownWorkloadIsAnError) {
       (*cluster)->dispatcher()->Evaluate("nope", Coalition::Of({0}));
   EXPECT_FALSE(record.ok());
   (*cluster)->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport: the same invariance, over real sockets
+// ---------------------------------------------------------------------------
+
+// The core invariance over loopback TCP at {1,2,4} workers: the framed
+// protocol is transport-agnostic, so swapping socketpairs for the real
+// listener/connector + registration handshake must change nothing about
+// the values.
+TEST(ClusterTcpTest, BitIdenticalOverTcpAcrossTopologies) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+  for (int workers : {1, 2, 4}) {
+    ClusterFixture::Options options;
+    options.num_workers = workers;
+    options.transport = ClusterTransport::kTcp;
+    auto fixture = ClusterFixture::Start(options);
+    ASSERT_NE(fixture, nullptr);
+    Result<ValuationResult> result = fixture->Run(job);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ExpectBitIdentical(reference, *result,
+                       "tcp workers=" + std::to_string(workers));
+    const ClusterStats stats = fixture->cluster_stats();
+    EXPECT_EQ(stats.results_applied, reference.num_fresh_trainings);
+    EXPECT_EQ(stats.worker_reconnects, 0u);
+  }
+}
+
+// Fork-mode workers over TCP: separate processes dialing the
+// coordinator's real listener — the closest the single-host harness gets
+// to an actual multi-node deployment.
+TEST(ClusterTcpTest, ForkedWorkersOverTcpStayBitIdentical) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 2;
+  options.fork_workers = true;
+  options.transport = ClusterTransport::kTcp;
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "tcp-forked");
+  EXPECT_EQ(fixture->cluster_stats().results_applied,
+            reference.num_fresh_trainings);
+}
+
+// An injected partition mid-job tears the lone worker's connection
+// down; the worker redials with backoff, re-registers its shard (warm
+// caches), the orphaned in-flight coalition is re-dispatched, and the
+// job finishes bit-identical. A single worker plus a long degraded
+// grace makes the reconnect load-bearing: the job cannot complete any
+// other way, so the partition costs a reconnect, never correctness.
+TEST(ClusterTcpFaultTest, PartitionAndHealStaysBitIdentical) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 1;
+  options.transport = ClusterTransport::kTcp;
+  options.fault_specs = {"partition:nth=3"};
+  options.heartbeat_timeout_ms = 2000;
+  options.task_retry_ms = 200;
+  options.degraded_grace_ms = 10000;  // wait for the heal, don't degrade
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "tcp-partition-heal");
+
+  const ClusterStats stats = fixture->cluster_stats();
+  EXPECT_GE(stats.worker_reconnects, 1u);
+  EXPECT_GE(stats.recovery_seconds_total, 0.0);
+  EXPECT_EQ(stats.degraded_evaluations, 0u);
+  EXPECT_EQ(stats.results_applied, reference.num_fresh_trainings);
+}
+
+// A corrupted result frame is rejected by the coordinator's CRC check,
+// which reads as a dead peer: the connection is torn down, the worker
+// reconnects, the task is re-dispatched. Corruption can cost a round
+// trip, never a wrong value.
+TEST(ClusterTcpFaultTest, CorruptFrameRejectedAndRecovered) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 1;
+  options.transport = ClusterTransport::kTcp;
+  options.fault_specs = {"corrupt-frame:nth=2"};
+  options.heartbeat_timeout_ms = 2000;
+  options.task_retry_ms = 200;
+  options.degraded_grace_ms = 10000;  // wait for the reconnect
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "tcp-corrupt-frame");
+  EXPECT_GE(fixture->cluster_stats().worker_reconnects, 1u);
+  EXPECT_EQ(fixture->cluster_stats().results_applied,
+            reference.num_fresh_trainings);
+}
+
+// The reconnect schedule is a pure function of (attempt, seed): a client
+// that cannot reach its coordinator walks exactly the backoff sequence
+// ReconnectBackoffMs prescribes, in order.
+TEST(ClusterTcpFaultTest, ReconnectBackoffFollowsSeededSchedule) {
+  // Bind a port, then free it: every dial is refused.
+  int dead_port = 0;
+  {
+    Result<std::unique_ptr<TcpListener>> listener =
+        TcpListener::Listen({"127.0.0.1", 0});
+    ASSERT_TRUE(listener.ok()) << listener.status();
+    dead_port = (*listener)->port();
+  }
+  TcpWorkerClientOptions options;
+  options.endpoint = {"127.0.0.1", dead_port};
+  options.worker.shard = -1;
+  options.connect_timeout_ms = 500;
+  options.backoff_base_ms = 20;
+  options.backoff_cap_ms = 100;
+  options.backoff_seed = 77;
+  options.max_connect_failures = 4;
+  TcpWorkerClient client(options);
+  Status status = client.Run();
+  ASSERT_FALSE(status.ok());  // gave up with the dial error
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status;
+  EXPECT_EQ(client.reconnects(), 0u);  // never registered, so no resumes
+  // Three backoffs separate the four dials; each is the scheduled wait.
+  const std::vector<int> expected = {ReconnectBackoffMs(0, 20, 100, 77),
+                                     ReconnectBackoffMs(1, 20, 100, 77),
+                                     ReconnectBackoffMs(2, 20, 100, 77)};
+  EXPECT_EQ(client.backoff_history(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker and degraded mode
+// ---------------------------------------------------------------------------
+
+// Three consecutive dropped results exhaust their RPC deadlines and trip
+// the lone worker's breaker; the cooldown elapses into a half-open
+// probe, the (now healed) worker answers it, the breaker closes, and the
+// job completes bit-identical with no degraded work.
+TEST(ClusterBreakerTest, TripProbeCloseUnderConsecutiveDeadlineExpiry) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 1;
+  options.fault_specs = {"drop-frame:until=3"};
+  options.rpc_deadline_ms = 150;
+  options.max_task_attempts = 8;
+  options.breaker_trip_threshold = 3;
+  options.breaker_cooldown_ms = 250;
+  options.degraded_grace_ms = 10000;  // wait for the probe, don't degrade
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "breaker-trip-probe-close");
+
+  const ClusterStats stats = fixture->cluster_stats();
+  EXPECT_GE(stats.deadline_expirations, 3u);
+  EXPECT_GE(stats.breaker_trips, 1u);
+  EXPECT_GE(stats.breaker_probes, 1u);
+  EXPECT_EQ(stats.degraded_evaluations, 0u);
+  EXPECT_EQ(stats.results_applied, reference.num_fresh_trainings);
+}
+
+// Total outage from the start: the lone worker is killed before the job
+// runs. Every evaluation passes the grace window with no schedulable
+// worker, fails Unavailable, and ClusterUtility trains it on the
+// coordinator instead — bit-identical values, zero remote results.
+TEST(ClusterDegradedTest, TotalOutageServesBitIdenticalValuesLocally) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 1;
+  options.heartbeat_timeout_ms = 500;
+  options.degraded_grace_ms = 100;
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  fixture->KillWorker(0);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "degraded-total-outage");
+
+  const ClusterStats stats = fixture->cluster_stats();
+  EXPECT_EQ(stats.results_applied, 0u);  // nothing came from a worker
+  EXPECT_GE(stats.degraded_evaluations, reference.num_fresh_trainings);
+}
+
+// Mid-job outage: the worker dies partway through. Work done before the
+// death arrived remotely; everything after degrades to coordinator-local
+// training. The seam between the two regimes is invisible in the values.
+TEST(ClusterDegradedTest, MidJobOutageDegradesAndStaysBitIdentical) {
+  JobSpec job = MakeJob("job", EstimatorKind::kIpss, LinregScenario(8));
+  const ValuationResult reference = RunIsolated(job);
+
+  ClusterFixture::Options options;
+  options.num_workers = 1;
+  options.fault_specs = {"kill-worker:after=2"};
+  options.heartbeat_timeout_ms = 500;
+  options.degraded_grace_ms = 100;
+  auto fixture = ClusterFixture::Start(options);
+  ASSERT_NE(fixture, nullptr);
+  Result<ValuationResult> result = fixture->Run(job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(reference, *result, "degraded-mid-job");
+
+  const ClusterStats stats = fixture->cluster_stats();
+  EXPECT_EQ(stats.workers_lost, 1u);
+  EXPECT_GE(stats.results_applied, 1u);       // some work ran remotely
+  EXPECT_GE(stats.degraded_evaluations, 1u);  // the rest degraded
+}
+
+// ---------------------------------------------------------------------------
+// Monitor deadline unification (the tick-clamp helper)
+// ---------------------------------------------------------------------------
+
+TEST(ClusterMonitorTest, NextDeadlineMsPicksTheEarliestPendingDeadline) {
+  using Deadlines = ClusterDispatcher::MonitorDeadlines;
+  // Nothing pending: the max tick.
+  EXPECT_EQ(ClusterDispatcher::NextDeadlineMs(Deadlines{-1, -1, -1}), 250);
+  // The earliest class wins regardless of which one it is.
+  EXPECT_EQ(ClusterDispatcher::NextDeadlineMs(Deadlines{100, 50, -1}), 50);
+  EXPECT_EQ(ClusterDispatcher::NextDeadlineMs(Deadlines{40, 200, 120}), 40);
+  EXPECT_EQ(ClusterDispatcher::NextDeadlineMs(Deadlines{-1, -1, 30}), 30);
+}
+
+TEST(ClusterMonitorTest, NextDeadlineMsClampsToTickBounds) {
+  using Deadlines = ClusterDispatcher::MonitorDeadlines;
+  // An overdue (or absurdly small) deadline cannot spin the monitor.
+  EXPECT_EQ(ClusterDispatcher::NextDeadlineMs(Deadlines{0, -1, -1}), 10);
+  EXPECT_EQ(ClusterDispatcher::NextDeadlineMs(Deadlines{-1, 3, -1}), 10);
+  // A far-future deadline cannot stall it past the heartbeat scan.
+  EXPECT_EQ(ClusterDispatcher::NextDeadlineMs(Deadlines{60000, -1, -1}), 250);
+}
+
+// ---------------------------------------------------------------------------
+// Registration handshake protocol
+// ---------------------------------------------------------------------------
+
+TEST(ClusterProtocolTest, WorkerRegistrationCodecRoundTrips) {
+  WorkerRegistration registration;
+  registration.shard = 3;
+  registration.pid = 4242;
+  registration.workloads = {{"linreg/8/11", 0xDEADBEEFCAFEF00DULL},
+                            {"digits/4/7", 17}};
+  const std::string payload = EncodeWorkerRegistration(registration);
+  Result<WorkerRegistration> decoded = DecodeWorkerRegistration(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->protocol_version, kClusterProtocolVersion);
+  EXPECT_EQ(decoded->shard, 3);
+  EXPECT_EQ(decoded->pid, 4242u);
+  EXPECT_EQ(decoded->workloads, registration.workloads);
+
+  // The unassigned-shard sentinel survives the wire.
+  registration.shard = -1;
+  decoded = DecodeWorkerRegistration(EncodeWorkerRegistration(registration));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->shard, -1);
+
+  EXPECT_FALSE(DecodeWorkerRegistration("").ok());
+  EXPECT_FALSE(DecodeWorkerRegistration("\xff\xff\xff").ok());
+}
+
+// A worker speaking a different protocol version is vetoed at the
+// handshake — a Reject frame naming the mismatch, before any workload
+// state is exchanged. (Driven through the real listener.)
+TEST(ClusterProtocolTest, VersionMismatchIsRejectedAtRegistration) {
+  ClusterDispatcher dispatcher;
+  Result<int> port = dispatcher.ListenAndServe({"127.0.0.1", 0});
+  ASSERT_TRUE(port.ok()) << port.status();
+  EXPECT_EQ(dispatcher.listen_port(), *port);
+
+  Result<std::unique_ptr<FrameChannel>> channel =
+      TcpConnect({"127.0.0.1", *port}, 2000);
+  ASSERT_TRUE(channel.ok()) << channel.status();
+  WorkerRegistration stale;
+  stale.protocol_version = kClusterProtocolVersion - 1;
+  ASSERT_TRUE((*channel)
+                  ->Send(cluster_proto::kRegister,
+                         EncodeWorkerRegistration(stale))
+                  .ok());
+  Result<std::optional<Frame>> reply = (*channel)->Recv(5000);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  ASSERT_TRUE(reply->has_value());
+  EXPECT_EQ((*reply)->type, cluster_proto::kReject);
+  EXPECT_EQ(dispatcher.live_workers(), 0u);
+  dispatcher.Shutdown();
 }
 
 // ScenarioSpec wire codec: round-trip identity and version rejection —

@@ -72,6 +72,44 @@ TEST(FaultInjectorTest, SitesAreIndependentStreams) {
   EXPECT_EQ(injector->events(FaultSite::kKillWorker), 4u);
 }
 
+TEST(FaultInjectorTest, UntilFiresUpToAndIncludingK) {
+  // The "broken for a while, then heals" trigger the circuit-breaker and
+  // reconnect suites script: events 1..K fire, K+1 onward pass.
+  auto injector = MustParse("drop-frame:until=3");
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(injector->Fire(FaultSite::kDropFrame));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, true, false, false, false}));
+  EXPECT_EQ(injector->fired(FaultSite::kDropFrame), 3u);
+}
+
+TEST(FaultInjectorTest, NetworkSiteNamesParse) {
+  // The four network sites added for the TCP transport; each name is the
+  // stable spec vocabulary fedshapd and the tests share.
+  auto injector = MustParse(
+      "partition:nth=2;delay-frame:nth=1,ms=50;corrupt-frame:after=1;"
+      "refuse-connect:until=2");
+  EXPECT_FALSE(injector->Fire(FaultSite::kPartition));
+  EXPECT_TRUE(injector->Fire(FaultSite::kPartition));
+  EXPECT_TRUE(injector->Fire(FaultSite::kDelayFrame));
+  EXPECT_EQ(injector->param_ms(FaultSite::kDelayFrame), 50u);
+  EXPECT_FALSE(injector->Fire(FaultSite::kCorruptFrame));
+  EXPECT_TRUE(injector->Fire(FaultSite::kCorruptFrame));
+  EXPECT_TRUE(injector->Fire(FaultSite::kRefuseConnect));
+  EXPECT_TRUE(injector->Fire(FaultSite::kRefuseConnect));
+  EXPECT_FALSE(injector->Fire(FaultSite::kRefuseConnect));
+  // Sites without an ms= magnitude read back 0.
+  EXPECT_EQ(injector->param_ms(FaultSite::kPartition), 0u);
+}
+
+TEST(FaultInjectorTest, SiteNamesRoundTripThroughSpec) {
+  EXPECT_EQ(FaultSiteName(FaultSite::kPartition), "partition");
+  EXPECT_EQ(FaultSiteName(FaultSite::kDelayFrame), "delay-frame");
+  EXPECT_EQ(FaultSiteName(FaultSite::kCorruptFrame), "corrupt-frame");
+  EXPECT_EQ(FaultSiteName(FaultSite::kRefuseConnect), "refuse-connect");
+}
+
 TEST(FaultInjectorTest, SeededProbabilityIsReplayable) {
   auto a = MustParse("drop-frame:p=0.5,seed=42");
   auto b = MustParse("drop-frame:p=0.5,seed=42");
@@ -108,6 +146,8 @@ TEST(FaultInjectorTest, ParseRejectsMalformedSpecs) {
   EXPECT_FALSE(FaultInjector::Parse("drop-frame:seed=7").ok());
   EXPECT_FALSE(FaultInjector::Parse("drop-frame:p=1.5").ok());
   EXPECT_FALSE(FaultInjector::Parse("drop-frame:bogus=1").ok());
+  EXPECT_FALSE(FaultInjector::Parse("drop-frame:until=0").ok());
+  EXPECT_FALSE(FaultInjector::Parse("drop-frame:until=1,nth=2").ok());
   EXPECT_FALSE(
       FaultInjector::Parse("drop-frame:nth=1;drop-frame:nth=2").ok());
   EXPECT_TRUE(FaultInjector::Parse("kill-worker:after=3;drop-frame:nth=2").ok());

@@ -12,7 +12,10 @@ Metric direction is inferred from its name:
   - lower-is-better:  *seconds* (wall/charged/lookup timings),
     *trainings_to_target* (budget an estimator needs to reach a target
     error — the adaptive-allocation headline), *variance* (across-run
-    estimator variance at a fixed seeded budget)
+    estimator variance at a fixed seeded budget), *reconnects* and
+    *degraded* (a seeded fault schedule yields a deterministic recovery
+    path — more reconnects or degraded coalitions means resilience got
+    clumsier), *overhead* (the TCP-vs-socketpair wall ratio)
   - higher-is-better: *speedup*, *dedup*, *per_second*, *throughput*,
     *hit_ahead* (fraction of prefetch-credited trainings a job actually
     consumed — dropping it means the prefetcher speculates uselessly)
@@ -44,7 +47,7 @@ import sys
 import tempfile
 
 LOWER_IS_BETTER = ("seconds", "trainings_to_target", "variance",
-                   "reassigned")
+                   "reassigned", "reconnects", "degraded", "overhead")
 HIGHER_IS_BETTER = ("speedup", "dedup", "per_second", "throughput",
                     "hit_ahead")
 
@@ -273,6 +276,31 @@ def self_test() -> int:
         check("grown reassigned_coalitions fails", run_gate(args) == 1)
         write(cur_dir, "BENCH_a.json", [dict(cluster, workers_lost=5.0)])
         check("workers_lost is not gated", run_gate(args) == 0)
+
+        # The TCP resilience phase: a seeded fault schedule makes the
+        # recovery path deterministic, so extra reconnects, extra
+        # degraded coalitions, or a fatter transport overhead all gate.
+        check("reconnects is lower-better",
+              direction_of("reconnects") == "lower")
+        check("degraded_coalitions is lower-better",
+              direction_of("degraded_coalitions") == "lower")
+        check("tcp_overhead_ratio is lower-better",
+              direction_of("tcp_overhead_ratio") == "lower")
+        check("partition_recovery_seconds is lower-better",
+              direction_of("partition_recovery_seconds") == "lower")
+        tcp = {"name": "tcp", "scenario": "linreg",
+               "tcp_overhead_ratio": 1.2, "reconnects": 1.0,
+               "partition_recovery_seconds": 0.05,
+               "degraded_coalitions": 120.0}
+        write(base_dir, "BENCH_a.json", [tcp])
+        write(cur_dir, "BENCH_a.json", [dict(tcp)])
+        check("unchanged tcp metrics pass", run_gate(args) == 0)
+        write(cur_dir, "BENCH_a.json", [dict(tcp, reconnects=3.0)])
+        check("grown reconnects fails", run_gate(args) == 1)
+        write(cur_dir, "BENCH_a.json", [dict(tcp, degraded_coalitions=200.0)])
+        check("grown degraded_coalitions fails", run_gate(args) == 1)
+        write(cur_dir, "BENCH_a.json", [dict(tcp, tcp_overhead_ratio=2.0)])
+        check("fatter tcp overhead fails", run_gate(args) == 1)
 
         args.baseline = os.path.join(tmp, "missing")
         check("missing baseline dir passes", run_gate(args) == 0)

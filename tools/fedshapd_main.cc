@@ -10,6 +10,7 @@
 /// Usage:
 ///   fedshapd --state-dir=DIR [--jobs=FILE|-] [--workers=N]
 ///            [--cluster-workers=N] [--cluster-mode=thread|fork]
+///            [--listen=HOST:PORT] [--connect=HOST:PORT]
 ///            [--status] [--cancel=NAME] [--purge=NAME]
 ///            [--kill-after=N] [--print-values] [--quiet]
 ///
@@ -27,6 +28,16 @@
 ///                     fork()ed subprocesses (real process isolation; the
 ///                     FEDSHAP_FAULT_SPEC env fault script applies per
 ///                     child, see docs/OPERATIONS.md)
+///   --listen=HOST:PORT  coordinator mode for multi-node runs: accept
+///                     TCP worker registrations here (port 0 picks a free
+///                     port; composes with --cluster-workers — local and
+///                     remote workers share one shard map). While no
+///                     worker is connected, coalitions train locally
+///                     (degraded mode) and values stay bit-identical.
+///   --connect=HOST:PORT  worker mode: dial the coordinator, register,
+///                     serve trainings until it shuts the cluster down.
+///                     Reconnects with capped exponential backoff across
+///                     coordinator restarts and partitions.
 ///   --status          print the job table and exit (nothing runs)
 ///   --cancel=NAME     cancel one job and exit
 ///   --purge=NAME      remove one terminal job's state and exit
@@ -34,8 +45,16 @@
 ///   --print-values    print every finished job's values (%.17g)
 ///   --quiet           suppress per-slice progress lines
 ///
+/// Resilience knobs (env, all optional): FEDSHAP_RPC_DEADLINE_MS,
+/// FEDSHAP_TASK_RETRY_MS, FEDSHAP_BREAKER_THRESHOLD,
+/// FEDSHAP_BREAKER_COOLDOWN_MS, FEDSHAP_DEGRADED_GRACE_MS (coordinator);
+/// FEDSHAP_RECONNECT_BASE_MS, FEDSHAP_RECONNECT_CAP_MS,
+/// FEDSHAP_RECONNECT_SEED (worker). See docs/OPERATIONS.md.
+///
 /// Exit codes: 0 all jobs done, 1 some job failed (or usage/IO error on
 /// stderr), 17 halted by --kill-after with jobs still in flight.
+
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -64,6 +83,8 @@ struct CliOptions {
   std::string jobs_file;
   std::string cancel_name;
   std::string purge_name;
+  std::string listen;   // coordinator: accept TCP workers on host:port
+  std::string connect;  // worker: dial the coordinator at host:port
   int workers = 2;
   int cluster_workers = 0;
   bool cluster_fork = false;
@@ -72,6 +93,28 @@ struct CliOptions {
   bool print_values = false;
   bool quiet = false;
 };
+
+/// Reads an integer env knob; `fallback` when unset or unparsable.
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return std::atoi(value);
+}
+
+/// Coordinator resilience policy from the environment (defaults tuned
+/// for a real multi-node deployment; see docs/OPERATIONS.md).
+void ApplyResilienceEnv(ClusterDispatcher::Options* options) {
+  options->task_retry_ms = EnvInt("FEDSHAP_TASK_RETRY_MS",
+                                  options->task_retry_ms);
+  options->rpc_deadline_ms =
+      EnvInt("FEDSHAP_RPC_DEADLINE_MS", options->rpc_deadline_ms);
+  options->breaker_trip_threshold =
+      EnvInt("FEDSHAP_BREAKER_THRESHOLD", options->breaker_trip_threshold);
+  options->breaker_cooldown_ms =
+      EnvInt("FEDSHAP_BREAKER_COOLDOWN_MS", options->breaker_cooldown_ms);
+  options->degraded_grace_ms =
+      EnvInt("FEDSHAP_DEGRADED_GRACE_MS", options->degraded_grace_ms);
+}
 
 CliOptions ParseArgs(int argc, char** argv) {
   CliOptions options;
@@ -94,6 +137,10 @@ CliOptions ParseArgs(int argc, char** argv) {
                      "fedshapd: --cluster-mode must be thread or fork\n");
         std::exit(1);
       }
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      options.listen = arg.substr(9);
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      options.connect = arg.substr(10);
     } else if (arg.rfind("--cancel=", 0) == 0) {
       options.cancel_name = arg.substr(9);
     } else if (arg.rfind("--purge=", 0) == 0) {
@@ -153,11 +200,14 @@ void PrintValues(const JobStatus& status) {
 
 int RunService(const CliOptions& options,
                const std::vector<JobSpec>& new_jobs) {
+  const bool acting = !options.status_only && options.cancel_name.empty() &&
+                      options.purge_name.empty();
   // The cluster starts before the service: in fork mode the workers must
   // be forked while this process has no service threads yet.
   std::unique_ptr<LocalCluster> cluster;
-  if (options.cluster_workers > 0 && !options.status_only &&
-      options.cancel_name.empty() && options.purge_name.empty()) {
+  std::unique_ptr<ClusterDispatcher> listen_dispatcher;
+  ClusterDispatcher* dispatcher = nullptr;
+  if (options.cluster_workers > 0 && acting) {
     LocalClusterOptions cluster_options;
     cluster_options.num_workers = options.cluster_workers;
     cluster_options.fork_workers = options.cluster_fork;
@@ -167,6 +217,7 @@ int RunService(const CliOptions& options,
     // Recover a result frame lost to a dying worker within a couple of
     // seconds; the worker-side cache makes the re-run a hit.
     cluster_options.dispatcher.task_retry_ms = 2000;
+    ApplyResilienceEnv(&cluster_options.dispatcher);
     Result<std::unique_ptr<LocalCluster>> started =
         LocalCluster::Start(cluster_options);
     if (!started.ok()) {
@@ -175,6 +226,37 @@ int RunService(const CliOptions& options,
       return 1;
     }
     cluster = std::move(started).value();
+    dispatcher = cluster->dispatcher();
+  } else if (!options.listen.empty() && acting) {
+    // Pure multi-node coordinator: no local workers, only registered
+    // TCP ones. Until the first registers, coalitions train locally
+    // (degraded mode) after the grace window — jobs always make
+    // progress, with bit-identical values either way.
+    ClusterDispatcher::Options dispatcher_options;
+    dispatcher_options.task_retry_ms = 2000;
+    dispatcher_options.rpc_deadline_ms = 30000;
+    dispatcher_options.degraded_grace_ms = 5000;
+    ApplyResilienceEnv(&dispatcher_options);
+    listen_dispatcher =
+        std::make_unique<ClusterDispatcher>(dispatcher_options);
+    dispatcher = listen_dispatcher.get();
+  }
+  if (!options.listen.empty() && dispatcher != nullptr && acting) {
+    Result<TcpEndpoint> endpoint = TcpEndpoint::Parse(options.listen);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "fedshapd: --listen: %s\n",
+                   endpoint.status().ToString().c_str());
+      return 1;
+    }
+    Result<int> port = dispatcher->ListenAndServe(*endpoint);
+    if (!port.ok()) {
+      std::fprintf(stderr, "fedshapd: listen %s: %s\n",
+                   options.listen.c_str(),
+                   port.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[fedshapd] listening for workers on %s:%d\n",
+                endpoint->host.c_str(), *port);
   }
 
   ServiceConfig config;
@@ -182,7 +264,7 @@ int RunService(const CliOptions& options,
   config.state_dir = options.state_dir;
   config.max_slices = options.kill_after;
   config.paused = true;
-  if (cluster != nullptr) config.cluster = cluster->dispatcher();
+  config.cluster = dispatcher;
   ValuationService service(config);
 
   Status recovered = service.Recover();
@@ -293,18 +375,30 @@ int RunService(const CliOptions& options,
               stats.slices_executed, stats.workloads,
               stats.trainings_computed, stats.trainings_preloaded);
   PrintStoreLine(stats);
-  if (cluster != nullptr) {
-    const ClusterStats cluster_stats = cluster->dispatcher()->stats();
+  if (dispatcher != nullptr) {
+    const ClusterStats cluster_stats = dispatcher->stats();
     std::printf("[fedshapd] cluster workers=%d live=%zu dispatched=%zu "
                 "reassigned=%zu duplicates=%zu retried=%zu lost=%zu "
                 "worker-trainings=%zu\n",
-                options.cluster_workers, cluster->dispatcher()->live_workers(),
+                options.cluster_workers, dispatcher->live_workers(),
                 cluster_stats.tasks_dispatched,
                 cluster_stats.reassigned_coalitions,
                 cluster_stats.duplicate_results_ignored,
                 cluster_stats.retried_tasks, cluster_stats.workers_lost,
                 cluster_stats.worker_fresh_trainings);
-    cluster->Shutdown();
+    std::printf("[fedshapd] resilience reconnects=%zu recovery=%.3fs "
+                "deadline-expiries=%zu breaker-trips=%zu probes=%zu "
+                "degraded=%zu\n",
+                cluster_stats.worker_reconnects,
+                cluster_stats.recovery_seconds_total,
+                cluster_stats.deadline_expirations,
+                cluster_stats.breaker_trips, cluster_stats.breaker_probes,
+                cluster_stats.degraded_evaluations);
+    if (cluster != nullptr) {
+      cluster->Shutdown();
+    } else {
+      dispatcher->Shutdown();
+    }
   }
 
   if (!all_terminal) {
@@ -315,10 +409,55 @@ int RunService(const CliOptions& options,
   return failed > 0 ? 1 : 0;
 }
 
+/// Worker mode (--connect): one reconnecting TCP worker, no service.
+int RunWorker(const CliOptions& options) {
+  Result<TcpEndpoint> endpoint = TcpEndpoint::Parse(options.connect);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "fedshapd: --connect: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 1;
+  }
+  TcpWorkerClientOptions client_options;
+  client_options.endpoint = *endpoint;
+  client_options.worker.shard = -1;  // the coordinator assigns our shard
+  if (!options.state_dir.empty()) {
+    client_options.worker.store_dir = options.state_dir + "/cluster";
+  }
+  client_options.backoff_base_ms =
+      EnvInt("FEDSHAP_RECONNECT_BASE_MS", client_options.backoff_base_ms);
+  client_options.backoff_cap_ms =
+      EnvInt("FEDSHAP_RECONNECT_CAP_MS", client_options.backoff_cap_ms);
+  client_options.backoff_seed = static_cast<uint64_t>(
+      EnvInt("FEDSHAP_RECONNECT_SEED", static_cast<int>(::getpid())));
+  std::printf("[fedshapd] worker dialing %s (backoff %d..%dms, seed %llu)\n",
+              endpoint->ToString().c_str(), client_options.backoff_base_ms,
+              client_options.backoff_cap_ms,
+              static_cast<unsigned long long>(client_options.backoff_seed));
+  TcpWorkerClient client(client_options);
+  Status served = client.Run();
+  if (!served.ok()) {
+    std::fprintf(stderr, "fedshapd: worker: %s\n",
+                 served.ToString().c_str());
+    return 1;
+  }
+  std::printf("[fedshapd] worker done (reconnects=%zu)\n",
+              client.reconnects());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliOptions options = ParseArgs(argc, argv);
+  if (!options.connect.empty()) {
+    if (!options.listen.empty() || options.cluster_workers > 0) {
+      std::fprintf(stderr,
+                   "fedshapd: --connect is a pure worker mode; it cannot "
+                   "combine with --listen or --cluster-workers\n");
+      return 1;
+    }
+    return RunWorker(options);
+  }
 
   std::vector<JobSpec> new_jobs;
   if (!options.jobs_file.empty()) {
